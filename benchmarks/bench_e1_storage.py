@@ -1,0 +1,48 @@
+"""E1 — storage: labeling cost and label sizes per encoding.
+
+The time benchmark measures producing all order labels for a shredded
+document; the companion assertions pin the storage shape the paper
+reports (fixed-size integers for Global/Local, variable-length keys for
+Dewey that grow with depth but stay small under the binary codec).
+"""
+
+import pytest
+
+from repro.core.dewey import DeweyKey
+from repro.core.encodings import get_encoding
+from repro.core.shredder import shred
+from repro.workload import sized_article_corpus
+
+ENCODINGS = ("global", "local", "dewey")
+
+
+@pytest.fixture(scope="module")
+def shredded():
+    return shred(sized_article_corpus(4000))
+
+
+@pytest.mark.parametrize("name", ENCODINGS)
+def test_labeling_speed(benchmark, shredded, name):
+    encoding = get_encoding(name)
+
+    def label_all():
+        return [
+            encoding.order_values(node, 1) for node in shredded.nodes
+        ]
+
+    labels = benchmark(label_all)
+    assert len(labels) == shredded.node_count()
+
+
+def test_label_size_shape(shredded):
+    """Dewey labels average more than Local's 4 bytes but stay compact;
+    dotted-text keys would be much larger."""
+    n = shredded.node_count()
+    dewey_total = sum(
+        len(DeweyKey(node.dewey).encode()) for node in shredded.nodes
+    )
+    text_total = sum(
+        len(str(DeweyKey(node.dewey))) for node in shredded.nodes
+    )
+    assert 4.0 < dewey_total / n < 8.0
+    assert text_total > dewey_total

@@ -1,0 +1,21 @@
+"""E2 — loading: shred + bulk-insert time per encoding and backend."""
+
+import pytest
+
+from repro.bench.harness import build_store
+
+ENCODINGS = ("global", "local", "dewey")
+
+
+@pytest.mark.parametrize("name", ENCODINGS)
+def test_load_sqlite(benchmark, journal_document, name):
+    store, doc = benchmark(build_store, journal_document, name, "sqlite")
+    assert store.node_count(doc) == journal_document.node_count()
+
+
+@pytest.mark.parametrize("name", ENCODINGS)
+def test_load_minidb(benchmark, small_journal_document, name):
+    store, doc = benchmark(
+        build_store, small_journal_document, name, "minidb"
+    )
+    assert store.node_count(doc) == small_journal_document.node_count()

@@ -1,0 +1,44 @@
+"""E3 — ordered query performance: Q1-Q8 per encoding.
+
+Expected shape (and asserted at the bottom): Global and Dewey are
+comparable everywhere; Local pays for document-order axes (Q7/Q8) with
+its depth-expansion queries.
+"""
+
+import time
+
+import pytest
+
+from repro.workload import ORDERED_QUERIES
+
+ENCODINGS = ("global", "local", "dewey")
+
+
+@pytest.mark.parametrize("query", ORDERED_QUERIES, ids=lambda q: q.id)
+@pytest.mark.parametrize("name", ENCODINGS)
+def test_ordered_query(benchmark, loaded_stores, name, query):
+    store, doc = loaded_stores[name]
+    result = benchmark(store.query, query.xpath, doc)
+    assert result  # every suite query matches something
+
+
+def test_shape_local_slow_on_document_order(loaded_stores):
+    """Local must be the slowest encoding on following/preceding."""
+    def median_ms(store, doc, xpath, repeat=3):
+        samples = []
+        for _ in range(repeat):
+            started = time.perf_counter()
+            store.query(xpath, doc)
+            samples.append(time.perf_counter() - started)
+        samples.sort()
+        return samples[repeat // 2]
+
+    for query in ORDERED_QUERIES:
+        if "document order" not in query.feature:
+            continue
+        times = {
+            name: median_ms(*loaded_stores[name], query.xpath)
+            for name in ENCODINGS
+        }
+        assert times["local"] > times["global"], query.id
+        assert times["local"] > times["dewey"], query.id

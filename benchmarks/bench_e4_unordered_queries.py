@@ -1,0 +1,20 @@
+"""E4 — unordered query performance: U1-U4 per encoding.
+
+Expected shape: the three encodings are comparable when order plays no
+role (the paper's sanity check that order support costs nothing when
+unused).
+"""
+
+import pytest
+
+from repro.workload import UNORDERED_QUERIES
+
+ENCODINGS = ("global", "local", "dewey")
+
+
+@pytest.mark.parametrize("query", UNORDERED_QUERIES, ids=lambda q: q.id)
+@pytest.mark.parametrize("name", ENCODINGS)
+def test_unordered_query(benchmark, loaded_stores, name, query):
+    store, doc = loaded_stores[name]
+    result = benchmark(store.query, query.xpath, doc)
+    assert result

@@ -1,0 +1,83 @@
+"""E5 — insert cost vs. position, per encoding (dense numbering).
+
+Each round gets a fresh store (updates mutate it); the benchmark times a
+single small insertion at a first/middle/last sibling position, at both a
+top-level and a nested insertion point.  The relabeling-count shape is
+asserted separately.
+"""
+
+import pytest
+
+from repro.bench.harness import build_store
+from repro.workload import UpdateWorkload
+
+ENCODINGS = ("global", "local", "dewey")
+POSITIONS = ("first", "middle", "last")
+
+
+def _fresh(document, name):
+    store, doc = build_store(document, name, "sqlite")
+    workload = UpdateWorkload(store, doc)
+    root_id = store.query("/journal", doc)[0].node_id
+    return workload, root_id
+
+
+@pytest.mark.parametrize("where", POSITIONS)
+@pytest.mark.parametrize("name", ENCODINGS)
+def test_insert_top_level(
+    benchmark, small_journal_document, name, where
+):
+    def setup():
+        workload, root_id = _fresh(small_journal_document, name)
+        return (workload, root_id, where), {}
+
+    def run(workload, root_id, position):
+        return workload.insert_at(root_id, position)
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+@pytest.mark.parametrize("name", ENCODINGS)
+def test_insert_nested(benchmark, small_journal_document, name):
+    def setup():
+        store, doc = build_store(small_journal_document, name, "sqlite")
+        workload = UpdateWorkload(store, doc)
+        section = store.query(
+            "/journal/article[5]/section[1]", doc
+        )[0].node_id
+        return (workload, section), {}
+
+    def run(workload, section):
+        return workload.insert_at(section, "middle")
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+def test_shape_relabeling_costs(small_journal_document):
+    """Paper shape: Global O(tail) >= Dewey O(sibling subtrees) >=
+    Local O(siblings) for front inserts; appends are cheap for all."""
+    front = {}
+    append = {}
+    for name in ENCODINGS:
+        workload, root_id = _fresh(small_journal_document, name)
+        front[name] = workload.insert_at(root_id, "first").relabeled
+        workload, root_id = _fresh(small_journal_document, name)
+        append[name] = workload.insert_at(root_id, "last").relabeled
+    assert front["global"] >= front["dewey"] >= front["local"]
+    assert front["global"] > 100  # the whole tail
+    assert front["local"] < 50  # only top-level siblings
+    assert all(cost <= 1 for cost in append.values())
+
+
+def test_shape_dewey_locality(small_journal_document):
+    """Nested inserts: Dewey relabels only nearby subtrees, Global still
+    shifts the whole document tail."""
+    costs = {}
+    for name in ("global", "dewey"):
+        store, doc = build_store(small_journal_document, name, "sqlite")
+        workload = UpdateWorkload(store, doc)
+        section = store.query(
+            "/journal/article[5]/section[1]", doc
+        )[0].node_id
+        costs[name] = workload.insert_at(section, "first").relabeled
+    assert costs["dewey"] * 5 < costs["global"]

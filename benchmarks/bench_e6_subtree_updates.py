@@ -1,0 +1,51 @@
+"""E6 — subtree insert / delete per encoding.
+
+Inserting a ~10-node subtree in the middle of the document, and deleting
+an article subtree.  Deletes are cheap for every encoding (no
+renumbering); inserts follow the E5 ordering.
+"""
+
+import pytest
+
+from repro.bench.harness import build_store
+from repro.workload import UpdateWorkload
+
+ENCODINGS = ("global", "local", "dewey")
+
+
+@pytest.mark.parametrize("name", ENCODINGS)
+def test_insert_subtree(benchmark, small_journal_document, name):
+    def setup():
+        store, doc = build_store(small_journal_document, name, "sqlite")
+        workload = UpdateWorkload(store, doc)
+        root_id = store.query("/journal", doc)[0].node_id
+        return (workload, root_id), {}
+
+    def run(workload, root_id):
+        return workload.insert_at(
+            root_id, "middle", payload_nodes=10, tag="article"
+        )
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+@pytest.mark.parametrize("name", ENCODINGS)
+def test_delete_subtree(benchmark, small_journal_document, name):
+    def setup():
+        store, doc = build_store(small_journal_document, name, "sqlite")
+        target = store.query("/journal/article[5]", doc)[0].node_id
+        return (store, doc, target), {}
+
+    def run(store, doc, target):
+        return store.updates.delete(doc, target)
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+def test_shape_deletes_never_relabel(small_journal_document):
+    for name in ENCODINGS:
+        store, doc = build_store(small_journal_document, name, "sqlite")
+        target = store.query("/journal/article[5]", doc)[0].node_id
+        report = store.updates.delete(doc, target)
+        assert report.relabeled == 0
+        assert report.deleted > 10  # a whole article subtree

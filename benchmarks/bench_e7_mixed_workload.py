@@ -1,0 +1,61 @@
+"""E7 — the mixed-workload crossover: the paper's headline figure.
+
+Each benchmark cell runs a seeded interleaving of ordered queries and
+middle-of-document insertions at a fixed update fraction.  The shape
+check asserts the crossover: Global/Dewey win the read-only end, Local
+wins the write-only end.
+"""
+
+import pytest
+
+from repro.bench.harness import build_store
+from repro.workload import (
+    MixedWorkload,
+    ORDERED_QUERIES,
+    UNORDERED_QUERIES,
+)
+
+ENCODINGS = ("global", "local", "dewey")
+FRACTIONS = (0.0, 0.5, 1.0)
+OPERATIONS = 40
+
+
+def _mixed(document, name):
+    store, doc = build_store(document, name, "sqlite")
+    return MixedWorkload(
+        store, doc, ORDERED_QUERIES + UNORDERED_QUERIES,
+        insert_parent_xpath="/journal/article/section[1]",
+    )
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+@pytest.mark.parametrize("name", ENCODINGS)
+def test_mixed_workload(
+    benchmark, small_journal_document, name, fraction
+):
+    def setup():
+        return (_mixed(small_journal_document, name),), {}
+
+    def run(mix):
+        return mix.run(OPERATIONS, fraction)
+
+    benchmark.pedantic(run, setup=setup, rounds=3)
+
+
+def test_shape_crossover(small_journal_document):
+    totals = {fraction: {} for fraction in (0.0, 1.0)}
+    for fraction in totals:
+        for name in ENCODINGS:
+            mix = _mixed(small_journal_document, name)
+            result = mix.run(60, fraction)
+            totals[fraction][name] = result.total_seconds
+    read_only = totals[0.0]
+    write_only = totals[1.0]
+    # Read-only: Local loses (document-order queries); write-only:
+    # Local wins (no subtree relabeling).
+    assert read_only["local"] > min(
+        read_only["global"], read_only["dewey"]
+    )
+    assert write_only["local"] <= min(
+        write_only["global"], write_only["dewey"]
+    ) * 1.5  # local is at least competitive at the write-only end

@@ -1,0 +1,27 @@
+"""E8 — document and subtree reconstruction per encoding.
+
+Full-document reconstruction does one scan for every encoding; subtree
+reconstruction exposes the access-path asymmetry: Global reads one
+``pos`` range, Dewey one key range, Local must chase children level by
+level.
+"""
+
+import pytest
+
+ENCODINGS = ("global", "local", "dewey")
+
+
+@pytest.mark.parametrize("name", ENCODINGS)
+def test_reconstruct_full(benchmark, loaded_stores, journal_document,
+                          name):
+    store, doc = loaded_stores[name]
+    rebuilt = benchmark(store.reconstruct, doc)
+    assert rebuilt.structurally_equal(journal_document)
+
+
+@pytest.mark.parametrize("name", ENCODINGS)
+def test_reconstruct_subtree(benchmark, loaded_stores, name):
+    store, doc = loaded_stores[name]
+    target = store.query("/journal/article[10]", doc)[0].node_id
+    subtree = benchmark(store.reconstruct_subtree, doc, target)
+    assert subtree.tag == "article"

@@ -1,0 +1,64 @@
+"""E9 — translation complexity: static SQL cost per query class.
+
+Benchmarks translation *speed* (it sits on every query's critical path)
+and asserts the static-complexity shape: Local's depth expansions make
+its document-order translations an order of magnitude bigger.
+"""
+
+import pytest
+
+from repro.core.translator import make_translator
+from repro.errors import TranslationError
+from repro.workload import ORDERED_QUERIES, UNORDERED_QUERIES
+
+ENCODINGS = ("global", "local", "dewey")
+
+
+@pytest.mark.parametrize("name", ENCODINGS)
+def test_translation_speed(benchmark, name):
+    translator = make_translator(name, max_depth=8)
+    queries = [
+        q.xpath for q in ORDERED_QUERIES + UNORDERED_QUERIES
+        if q.local_translatable or name != "local"
+    ]
+
+    def translate_all():
+        return [translator.translate(q, doc=1) for q in queries]
+
+    translated = benchmark(translate_all)
+    assert len(translated) == len(queries)
+
+
+def test_shape_static_complexity():
+    for query in ORDERED_QUERIES:
+        costs = {}
+        for name in ENCODINGS:
+            try:
+                translated = make_translator(name, max_depth=8) \
+                    .translate(query.xpath, doc=1)
+            except TranslationError:
+                continue
+            costs[name] = translated.stats \
+                .total_relational_operations()
+        if "document order" in query.feature and "local" in costs:
+            assert costs["local"] > 2 * costs["global"], query.id
+        if query.feature in ("positional child", "last()"):
+            assert costs["global"] == costs["dewey"], query.id
+
+
+def test_shape_expansion_grows_with_depth():
+    # A descendant step from the *document* context needs no expansion
+    # (every row qualifies); one from an element context expands with
+    # the document depth bound.
+    root_level = make_translator("local", max_depth=12).translate(
+        "//para", doc=1
+    )
+    assert root_level.stats.or_expansions == 0
+
+    shallow = make_translator("local", max_depth=4).translate(
+        "/journal/article//para", doc=1
+    )
+    deep = make_translator("local", max_depth=12).translate(
+        "/journal/article//para", doc=1
+    )
+    assert deep.stats.or_expansions > shallow.stats.or_expansions > 0

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+Documents are generated once per session; stores are rebuilt as each
+benchmark requires (update benchmarks need a fresh store per round).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload import article_corpus
+
+ENCODINGS = ("global", "local", "dewey")
+
+
+@pytest.fixture(scope="session")
+def journal_document():
+    """The standard benchmark corpus (~20 articles, ~850 nodes)."""
+    return article_corpus(articles=20)
+
+
+@pytest.fixture(scope="session")
+def small_journal_document():
+    """A smaller corpus for the expensive update benchmarks."""
+    return article_corpus(articles=10)
+
+
+@pytest.fixture(scope="session", params=ENCODINGS)
+def encoding(request):
+    return request.param
+
+
+@pytest.fixture(scope="session")
+def loaded_stores(journal_document):
+    """One sqlite store per encoding, loaded with the journal corpus."""
+    from repro.bench.harness import build_store
+
+    return {
+        name: build_store(journal_document, name)
+        for name in ENCODINGS
+    }

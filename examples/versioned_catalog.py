@@ -1,0 +1,93 @@
+"""Data-centric, update-heavy scenario: maintaining a product catalogue.
+
+New products arrive in the middle of category listings, reviews are
+appended, and stale products are deleted.  The example runs the same
+maintenance script under all three encodings (dense and sparse) and
+reports the renumbering bill each one pays — the paper's update-cost
+story, live.
+
+Run:  python examples/versioned_catalog.py
+"""
+
+from repro import XmlStore
+from repro.workload import catalog_corpus
+
+
+def maintenance_script(store: XmlStore, doc: int) -> dict[str, int]:
+    """A day of catalogue churn; returns cost counters."""
+    relabeled = 0
+    inserted = 0
+    deleted = 0
+    catalog_id = store.query("/catalog", doc)[0].node_id
+
+    # Ten new products arrive at the front of the catalogue (newest
+    # first ordering — the painful case for position-based encodings).
+    for step in range(10):
+        report = store.updates.insert(
+            doc, catalog_id, 0,
+            f"<product sku='new{step:03d}' category='books'>"
+            f"<name>New arrival {step}</name>"
+            f"<price>19.99</price><stock>5</stock></product>",
+        )
+        relabeled += report.relabeled
+        inserted += report.inserted
+
+    # Reviews are appended to the first five products (cheap for all).
+    for position in range(1, 6):
+        product = store.query(
+            f"/catalog/product[{position}]", doc
+        )[0].node_id
+        report = store.updates.append(
+            doc, product,
+            "<review rating='5'><comment>great</comment></review>",
+        )
+        relabeled += report.relabeled
+        inserted += report.inserted
+
+    # Out-of-stock products are dropped.
+    for item in store.query("//product[stock = 0]", doc)[:5]:
+        report = store.updates.delete(doc, item.node_id)
+        deleted += report.deleted
+
+    return {
+        "inserted": inserted, "deleted": deleted, "relabeled": relabeled,
+    }
+
+
+def main() -> None:
+    document = catalog_corpus(products=60)
+    print("== catalogue maintenance cost per encoding ==")
+    print(f"{'encoding':10} {'gap':>4} {'inserted':>9} {'deleted':>8} "
+          f"{'relabeled':>10}")
+    for encoding in ("global", "local", "dewey"):
+        for gap in (1, 32):
+            store = XmlStore(
+                backend="sqlite", encoding=encoding, gap=gap
+            )
+            doc = store.load(document, name="catalog")
+            costs = maintenance_script(store, doc)
+            print(
+                f"{encoding:10} {gap:>4} {costs['inserted']:>9} "
+                f"{costs['deleted']:>8} {costs['relabeled']:>10}"
+            )
+
+    print("\nReading guide: dense Global relabels the catalogue tail on "
+          "every front insertion;\nLocal shifts a handful of sibling "
+          "slots; Dewey relabels the following products'\nsubtrees. "
+          "With gap=32 (sparse numbering) the whole burst is absorbed "
+          "without\nrelabeling anything — experiment E10's point.")
+
+    # The data stays queryable and ordered throughout.
+    store = XmlStore(backend="sqlite", encoding="dewey", gap=32)
+    doc = store.load(document)
+    maintenance_script(store, doc)
+    newest = store.query_values("/catalog/product[1]/name/text()", doc)
+    print("\nnewest product after maintenance:", newest)
+    cheap = store.query_values(
+        "//product[price < 20]/name/text()", doc
+    )
+    print(f"{len(cheap)} products under 20.00")
+
+
+if __name__ == "__main__":
+    main()

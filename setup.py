@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+`pip install -e .` covers the normal case (PEP 660 editable install).
+Fully offline environments without the `wheel` package can instead run
+`python setup.py develop`, which needs nothing beyond setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""repro: ordered XML in a relational database system.
+
+A full reproduction of *"Storing and querying ordered XML using a
+relational database system"* (Tatarinov et al., SIGMOD 2002): the three
+order encodings (Global, Local, Dewey), XML shredding into relations,
+XPath-to-SQL translation for ordered queries, order-maintaining updates,
+and document reconstruction — over either stdlib sqlite3 or the included
+from-scratch relational engine (:mod:`repro.minidb`).
+
+Quickstart
+----------
+>>> from repro import XmlStore
+>>> store = XmlStore(backend="sqlite", encoding="dewey")
+>>> doc = store.load("<bib><book><title>TCP/IP</title></book></bib>")
+>>> [i.value for i in store.query("/bib/book[1]/title/text()", doc)]
+['TCP/IP']
+"""
+
+from repro.core.dewey import DeweyKey
+from repro.core.encodings import get_encoding
+from repro.core.updates import UpdateReport
+from repro.backends import make_backend
+from repro.store import ResultItem, XmlStore
+from repro.xmldom import parse, serialize
+from repro.xpath import evaluate, parse_xpath
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeweyKey",
+    "ResultItem",
+    "UpdateReport",
+    "XmlStore",
+    "evaluate",
+    "get_encoding",
+    "make_backend",
+    "parse",
+    "parse_xpath",
+    "serialize",
+    "__version__",
+]

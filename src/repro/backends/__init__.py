@@ -1,0 +1,23 @@
+"""Storage backends: sqlite3 and the from-scratch minidb engine."""
+
+from repro.backends.base import Backend, BackendResult
+from repro.backends.minidb_backend import MiniDbBackend
+from repro.backends.sqlite_backend import SqliteBackend
+
+
+def make_backend(name: str) -> Backend:
+    """Create a backend by name ("sqlite" or "minidb")."""
+    if name == "sqlite":
+        return SqliteBackend()
+    if name == "minidb":
+        return MiniDbBackend()
+    raise ValueError(f"unknown backend {name!r}")
+
+
+__all__ = [
+    "Backend",
+    "BackendResult",
+    "MiniDbBackend",
+    "SqliteBackend",
+    "make_backend",
+]

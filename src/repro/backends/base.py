@@ -1,0 +1,110 @@
+"""Backend protocol: one SQL dialect, two engines.
+
+Both backends accept the same SQL text with ``?`` placeholders and expose
+the Dewey/ORDPATH scalar functions, so every translation and benchmark
+runs unchanged on either engine.  Both support atomic transactions via
+:meth:`Backend.transaction` — sqlite natively, minidb through an undo
+journal — which the update manager wraps around every multi-statement
+operation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass
+class BackendResult:
+    """Rows and affected-row count from one statement."""
+
+    rows: list[tuple] = field(default_factory=list)
+    rowcount: int = -1
+
+
+class Backend(ABC):
+    """A relational engine that stores shredded documents."""
+
+    #: Short backend name ("sqlite" or "minidb").
+    name: str
+
+    @abstractmethod
+    def execute(
+        self, sql: str, params: Sequence = ()
+    ) -> BackendResult:
+        """Execute one statement and return its result."""
+
+    @abstractmethod
+    def executemany(
+        self, sql: str, param_rows: Iterable[Sequence]
+    ) -> BackendResult:
+        """Execute a DML statement once per parameter row."""
+
+    @abstractmethod
+    def rows_written(self) -> int:
+        """Total rows written (inserted/updated/deleted) so far.
+
+        The updates module reports renumbering cost in this unit, which
+        is engine-independent, alongside wall-clock time.
+        """
+
+    def analyze(self) -> None:
+        """Refresh optimizer statistics after a bulk load (no-op by
+        default; the sqlite backend runs ``ANALYZE``)."""
+
+    # -- transactions -----------------------------------------------------
+
+    _tx_depth: int = 0
+
+    def begin(self) -> None:
+        """Start a transaction (engine-specific)."""
+
+    def commit_transaction(self) -> None:
+        """Commit the current transaction (engine-specific)."""
+
+    def rollback(self) -> None:
+        """Roll the current transaction back (engine-specific)."""
+
+    @contextmanager
+    def transaction(self) -> Iterator[None]:
+        """Atomic scope: commit on success, roll back on exception.
+
+        Nested scopes flatten into the outermost transaction, so
+        compound operations can freely call transactional helpers.
+        """
+        if self._tx_depth > 0:
+            self._tx_depth += 1
+            try:
+                yield
+            finally:
+                self._tx_depth -= 1
+            return
+        self.begin()
+        self._tx_depth = 1
+        try:
+            yield
+        except BaseException:
+            self._tx_depth = 0
+            self.rollback()
+            raise
+        else:
+            self._tx_depth = 0
+            self.commit_transaction()
+
+    def executescript(self, script: str) -> None:
+        """Execute ``;``-separated statements (DDL bootstrap)."""
+        for piece in script.split(";"):
+            text = piece.strip()
+            if text:
+                self.execute(text)
+
+    def close(self) -> None:
+        """Release resources (no-op by default)."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

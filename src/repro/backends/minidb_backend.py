@@ -1,0 +1,44 @@
+"""minidb-backed storage backend (the from-scratch engine)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.backends.base import Backend, BackendResult
+from repro.minidb import MiniDb
+
+
+class MiniDbBackend(Backend):
+    """Adapter exposing :class:`repro.minidb.MiniDb` as a Backend."""
+
+    name = "minidb"
+
+    def __init__(self) -> None:
+        self.db = MiniDb()
+
+    def execute(self, sql: str, params: Sequence = ()) -> BackendResult:
+        result = self.db.execute(sql, tuple(params))
+        return BackendResult(rows=result.rows, rowcount=result.rowcount)
+
+    def executemany(
+        self, sql: str, param_rows: Iterable[Sequence]
+    ) -> BackendResult:
+        result = self.db.executemany(sql, param_rows)
+        return BackendResult(rowcount=result.rowcount)
+
+    def rows_written(self) -> int:
+        return self.db.stats.rows_written
+
+    def begin(self) -> None:
+        self.db.begin()
+
+    def commit_transaction(self) -> None:
+        self.db.commit()
+
+    def rollback(self) -> None:
+        self.db.rollback()
+
+    @property
+    def stats(self):
+        """The engine's counters (rows read/written, scans, statements)."""
+        return self.db.stats

@@ -1,0 +1,19 @@
+"""Benchmark harness and the reconstructed experiment suite E1-E10."""
+
+from repro.bench.harness import (
+    ENCODING_NAMES,
+    ExperimentTable,
+    build_store,
+    speedup,
+    timed,
+)
+from repro.bench.experiments import run_all
+
+__all__ = [
+    "ENCODING_NAMES",
+    "ExperimentTable",
+    "build_store",
+    "run_all",
+    "speedup",
+    "timed",
+]

@@ -1,0 +1,331 @@
+"""Command-line interface: ``python -m repro``.
+
+Persists stores as SQLite files, so shredded documents survive between
+invocations::
+
+    python -m repro load bib.xml --db bib.db --encoding dewey
+    python -m repro query '/bib/book[2]/author[1]' --db bib.db
+    python -m repro query '//book[@year < 2000]/title' --db bib.db --show-sql
+    python -m repro insert '<book><title>New</title></book>' \
+        --db bib.db --parent '/bib' --index 0
+    python -m repro delete '/bib/book[3]' --db bib.db
+    python -m repro dump --db bib.db --pretty
+    python -m repro info --db bib.db
+    python -m repro sql 'SELECT COUNT(*) FROM node_dewey' --db bib.db
+    python -m repro experiments --fast
+
+The store's encoding and gap are recorded in a ``repro_meta`` table on
+first load, so later commands need no flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.backends.sqlite_backend import SqliteBackend
+from repro.core.encodings import ENCODINGS
+from repro.errors import ReproError
+from repro.store import XmlStore
+from repro.xmldom import parse_fragment, serialize
+
+
+def _open_backend(db: str) -> SqliteBackend:
+    return SqliteBackend(db if db != ":memory:" else None)
+
+
+def _read_meta(backend: SqliteBackend) -> Optional[dict[str, str]]:
+    try:
+        rows = backend.execute(
+            "SELECT key, value FROM repro_meta"
+        ).rows
+    except Exception:
+        return None
+    return {key: value for key, value in rows}
+
+
+def _write_meta(backend: SqliteBackend, encoding: str, gap: int) -> None:
+    backend.execute(
+        "CREATE TABLE IF NOT EXISTS repro_meta (key TEXT, value TEXT)"
+    )
+    backend.execute("DELETE FROM repro_meta")
+    backend.executemany(
+        "INSERT INTO repro_meta VALUES (?, ?)",
+        [("encoding", encoding), ("gap", str(gap))],
+    )
+    backend.commit()
+
+
+def open_store(
+    db: str, encoding: Optional[str] = None, gap: Optional[int] = None
+) -> XmlStore:
+    """Open (or initialise) the store in SQLite file *db*."""
+    backend = _open_backend(db)
+    meta = _read_meta(backend)
+    if meta is not None:
+        if encoding is not None and encoding != meta.get("encoding"):
+            raise ReproError(
+                f"store {db!r} uses encoding {meta.get('encoding')!r}; "
+                f"cannot reopen it as {encoding!r}"
+            )
+        encoding = meta.get("encoding", "dewey")
+        gap = int(meta.get("gap", "1")) if gap is None else gap
+    else:
+        encoding = encoding or "dewey"
+        gap = gap or 1
+        _write_meta(backend, encoding, gap)
+    return XmlStore(backend=backend, encoding=encoding, gap=gap)
+
+
+def _resolve_doc(store: XmlStore, doc: Optional[int]) -> int:
+    if doc is not None:
+        return doc
+    documents = store.documents()
+    if not documents:
+        raise ReproError("the store holds no documents; run 'load' first")
+    return documents[-1].doc
+
+
+def _commit(store: XmlStore) -> None:
+    backend = store.backend
+    if isinstance(backend, SqliteBackend):
+        backend.commit()
+
+
+# -- commands ---------------------------------------------------------------
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    store = open_store(args.db, args.encoding, args.gap)
+    text = Path(args.file).read_text()
+    doc = store.load(
+        text,
+        name=args.name or Path(args.file).stem,
+        strip_whitespace=args.strip_whitespace,
+    )
+    _commit(store)
+    info = store.document_info(doc)
+    print(
+        f"loaded document {doc} ({info.name!r}): {info.node_count} "
+        f"nodes, depth {info.max_depth}, encoding "
+        f"{store.encoding.name}, gap {store.gap}"
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    store = open_store(args.db)
+    doc = _resolve_doc(store, args.doc)
+    if args.show_sql:
+        translated = store.translate(args.xpath, doc)
+        print(f"-- {translated.encoding} translation "
+              f"({translated.stats.total_relational_operations()} "
+              f"relational ops)")
+        print(translated.sql)
+        print(f"-- params: {translated.params}")
+        print()
+    items = store.query(args.xpath, doc)
+    if args.xml:
+        for item in items:
+            if item.kind == "attribute":
+                print(f'{item.label}="{item.value}"')
+            else:
+                node = store.reconstruct_subtree(doc, item.node_id)
+                print(serialize(node))
+    else:
+        for item in items:
+            label = item.label or item.kind
+            print(f"{item.node_id}\t{item.kind}\t{label}\t"
+                  f"{item.value if item.value is not None else ''}")
+    print(f"-- {len(items)} result(s)", file=sys.stderr)
+    return 0
+
+
+def cmd_insert(args: argparse.Namespace) -> int:
+    store = open_store(args.db)
+    doc = _resolve_doc(store, args.doc)
+    parents = store.query(args.parent, doc)
+    if not parents:
+        raise ReproError(f"no node matches parent path {args.parent!r}")
+    fragment = parse_fragment(args.fragment)
+    index = args.index
+    if index is None:
+        children = store.fetch_children(doc, parents[0].node_id)
+        index = len(children)
+    report = store.updates.insert(doc, parents[0].node_id, index, fragment)
+    _commit(store)
+    print(
+        f"inserted {report.inserted} node(s) at index {index}; "
+        f"relabeled {report.relabeled} existing row(s)"
+    )
+    return 0
+
+
+def cmd_delete(args: argparse.Namespace) -> int:
+    store = open_store(args.db)
+    doc = _resolve_doc(store, args.doc)
+    targets = store.query(args.xpath, doc)
+    if not targets:
+        raise ReproError(f"no node matches {args.xpath!r}")
+    if len(targets) > 1 and not args.all:
+        raise ReproError(
+            f"{args.xpath!r} matches {len(targets)} nodes; pass --all "
+            "to delete every match"
+        )
+    deleted = 0
+    for item in targets if args.all else targets[:1]:
+        report = store.updates.delete(doc, item.node_id)
+        deleted += report.deleted
+    _commit(store)
+    print(f"deleted {deleted} node(s)")
+    return 0
+
+
+def cmd_dump(args: argparse.Namespace) -> int:
+    store = open_store(args.db)
+    doc = _resolve_doc(store, args.doc)
+    document = store.reconstruct(doc)
+    print(serialize(document, pretty=args.pretty), end="")
+    if not args.pretty:
+        print()
+    return 0
+
+
+def cmd_drop(args: argparse.Namespace) -> int:
+    store = open_store(args.db)
+    removed = store.delete_document(args.doc)
+    _commit(store)
+    print(f"dropped document {args.doc} ({removed} rows)")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    store = open_store(args.db)
+    print(f"encoding: {store.encoding.name}   gap: {store.gap}")
+    print(f"{'doc':>4}  {'name':20} {'nodes':>8} {'depth':>6} "
+          f"{'next id':>8}")
+    for info in store.documents():
+        print(f"{info.doc:>4}  {info.name:20} {info.node_count:>8} "
+              f"{info.max_depth:>6} {info.next_id:>8}")
+    return 0
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    store = open_store(args.db)
+    result = store.backend.execute(args.statement)
+    for row in result.rows:
+        print("\t".join("" if v is None else str(v) for v in row))
+    if result.rowcount >= 0:
+        print(f"-- {result.rowcount} row(s) affected", file=sys.stderr)
+    _commit(store)
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import run_all
+
+    for table in run_all(fast=args.fast):
+        print(table.render())
+        print()
+    return 0
+
+
+# -- parser -------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ordered XML in a relational database "
+                    "(SIGMOD 2002 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_db(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--db", default=":memory:",
+                       help="SQLite store file (default: in-memory)")
+
+    p = sub.add_parser("load", help="shred an XML file into the store")
+    p.add_argument("file")
+    add_db(p)
+    p.add_argument("--encoding", choices=sorted(ENCODINGS),
+                   default=None, help="order encoding (first load only)")
+    p.add_argument("--gap", type=int, default=None,
+                   help="sparse-numbering gap (default 1 = dense)")
+    p.add_argument("--name", default=None)
+    p.add_argument("--strip-whitespace", action="store_true")
+    p.set_defaults(func=cmd_load)
+
+    p = sub.add_parser("query", help="run an XPath query")
+    p.add_argument("xpath")
+    add_db(p)
+    p.add_argument("--doc", type=int, default=None)
+    p.add_argument("--show-sql", action="store_true",
+                   help="print the generated SQL first")
+    p.add_argument("--xml", action="store_true",
+                   help="print matching subtrees as XML")
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("insert", help="insert an XML fragment")
+    p.add_argument("fragment", help="XML text of the fragment")
+    add_db(p)
+    p.add_argument("--doc", type=int, default=None)
+    p.add_argument("--parent", required=True,
+                   help="XPath selecting the parent element")
+    p.add_argument("--index", type=int, default=None,
+                   help="child index (default: append)")
+    p.set_defaults(func=cmd_insert)
+
+    p = sub.add_parser("delete", help="delete matching subtrees")
+    p.add_argument("xpath")
+    add_db(p)
+    p.add_argument("--doc", type=int, default=None)
+    p.add_argument("--all", action="store_true",
+                   help="delete every match, not just the first")
+    p.set_defaults(func=cmd_delete)
+
+    p = sub.add_parser("dump", help="reconstruct a document as XML")
+    add_db(p)
+    p.add_argument("--doc", type=int, default=None)
+    p.add_argument("--pretty", action="store_true")
+    p.set_defaults(func=cmd_dump)
+
+    p = sub.add_parser("drop", help="drop a whole document")
+    p.add_argument("doc", type=int)
+    add_db(p)
+    p.set_defaults(func=cmd_drop)
+
+    p = sub.add_parser("info", help="list stored documents")
+    add_db(p)
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("sql", help="run raw SQL against the store")
+    p.add_argument("statement")
+    add_db(p)
+    p.set_defaults(func=cmd_sql)
+
+    p = sub.add_parser("experiments",
+                       help="run the E1-E11 experiment suite")
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(func=cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,192 @@
+"""The three order encodings: Global, Local, and Dewey.
+
+An :class:`OrderEncoding` bundles everything encoding-specific:
+
+* the relational schema (node + attribute tables, indexes),
+* how a shredded node record becomes a row (including the *gap* factor of
+  the sparse variants — spacing order values out so small bursts of
+  insertions can be absorbed without renumbering),
+* the SQL fragment that sorts rows into document order (Local has none;
+  its results need a client-side order-resolution pass, which is exactly
+  the weakness the paper attributes to local order).
+
+The encodings share the structural columns, so the SQL translator only
+varies in axis conditions and order keys.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from repro.core import schema
+from repro.core.dewey import DeweyKey
+from repro.core.schema import Table
+from repro.core.shredder import ShreddedNode
+
+
+class OrderEncoding(ABC):
+    """Common interface of the three encodings."""
+
+    #: Encoding name: "global", "local", or "dewey".
+    name: str
+
+    #: The node and attribute tables of this encoding.
+    node_table: Table
+    attr_table: Table
+
+    #: Names of this encoding's order column(s), in node-row order.
+    order_columns: tuple[str, ...]
+
+    #: SQL expression (on an alias) that sorts into document order, or
+    #: ``None`` when document order is not directly computable in SQL.
+    order_by_column: Optional[str]
+
+    #: Column that orders *siblings* (always available: even Local can
+    #: order within one parent).  Used by child fetches/reconstruction.
+    sibling_order_column: str
+
+    def create_statements(self) -> list[str]:
+        """DDL statements creating this encoding's tables and indexes."""
+        return [
+            *self.node_table.create_statements(),
+            *self.attr_table.create_statements(),
+        ]
+
+    def node_columns(self) -> tuple[str, ...]:
+        """All node-table column names, structural then order columns."""
+        return self.node_table.column_names()
+
+    @abstractmethod
+    def order_values(self, node: ShreddedNode, gap: int) -> tuple:
+        """This encoding's order-column values for *node* with *gap*."""
+
+    def node_row(self, doc: int, node: ShreddedNode, gap: int) -> tuple:
+        """The full insert row for *node* in document *doc*."""
+        return (
+            doc,
+            node.id,
+            node.parent,
+            node.kind,
+            node.tag,
+            node.value,
+            node.depth,
+            *self.order_values(node, gap),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class GlobalEncoding(OrderEncoding):
+    """Absolute document position plus subtree-interval end.
+
+    ``pos`` is the (gapped) preorder rank; ``endpos`` is the ``pos`` of the
+    node's last descendant, so ``c.pos > p.pos AND c.pos <= p.endpos`` is
+    subtree containment and all twelve axes become integer comparisons.
+    Insertions must shift the position of every node after the insertion
+    point — the paper's worst case.
+    """
+
+    name = "global"
+
+    def __init__(self) -> None:
+        self.node_table, self.attr_table = schema.global_tables()
+        self.order_columns = ("pos", "endpos")
+        self.order_by_column = "pos"
+        self.sibling_order_column = "pos"
+
+    def order_values(self, node: ShreddedNode, gap: int) -> tuple:
+        return (node.rank * gap, node.end_rank * gap)
+
+
+class LocalEncoding(OrderEncoding):
+    """Position among siblings only.
+
+    The cheapest encoding to update (an insertion shifts following
+    siblings only) but the weakest for queries: document order between
+    arbitrary nodes is not computable from a pair of rows, so
+    document-order axes need depth-bounded join expansions, and results
+    need a client-side order-resolution pass.
+    """
+
+    name = "local"
+
+    def __init__(self) -> None:
+        self.node_table, self.attr_table = schema.local_tables()
+        self.order_columns = ("lpos",)
+        self.order_by_column = None
+        self.sibling_order_column = "lpos"
+
+    def order_values(self, node: ShreddedNode, gap: int) -> tuple:
+        return (node.sibling_index * gap,)
+
+
+class DeweyEncoding(OrderEncoding):
+    """Binary Dewey keys: the balanced encoding.
+
+    The key embeds the whole root path, so ancestor/descendant tests are
+    prefix (byte-range) tests on one indexed BLOB column, document order is
+    bytewise key order, and an insertion only relabels the following
+    siblings' subtrees.
+    """
+
+    name = "dewey"
+
+    def __init__(self) -> None:
+        self.node_table, self.attr_table = schema.dewey_tables()
+        self.order_columns = ("dkey",)
+        self.order_by_column = "dkey"
+        self.sibling_order_column = "dkey"
+
+    def order_values(self, node: ShreddedNode, gap: int) -> tuple:
+        key = DeweyKey(c * gap for c in node.dewey)
+        return (key.encode(),)
+
+
+class OrdpathEncoding(OrderEncoding):
+    """ORDPATH keys: the insert-friendly Dewey variant (extension).
+
+    Children are labelled with odd components at load time; insertions
+    use even "caret" components to create new keys *between* existing
+    ones, so no insertion ever relabels an existing row — the follow-up
+    technique (O'Neil et al., SIGMOD 2004) that the paper's update
+    analysis anticipates.  See :mod:`repro.core.ordpath`.
+    """
+
+    name = "ordpath"
+
+    def __init__(self) -> None:
+        self.node_table, self.attr_table = schema.ordpath_tables()
+        self.order_columns = ("okey",)
+        self.order_by_column = "okey"
+        self.sibling_order_column = "okey"
+
+    def order_values(self, node: ShreddedNode, gap: int) -> tuple:
+        from repro.core.ordpath import OrdpathKey
+
+        components = tuple(2 * gap * c - 1 for c in node.dewey)
+        return (OrdpathKey(components).encode(),)
+
+
+#: Singleton instances, keyed by name.  The first three are the paper's;
+#: "ordpath" is the documented extension.
+ENCODINGS: dict[str, OrderEncoding] = {
+    e.name: e
+    for e in (
+        GlobalEncoding(),
+        LocalEncoding(),
+        DeweyEncoding(),
+        OrdpathEncoding(),
+    )
+}
+
+
+def get_encoding(name: str) -> OrderEncoding:
+    """Look up an encoding by name ("global", "local", or "dewey")."""
+    try:
+        return ENCODINGS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown encoding {name!r}; expected one of {sorted(ENCODINGS)}"
+        ) from None

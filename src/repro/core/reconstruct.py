@@ -1,0 +1,175 @@
+"""Reconstruction: relational rows -> DOM documents and subtrees.
+
+Full-document reconstruction fetches every node row and attribute of a
+document, then rebuilds the tree by grouping rows on ``parent`` and
+sorting siblings by the encoding's order column.
+
+Subtree reconstruction shows the encodings' asymmetry (experiment E8):
+
+* Global fetches exactly one ``pos BETWEEN`` range;
+* Dewey fetches exactly one key range (prefix scan);
+* Local has no subtree range — it must chase children level by level
+  (one query per level, batched over the frontier), the same weakness
+  that makes its descendant-axis queries slow.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.schema import (
+    KIND_COMMENT,
+    KIND_ELEMENT,
+    KIND_PI,
+    KIND_TEXT,
+)
+from repro.errors import StorageError
+from repro.xmldom.dom import (
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store import XmlStore
+
+_ID_BATCH = 400
+
+
+def _make_node(kind: str, tag: Optional[str], value: Optional[str]) -> Node:
+    if kind == KIND_ELEMENT:
+        return Element(tag or "")
+    if kind == KIND_TEXT:
+        return Text(value or "")
+    if kind == KIND_COMMENT:
+        return Comment(value or "")
+    if kind == KIND_PI:
+        return ProcessingInstruction(tag or "", value or "")
+    raise StorageError(f"unknown node kind {kind!r}")
+
+
+def _order_value(store: "XmlStore", row: dict):
+    return row[store.encoding.sibling_order_column]
+
+
+def _build_tree(
+    store: "XmlStore",
+    doc: int,
+    rows: list[dict],
+    root_parent: int,
+) -> list[Node]:
+    """Build DOM nodes for *rows*; returns children of *root_parent*."""
+    by_parent: dict[int, list[dict]] = {}
+    for row in rows:
+        by_parent.setdefault(row["parent"], []).append(row)
+    for siblings in by_parent.values():
+        siblings.sort(key=lambda r: _order_value(store, r))
+
+    element_ids = [r["id"] for r in rows if r["kind"] == KIND_ELEMENT]
+    attributes: dict[int, list[tuple[str, str]]] = {}
+    for owner, name, value in store.fetch_attributes(doc, element_ids):
+        attributes.setdefault(owner, []).append((name, value))
+
+    nodes: dict[int, Node] = {}
+
+    def materialise(row: dict) -> Node:
+        node = _make_node(row["kind"], row["tag"], row["value"])
+        if isinstance(node, Element):
+            for name, value in sorted(attributes.get(row["id"], [])):
+                node.set(name, value)
+        nodes[row["id"]] = node
+        for child_row in by_parent.get(row["id"], []):
+            node_child = materialise(child_row)
+            node.append(node_child)
+        return node
+
+    return [materialise(row) for row in by_parent.get(root_parent, [])]
+
+
+def reconstruct_document(store: "XmlStore", doc: int) -> Document:
+    """Rebuild the entire document *doc* from its rows."""
+    columns = store.encoding.node_columns()
+    result = store.backend.execute(
+        f"SELECT {', '.join(columns)} FROM {store.node_table} "
+        f"WHERE doc = ?",
+        (doc,),
+    )
+    rows = [dict(zip(columns, r)) for r in result.rows]
+    document = Document()
+    for top in _build_tree(store, doc, rows, root_parent=0):
+        document.append(top)
+    return document
+
+
+def reconstruct_subtree(store: "XmlStore", doc: int, node_id: int) -> Node:
+    """Rebuild the subtree rooted at *node_id*."""
+    root_row = store.fetch_node(doc, node_id)
+    if root_row is None:
+        raise StorageError(f"no node {node_id} in document {doc}")
+    rows = fetch_subtree_rows(store, doc, root_row)
+    children = _build_tree(store, doc, rows, root_parent=node_id)
+    root = _make_node(root_row["kind"], root_row["tag"], root_row["value"])
+    if isinstance(root, Element):
+        for owner, name, value in sorted(
+            store.fetch_attributes(doc, [node_id])
+        ):
+            root.set(name, value)
+        # Element rows materialise their text through text-node children.
+        root.children.clear()
+        for child in children:
+            root.append(child)
+    return root
+
+
+def fetch_subtree_rows(
+    store: "XmlStore", doc: int, root_row: dict
+) -> list[dict]:
+    """Fetch the *proper descendants* of the node in *root_row*."""
+    columns = store.encoding.node_columns()
+    select = f"SELECT {', '.join(columns)} FROM {store.node_table} "
+    name = store.encoding.name
+    if name == "global":
+        result = store.backend.execute(
+            select + "WHERE doc = ? AND pos > ? AND pos <= ?",
+            (doc, root_row["pos"], root_row["endpos"]),
+        )
+        return [dict(zip(columns, r)) for r in result.rows]
+    if name == "dewey":
+        from repro.core.dewey import DeweyKey
+
+        key = DeweyKey.decode(root_row["dkey"])
+        result = store.backend.execute(
+            select + "WHERE doc = ? AND dkey > ? AND dkey < ?",
+            (doc, key.encode(), key.sibling_successor().encode()),
+        )
+        return [dict(zip(columns, r)) for r in result.rows]
+    if name == "ordpath":
+        from repro.core.ordpath import OrdpathKey
+
+        key = OrdpathKey.decode(root_row["okey"])
+        result = store.backend.execute(
+            select + "WHERE doc = ? AND okey > ? AND okey < ?",
+            (doc, key.encode(), key.encode_successor()),
+        )
+        return [dict(zip(columns, r)) for r in result.rows]
+    # Local: frontier expansion, one query batch per level.
+    rows: list[dict] = []
+    frontier = [root_row["id"]]
+    while frontier:
+        level: list[dict] = []
+        for start in range(0, len(frontier), _ID_BATCH):
+            batch = frontier[start : start + _ID_BATCH]
+            placeholders = ", ".join("?" for _ in batch)
+            result = store.backend.execute(
+                select + f"WHERE doc = ? AND parent IN ({placeholders})",
+                (doc, *batch),
+            )
+            level.extend(dict(zip(columns, r)) for r in result.rows)
+        rows.extend(level)
+        frontier = [
+            r["id"] for r in level if r["kind"] == KIND_ELEMENT
+        ]
+    return rows

@@ -1,0 +1,137 @@
+"""Tiny SQL generation helpers for the XPath translator.
+
+SQL is assembled from :class:`Frag` values — snippets that carry their own
+positional parameters — so the final statement's ``?`` placeholders line up
+with the flattened parameter list no matter how conditions were composed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class Frag:
+    """A SQL snippet plus the parameters embedded in it, in order."""
+
+    sql: str
+    params: tuple = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.sql)
+
+
+def frag(sql: str, *params: object) -> Frag:
+    """Shorthand constructor."""
+    return Frag(sql, tuple(params))
+
+
+def join_frags(parts: Iterable[Frag], separator: str) -> Frag:
+    """Concatenate fragments with a separator, merging parameters."""
+    parts = [p for p in parts if p.sql]
+    sql = separator.join(p.sql for p in parts)
+    params: tuple = ()
+    for p in parts:
+        params += p.params
+    return Frag(sql, params)
+
+
+def all_of(parts: Iterable[Frag]) -> Frag:
+    """AND-combine fragments (each already parenthesised as needed)."""
+    return join_frags(parts, " AND ")
+
+
+def any_of(parts: Iterable[Frag]) -> Frag:
+    """OR-combine fragments, parenthesising the whole disjunction."""
+    combined = join_frags(parts, " OR ")
+    if not combined.sql:
+        return combined
+    return Frag(f"({combined.sql})", combined.params)
+
+
+class AliasGenerator:
+    """Yields unique table aliases across one whole translation."""
+
+    def __init__(self, prefix: str = "n") -> None:
+        self._prefix = prefix
+        self._counter = 0
+
+    def next(self) -> str:
+        alias = f"{self._prefix}{self._counter}"
+        self._counter += 1
+        return alias
+
+
+@dataclass
+class SelectBuilder:
+    """Accumulates one SELECT statement."""
+
+    select: list[Frag] = field(default_factory=list)
+    from_items: list[Frag] = field(default_factory=list)
+    where: list[Frag] = field(default_factory=list)
+    order_by: list[str] = field(default_factory=list)
+    distinct: bool = False
+
+    def add_from(self, table: str, alias: str) -> None:
+        self.from_items.append(Frag(f"{table} {alias}"))
+
+    def add_where(self, condition: Frag) -> None:
+        if condition.sql:
+            self.where.append(condition)
+
+    def render(self) -> Frag:
+        distinct = "DISTINCT " if self.distinct else ""
+        select_frag = join_frags(self.select, ", ")
+        from_frag = join_frags(self.from_items, ", ")
+        where_frag = join_frags(self.where, " AND ")
+        sql = f"SELECT {distinct}{select_frag.sql}"
+        params = select_frag.params
+        if from_frag.sql:
+            sql += f" FROM {from_frag.sql}"
+            params += from_frag.params
+        if where_frag.sql:
+            sql += f" WHERE {where_frag.sql}"
+            params += where_frag.params
+        if self.order_by:
+            sql += " ORDER BY " + ", ".join(self.order_by)
+        return Frag(sql, params)
+
+
+def exists(builder: SelectBuilder, negated: bool = False) -> Frag:
+    """Wrap a built subquery in (NOT) EXISTS."""
+    inner = builder.render()
+    keyword = "NOT EXISTS" if negated else "EXISTS"
+    return Frag(f"{keyword} ({inner.sql})", inner.params)
+
+
+def scalar_count(builder: SelectBuilder) -> Frag:
+    """Render a builder as a correlated COUNT(*) scalar subquery."""
+    saved = builder.select
+    builder.select = [Frag("COUNT(*)")]
+    inner = builder.render()
+    builder.select = saved
+    return Frag(f"({inner.sql})", inner.params)
+
+
+def sql_string_literal(text: str) -> str:
+    """Escape *text* as a single-quoted SQL literal (quotes doubled)."""
+    return "'" + text.replace("'", "''") + "'"
+
+
+@dataclass
+class TranslationStats:
+    """Static complexity of one translated query (experiment E9)."""
+
+    joins: int = 0  # FROM items beyond the first, across all queries
+    exists_subqueries: int = 0
+    count_subqueries: int = 0
+    or_expansions: int = 0  # depth-expansion arms (Local encoding)
+
+    def total_relational_operations(self) -> int:
+        return (
+            self.joins
+            + self.exists_subqueries
+            + self.count_subqueries
+            + self.or_expansions
+        )

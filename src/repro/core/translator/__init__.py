@@ -1,0 +1,40 @@
+"""XPath -> SQL translators, one per order encoding."""
+
+from repro.core.translator.base import (
+    NODE_PROJECTION,
+    NormStep,
+    SqlTranslator,
+    TranslatedQuery,
+    normalize_steps,
+)
+from repro.core.translator.dewey_sql import DeweySqlTranslator
+from repro.core.translator.global_sql import GlobalSqlTranslator
+from repro.core.translator.local_sql import LocalSqlTranslator
+from repro.core.translator.ordpath_sql import OrdpathSqlTranslator
+
+
+def make_translator(encoding: str, max_depth: int = 16) -> SqlTranslator:
+    """Create the translator for an encoding name."""
+    if encoding == "global":
+        return GlobalSqlTranslator(max_depth)
+    if encoding == "local":
+        return LocalSqlTranslator(max_depth)
+    if encoding == "dewey":
+        return DeweySqlTranslator(max_depth)
+    if encoding == "ordpath":
+        return OrdpathSqlTranslator(max_depth)
+    raise ValueError(f"unknown encoding {encoding!r}")
+
+
+__all__ = [
+    "NODE_PROJECTION",
+    "NormStep",
+    "SqlTranslator",
+    "TranslatedQuery",
+    "DeweySqlTranslator",
+    "GlobalSqlTranslator",
+    "LocalSqlTranslator",
+    "OrdpathSqlTranslator",
+    "make_translator",
+    "normalize_steps",
+]

@@ -1,0 +1,997 @@
+"""XPath -> SQL translation framework.
+
+:class:`SqlTranslator` walks a parsed location path and emits one SQL
+SELECT over the encoding's node/attribute tables.  Each location step adds
+a node-table alias joined to the previous step's alias through the
+encoding's *axis condition* — the heart of the paper: with order encoded
+as data, every ordered axis becomes a comparison over order columns.
+
+Predicates compile to:
+
+* **positional** conditions (``[k]``, ``[position() <= k]``, ``[last()]``)
+  — correlated ``COUNT(*)`` subqueries counting axis-mates that precede
+  the candidate, or ``NOT EXISTS`` for ``last()``;
+* **existence** conditions (``[author]``, ``[@id]``) — ``EXISTS``
+  subqueries built by recursive translation;
+* **value** conditions (``[@id = "x"]``, ``[price < 10]``) — ``EXISTS``
+  subqueries ending in a comparison against the stored value column;
+* boolean connectives, ``count()``, ``contains()`` and ``starts-with()``.
+
+The two leading-``//`` steps the parser produces
+(``descendant-or-self::node()`` + ``child::T``) are merged into a single
+``descendant::T`` step whose positional predicates keep child-axis
+semantics (they count siblings under the candidate's own parent, which is
+exactly what the unmerged form would do for every possible parent).
+
+Encoding subclasses provide the axis conditions, sibling/document-order
+comparisons, and result ordering:
+
+* Global — integer comparisons on ``pos``/``endpos``;
+* Dewey — byte-range comparisons on the binary key (via the
+  ``dewey_successor`` scalar);
+* Local — only parent/sibling axes are direct; everything that needs
+  document order or transitive closure expands into depth-bounded
+  ``EXISTS`` chains, and result ordering falls back to a client-side
+  order-resolution pass.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.encodings import OrderEncoding
+from repro.core.schema import KIND_COMMENT, KIND_ELEMENT, KIND_TEXT
+from repro.core.sqlgen import (
+    AliasGenerator,
+    Frag,
+    SelectBuilder,
+    TranslationStats,
+    all_of,
+    any_of,
+    exists,
+    frag,
+    scalar_count,
+    sql_string_literal,
+)
+from repro.errors import TranslationError, UnsupportedXPathError
+from repro.xpath.ast import (
+    BinaryOp,
+    Expr,
+    FunctionCall,
+    LocationPath,
+    NodeTest,
+    NumberLiteral,
+    PathExpr,
+    Step,
+    StringLiteral,
+)
+
+_COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+
+#: Structural projection columns shared by the three encodings, in the
+#: order the store expects result rows.
+NODE_PROJECTION = ("id", "parent", "kind", "tag", "value", "depth")
+
+
+@dataclass(frozen=True)
+class NormStep:
+    """A normalised location step.
+
+    ``positional_axis`` records which axis positional predicates count
+    along; it differs from ``axis`` only for steps created by merging the
+    abbreviated ``//`` pair, where candidates come from the descendant
+    axis but positions keep child semantics.
+    """
+
+    axis: str
+    test: NodeTest
+    predicates: tuple[Expr, ...]
+    positional_axis: str
+
+
+@dataclass(frozen=True)
+class TranslatedQuery:
+    """The SQL form of one XPath query."""
+
+    sql: str
+    params: tuple
+    result_kind: str  # "node" | "attribute"
+    needs_client_order: bool
+    encoding: str
+    columns: tuple[str, ...]
+    stats: TranslationStats
+
+
+def normalize_steps(steps: tuple[Step, ...]) -> list[NormStep]:
+    """Merge ``//`` step pairs and tag positional axes.
+
+    A bare ``descendant-or-self::node()`` step (the parser's expansion of
+    ``//``) cannot be kept as a standalone relational step: its result
+    set would have to include the document node, which has no row.  It is
+    therefore *fused* with the following step:
+
+    * ``// child::T``      -> ``descendant::T``  (positional predicates
+      keep child semantics, which the counting translation preserves
+      exactly — siblings are counted under each candidate's own parent);
+    * ``// attribute::T``  -> a deep attribute step;
+    * ``// descendant[-or-self]::T`` -> the same axis (set-equal), legal
+      only without positional predicates (their contexts would differ);
+    * ``// self::T``       -> ``descendant-or-self::T`` (set-equal), same
+      restriction, and T must not be ``node()`` (the document node would
+      qualify);
+    * any other following axis keeps the bare step: those axes yield the
+      empty set for the document-node context, so row contexts suffice.
+    """
+    out: list[NormStep] = []
+    i = 0
+    while i < len(steps):
+        step = steps[i]
+        is_bare_dos = (
+            step.axis == "descendant-or-self"
+            and step.test.kind == "node"
+            and not step.predicates
+        )
+        if is_bare_dos and i + 1 < len(steps):
+            nxt = steps[i + 1]
+            has_positional = any(
+                _contains_positional(p) for p in nxt.predicates
+            )
+            if nxt.axis == "child":
+                out.append(
+                    NormStep("descendant", nxt.test, nxt.predicates, "child")
+                )
+                i += 2
+                continue
+            if nxt.axis == "attribute":
+                out.append(
+                    NormStep(
+                        "attribute-deep", nxt.test, nxt.predicates,
+                        "attribute",
+                    )
+                )
+                i += 2
+                continue
+            if nxt.axis in ("descendant", "descendant-or-self"):
+                if has_positional:
+                    raise UnsupportedXPathError(
+                        "positional predicates on a descendant axis "
+                        "directly after '//' are outside the "
+                        "translatable fragment"
+                    )
+                out.append(
+                    NormStep(nxt.axis, nxt.test, nxt.predicates, nxt.axis)
+                )
+                i += 2
+                continue
+            if nxt.axis == "self":
+                if nxt.test.kind == "node" or has_positional:
+                    raise UnsupportedXPathError(
+                        "self::node() or positional predicates after "
+                        "'//' are outside the translatable fragment"
+                    )
+                out.append(
+                    NormStep(
+                        "descendant-or-self", nxt.test, nxt.predicates,
+                        "self",
+                    )
+                )
+                i += 2
+                continue
+        out.append(NormStep(step.axis, step.test, step.predicates,
+                            step.axis))
+        i += 1
+    return out
+
+
+def _contains_positional(expr: Expr) -> bool:
+    """True if *expr* references position()/last() or is a bare number."""
+    if isinstance(expr, NumberLiteral):
+        return True
+    if isinstance(expr, FunctionCall):
+        if expr.name in ("position", "last"):
+            return True
+        return any(_contains_positional(a) for a in expr.args)
+    if isinstance(expr, BinaryOp):
+        # A number inside a comparison is positional only if the other
+        # side involves position()/last(); a number compared to a path
+        # (e.g. [@x = 3]) is a plain value.  Checking both sides for
+        # position()/last() is exact; bare numbers below a BinaryOp are
+        # not bare predicates any more.
+        return _mentions_position(expr.left) or _mentions_position(
+            expr.right
+        )
+    return False
+
+
+def _mentions_position(expr: Expr) -> bool:
+    if isinstance(expr, FunctionCall):
+        if expr.name in ("position", "last"):
+            return True
+        return any(_mentions_position(a) for a in expr.args)
+    if isinstance(expr, BinaryOp):
+        return _mentions_position(expr.left) or _mentions_position(
+            expr.right
+        )
+    return False
+
+
+class SqlTranslator(ABC):
+    """Base translator; one concrete subclass per encoding."""
+
+    def __init__(self, encoding: OrderEncoding, max_depth: int = 16) -> None:
+        self.encoding = encoding
+        self.max_depth = max_depth
+        self.node_table = encoding.node_table.name
+        self.attr_table = encoding.attr_table.name
+
+    # -- per-encoding hooks ------------------------------------------------
+
+    @abstractmethod
+    def axis_condition(
+        self,
+        axis: str,
+        ctx: Optional[str],
+        cand: str,
+        t: "_Translation",
+    ) -> Frag:
+        """Condition relating candidate alias to context alias.
+
+        ``ctx`` is ``None`` when the context is the document node.
+        """
+
+    @abstractmethod
+    def sibling_before(self, a: str, b: str) -> Frag:
+        """``a`` strictly before ``b`` among siblings (same parent assumed)."""
+
+    @abstractmethod
+    def doc_before(self, a: str, b: str) -> Frag:
+        """``a`` strictly before ``b`` in document order.
+
+        Local order cannot express this; its implementation raises
+        :class:`TranslationError`.
+        """
+
+    @abstractmethod
+    def order_by_columns(self, alias: str) -> Optional[list[str]]:
+        """ORDER BY columns yielding document order, or ``None``."""
+
+    # -- public API -----------------------------------------------------------
+
+    def translate(
+        self,
+        path: Union[LocationPath, "UnionPath", str],
+        doc: int,
+        context_id: Optional[int] = None,
+    ) -> TranslatedQuery:
+        """Translate a path (or a top-level ``|`` union) into one SQL
+        query.
+
+        Relative paths require *context_id*: the surrogate id of the
+        node to navigate from, anchored by an extra self-join on the
+        node table.  Absolute paths ignore the context.
+        """
+        if isinstance(path, str):
+            from repro.xpath.parser import parse_xpath
+
+            path = parse_xpath(path)
+        from repro.xpath.ast import UnionPath
+
+        if isinstance(path, UnionPath):
+            return self._translate_union(path, doc, context_id)
+        return self._translate_arm(
+            path, doc, with_order_by=True, context_id=context_id
+        )
+
+    def _translate_union(
+        self, union: "UnionPath", doc: int,
+        context_id: Optional[int] = None,
+    ) -> TranslatedQuery:
+        """``p1 | p2 | ...`` -> ``SELECT .. UNION SELECT ..``.
+
+        SQL UNION (without ALL) deduplicates across arms exactly like
+        the XPath node-set union; the compound ORDER BY uses the output
+        column names, which both backends support.
+        """
+        arms = [
+            self._translate_arm(
+                p, doc, with_order_by=False, context_id=context_id
+            )
+            for p in union.paths
+        ]
+        kinds = {a.result_kind for a in arms}
+        if len(kinds) != 1:
+            raise UnsupportedXPathError(
+                "union arms must all select nodes or all select "
+                "attributes"
+            )
+        kind = kinds.pop()
+        sql = " UNION ".join(a.sql for a in arms)
+        params: tuple = ()
+        for a in arms:
+            params += a.params
+        stats = TranslationStats()
+        for a in arms:
+            stats.joins += a.stats.joins
+            stats.exists_subqueries += a.stats.exists_subqueries
+            stats.count_subqueries += a.stats.count_subqueries
+            stats.or_expansions += a.stats.or_expansions
+        needs_client_order = any(a.needs_client_order for a in arms)
+        columns = arms[0].columns
+        if not needs_client_order:
+            if kind == "attribute":
+                order_names = [c for c in columns[3:]] + ["name"]
+            else:
+                order_names = [self.encoding.order_by_column or ""]
+            sql += " ORDER BY " + ", ".join(order_names)
+        return TranslatedQuery(
+            sql=sql,
+            params=params,
+            result_kind=kind,
+            needs_client_order=needs_client_order,
+            encoding=self.encoding.name,
+            columns=columns,
+            stats=stats,
+        )
+
+    def _translate_arm(
+        self,
+        path: LocationPath,
+        doc: int,
+        with_order_by: bool,
+        context_id: Optional[int] = None,
+    ) -> TranslatedQuery:
+        if not path.absolute and context_id is None:
+            raise TranslationError(
+                "relative paths need a context node "
+                "(pass context_id) or an absolute path"
+            )
+        if not path.steps:
+            raise TranslationError(
+                "the bare document path '/' has no relational result"
+            )
+        t = _Translation(self, doc)
+        builder = SelectBuilder()
+        builder.distinct = True
+        start: Optional[str] = None
+        if not path.absolute:
+            # Anchor the context node with a dedicated alias.
+            start = t.aliases.next()
+            builder.add_from(self.node_table, start)
+            builder.add_where(t.doc_cond(start))
+            builder.add_where(frag(f"{start}.id = ?", context_id))
+        alias, kind = self._compile_steps(
+            normalize_steps(path.steps), start, builder, t
+        )
+        # Projection items carry explicit AS aliases so compound (UNION)
+        # selects can ORDER BY output-column name on both backends.
+        if kind == "attribute":
+            columns = ("owner", "name", "value")
+            builder.select = [
+                Frag(f"{alias}.owner AS owner"),
+                Frag(f"{alias}.name AS name"),
+                Frag(f"{alias}.value AS value"),
+            ]
+            owner = t.attribute_owner_alias
+            order_cols = (
+                self.order_by_columns(owner) if owner is not None else None
+            )
+            if order_cols is not None:
+                builder.select.extend(
+                    Frag(f"{c} AS {c.split('.', 1)[1]}")
+                    for c in order_cols
+                )
+                columns += tuple(
+                    c.split(".", 1)[1] for c in order_cols
+                )
+                if with_order_by:
+                    builder.order_by = [*order_cols, f"{alias}.name"]
+                needs_client_order = False
+            else:
+                needs_client_order = True
+        else:
+            columns = NODE_PROJECTION + self.encoding.order_columns
+            builder.select = [
+                Frag(f"{alias}.{c} AS {c}") for c in columns
+            ]
+            order_cols = self.order_by_columns(alias)
+            if order_cols is not None:
+                if with_order_by:
+                    builder.order_by = list(order_cols)
+                needs_client_order = False
+            else:
+                needs_client_order = True
+        rendered = builder.render()
+        return TranslatedQuery(
+            sql=rendered.sql,
+            params=rendered.params,
+            result_kind=kind,
+            needs_client_order=needs_client_order,
+            encoding=self.encoding.name,
+            columns=columns,
+            stats=t.stats,
+        )
+
+    # -- step pipeline -----------------------------------------------------------
+
+    def _compile_steps(
+        self,
+        steps: list[NormStep],
+        context: Optional[str],
+        builder: SelectBuilder,
+        t: "_Translation",
+    ) -> tuple[str, str]:
+        """Add FROM/WHERE items for *steps*; return (final alias, kind)."""
+        ctx = context
+        for index, step in enumerate(steps):
+            final = index == len(steps) - 1
+            if step.axis in ("attribute", "attribute-deep"):
+                if not final:
+                    raise UnsupportedXPathError(
+                        "attribute steps are only supported in final "
+                        "position"
+                    )
+                return self._compile_attribute_step(step, ctx, builder, t)
+            alias = t.aliases.next()
+            builder.add_from(self.node_table, alias)
+            if builder.from_items and len(builder.from_items) > 1:
+                t.stats.joins += 1
+            builder.add_where(t.doc_cond(alias))
+            builder.add_where(
+                self.axis_condition(step.axis, ctx, alias, t)
+            )
+            builder.add_where(self.test_condition(step.test, alias))
+            for index, predicate in enumerate(step.predicates):
+                if index > 0 and _contains_positional(predicate):
+                    # XPath re-ranks positions after each predicate
+                    # filters the candidate list; a flat SQL translation
+                    # counts positions over the unfiltered axis, which
+                    # is only correct for the first predicate.
+                    raise UnsupportedXPathError(
+                        "positional predicates after another predicate "
+                        "are outside the translatable fragment"
+                    )
+                builder.add_where(
+                    self._predicate_condition(
+                        predicate, alias, ctx, step, t
+                    )
+                )
+            ctx = alias
+        assert ctx is not None
+        return ctx, "node"
+
+    def _compile_attribute_step(
+        self,
+        step: NormStep,
+        ctx: Optional[str],
+        builder: SelectBuilder,
+        t: "_Translation",
+    ) -> tuple[str, str]:
+        alias = t.aliases.next()
+        builder.add_from(self.attr_table, alias)
+        if len(builder.from_items) > 1:
+            t.stats.joins += 1
+        builder.add_where(t.doc_cond(alias))
+        if step.axis == "attribute":
+            if ctx is None:
+                # Attributes of the document node: there are none.
+                builder.add_where(frag("1 = 0"))
+            else:
+                builder.add_where(frag(f"{alias}.owner = {ctx}.id"))
+                t.attribute_owner_alias = ctx
+        else:  # attribute-deep: any attribute in the context's subtree
+            if ctx is not None:
+                owner = t.aliases.next()
+                builder.add_from(self.node_table, owner)
+                t.stats.joins += 1
+                builder.add_where(t.doc_cond(owner))
+                builder.add_where(frag(f"{owner}.id = {alias}.owner"))
+                builder.add_where(
+                    self.axis_condition(
+                        "descendant-or-self", ctx, owner, t
+                    )
+                )
+                t.attribute_owner_alias = owner
+            else:
+                owner = t.aliases.next()
+                builder.add_from(self.node_table, owner)
+                t.stats.joins += 1
+                builder.add_where(t.doc_cond(owner))
+                builder.add_where(frag(f"{owner}.id = {alias}.owner"))
+                t.attribute_owner_alias = owner
+        if step.test.kind == "name":
+            builder.add_where(
+                frag(f"{alias}.name = ?", step.test.name)
+            )
+        elif step.test.kind not in ("wildcard", "node"):
+            raise UnsupportedXPathError(
+                f"node test {step.test.kind}() on the attribute axis"
+            )
+        for predicate in step.predicates:
+            builder.add_where(
+                self._attribute_predicate(predicate, alias, t)
+            )
+        return alias, "attribute"
+
+    def _attribute_predicate(
+        self, expr: Expr, alias: str, t: "_Translation"
+    ) -> Frag:
+        """Predicates on attribute candidates: value comparisons only."""
+        if isinstance(expr, BinaryOp) and expr.op in _COMPARISON_OPS:
+            if isinstance(expr.left, PathExpr) or isinstance(
+                expr.right, PathExpr
+            ):
+                raise UnsupportedXPathError(
+                    "path predicates on attribute steps"
+                )
+            left, right = expr.left, expr.right
+            if isinstance(left, FunctionCall) or isinstance(
+                right, FunctionCall
+            ):
+                raise UnsupportedXPathError(
+                    "function predicates on attribute steps"
+                )
+            # [. = 'x'] style is not parsed here; compare self value.
+            raise UnsupportedXPathError(
+                "only positional-free attribute predicates are supported"
+            )
+        raise UnsupportedXPathError("predicates on attribute steps")
+
+    # -- node tests ------------------------------------------------------------------
+
+    def test_condition(self, test: NodeTest, alias: str) -> Frag:
+        """WHERE fragment for a node test on a node-table alias."""
+        if test.kind == "name":
+            return frag(
+                f"{alias}.kind = '{KIND_ELEMENT}' AND {alias}.tag = ?",
+                test.name,
+            )
+        if test.kind == "wildcard":
+            return frag(f"{alias}.kind = '{KIND_ELEMENT}'")
+        if test.kind == "text":
+            return frag(f"{alias}.kind = '{KIND_TEXT}'")
+        if test.kind == "comment":
+            return frag(f"{alias}.kind = '{KIND_COMMENT}'")
+        if test.kind == "node":
+            return frag("")
+        raise UnsupportedXPathError(f"node test {test.kind!r}")
+
+    # -- predicates ---------------------------------------------------------------------
+
+    def _predicate_condition(
+        self,
+        expr: Expr,
+        cand: str,
+        ctx: Optional[str],
+        step: NormStep,
+        t: "_Translation",
+    ) -> Frag:
+        # Number-valued predicates are position tests *only* when they
+        # are the entire predicate; nested in boolean context (not/and/
+        # or) they convert to booleans instead.
+        if isinstance(expr, NumberLiteral):
+            return self._positional(
+                "=", int(expr.value), cand, ctx, step, t
+            )
+        if isinstance(expr, FunctionCall) and expr.name == "last":
+            return self._positional_last(cand, ctx, step, t)
+        return self._boolean_condition(expr, cand, ctx, step, t)
+
+    def _boolean_condition(
+        self,
+        expr: Expr,
+        cand: str,
+        ctx: Optional[str],
+        step: NormStep,
+        t: "_Translation",
+    ) -> Frag:
+        if isinstance(expr, BinaryOp):
+            if expr.op == "and":
+                left = self._boolean_condition(expr.left, cand, ctx, step, t)
+                right = self._boolean_condition(
+                    expr.right, cand, ctx, step, t
+                )
+                return Frag(
+                    f"({left.sql} AND {right.sql})",
+                    left.params + right.params,
+                )
+            if expr.op == "or":
+                left = self._boolean_condition(expr.left, cand, ctx, step, t)
+                right = self._boolean_condition(
+                    expr.right, cand, ctx, step, t
+                )
+                return Frag(
+                    f"({left.sql} OR {right.sql})",
+                    left.params + right.params,
+                )
+            if expr.op in _COMPARISON_OPS:
+                return self._comparison_condition(
+                    expr, cand, ctx, step, t
+                )
+            raise UnsupportedXPathError(f"operator {expr.op!r}")
+        if isinstance(expr, PathExpr):
+            return self._exists_path(expr.path, cand, t)
+        if isinstance(expr, FunctionCall):
+            return self._function_condition(expr, cand, ctx, step, t)
+        if isinstance(expr, NumberLiteral):
+            # In boolean context a number is true iff non-zero.
+            return frag("1 = 1" if expr.value != 0 else "1 = 0")
+        if isinstance(expr, StringLiteral):
+            return frag("1 = 1" if expr.value else "1 = 0")
+        raise UnsupportedXPathError(f"predicate {expr!r}")
+
+    def _function_condition(
+        self,
+        call: FunctionCall,
+        cand: str,
+        ctx: Optional[str],
+        step: NormStep,
+        t: "_Translation",
+    ) -> Frag:
+        if call.name == "not":
+            inner = self._boolean_condition(
+                call.args[0], cand, ctx, step, t
+            )
+            return Frag(f"NOT ({inner.sql})", inner.params)
+        if call.name in ("last", "position"):
+            # In boolean context a number converts via boolean(): both
+            # position() and last() are >= 1 for an existing candidate,
+            # so they are always true here.  (A bare [last()] predicate
+            # is positional and handled in _predicate_condition.)
+            return frag("1 = 1")
+        if call.name == "count":
+            path = _require_path(call.args[0], "count()")
+            count = self._count_path(path, cand, t)
+            return Frag(f"{count.sql} > 0", count.params)
+        if call.name in ("contains", "starts-with"):
+            return self._string_function_condition(call, cand, t)
+        raise UnsupportedXPathError(f"function {call.name}()")
+
+    def _string_function_condition(
+        self, call: FunctionCall, cand: str, t: "_Translation"
+    ) -> Frag:
+        target, literal = call.args
+        if not isinstance(literal, StringLiteral):
+            raise UnsupportedXPathError(
+                f"{call.name}() requires a string-literal second argument"
+            )
+        needle = literal.value
+        if call.name == "contains":
+            def value_cond(value_sql: str) -> Frag:
+                return frag(
+                    f"INSTR({value_sql}, "
+                    f"{sql_string_literal(needle)}) > 0"
+                )
+        else:
+            def value_cond(value_sql: str) -> Frag:
+                return frag(
+                    f"SUBSTR({value_sql}, 1, {len(needle)}) = "
+                    f"{sql_string_literal(needle)}"
+                )
+        path = _require_path(target, call.name + "()")
+        return self._exists_path(path, cand, t, value_cond)
+
+    def _comparison_condition(
+        self,
+        expr: BinaryOp,
+        cand: str,
+        ctx: Optional[str],
+        step: NormStep,
+        t: "_Translation",
+    ) -> Frag:
+        left, right, op = expr.left, expr.right, expr.op
+        # Normalise so any position()/last()/count()/path is on the left.
+        if _is_literal(left) and not _is_literal(right):
+            left, right = right, left
+            op = _FLIP[op]
+
+        if isinstance(left, FunctionCall) and left.name == "position":
+            if isinstance(right, NumberLiteral):
+                return self._positional(
+                    op, int(right.value), cand, ctx, step, t
+                )
+            if isinstance(right, FunctionCall) and right.name == "last":
+                if op == "=":
+                    return self._positional_last(cand, ctx, step, t)
+                raise UnsupportedXPathError(
+                    "only position() = last() is supported"
+                )
+            raise UnsupportedXPathError(
+                "position() must be compared with a number or last()"
+            )
+        if isinstance(left, FunctionCall) and left.name == "last":
+            if isinstance(right, NumberLiteral):
+                count = self._axis_mates_count(cand, ctx, step, t)
+                return Frag(
+                    f"{count.sql} {op} {int(right.value)}", count.params
+                )
+            raise UnsupportedXPathError(
+                "last() must be compared with a number"
+            )
+        if isinstance(left, FunctionCall) and left.name == "count":
+            path = _require_path(left.args[0], "count()")
+            if not isinstance(right, NumberLiteral):
+                raise UnsupportedXPathError(
+                    "count() must be compared with a number"
+                )
+            count = self._count_path(path, cand, t)
+            return Frag(
+                f"{count.sql} {op} {_format_number(right.value)}",
+                count.params,
+            )
+        if isinstance(left, PathExpr):
+            if isinstance(right, (NumberLiteral, StringLiteral)):
+                return self._exists_path(
+                    left.path,
+                    cand,
+                    t,
+                    lambda value_sql: _value_comparison(
+                        value_sql, op, right
+                    ),
+                )
+            raise UnsupportedXPathError(
+                "path comparisons must be against literals"
+            )
+        if _is_literal(left) and _is_literal(right):
+            return frag(
+                "1 = 1" if _literal_compare(left, op, right) else "1 = 0"
+            )
+        raise UnsupportedXPathError(f"comparison {expr!r}")
+
+    # -- positional predicates -------------------------------------------------------------
+
+    def _positional(
+        self,
+        op: str,
+        k: int,
+        cand: str,
+        ctx: Optional[str],
+        step: NormStep,
+        t: "_Translation",
+    ) -> Frag:
+        """``position() <op> k`` via counting preceding axis-mates."""
+        if step.positional_axis == "self":
+            holds = _int_compare(1, op, k)
+            return frag("1 = 1" if holds else "1 = 0")
+        count = self._preceding_mates_count(cand, ctx, step, t)
+        # position = count + 1, so position <op> k  <=>  count <op> k-1.
+        return Frag(f"{count.sql} {op} {k - 1}", count.params)
+
+    def _positional_last(
+        self,
+        cand: str,
+        ctx: Optional[str],
+        step: NormStep,
+        t: "_Translation",
+    ) -> Frag:
+        """``position() = last()``: no axis-mate follows the candidate."""
+        if step.positional_axis == "self":
+            return frag("1 = 1")
+        sub, m = self._axis_mates_builder(cand, ctx, step, t)
+        sub.add_where(self._mate_order_condition(m, cand, ctx, step,
+                                                 after=True))
+        t.stats.exists_subqueries += 1
+        return exists(sub, negated=True)
+
+    def _preceding_mates_count(
+        self,
+        cand: str,
+        ctx: Optional[str],
+        step: NormStep,
+        t: "_Translation",
+    ) -> Frag:
+        sub, m = self._axis_mates_builder(cand, ctx, step, t)
+        sub.add_where(self._mate_order_condition(m, cand, ctx, step,
+                                                 after=False))
+        t.stats.count_subqueries += 1
+        return scalar_count(sub)
+
+    def _axis_mates_count(
+        self,
+        cand: str,
+        ctx: Optional[str],
+        step: NormStep,
+        t: "_Translation",
+    ) -> Frag:
+        sub, _m = self._axis_mates_builder(cand, ctx, step, t)
+        t.stats.count_subqueries += 1
+        return scalar_count(sub)
+
+    def _axis_mates_builder(
+        self,
+        cand: str,
+        ctx: Optional[str],
+        step: NormStep,
+        t: "_Translation",
+    ) -> tuple[SelectBuilder, str]:
+        """Subquery over nodes on the same positional axis as *cand*."""
+        axis = step.positional_axis
+        m = t.aliases.next()
+        sub = SelectBuilder()
+        sub.select = [Frag("1")]
+        sub.add_from(self.node_table, m)
+        sub.add_where(t.doc_cond(m))
+        sub.add_where(self.test_condition(step.test, m))
+        if axis == "child":
+            sub.add_where(frag(f"{m}.parent = {cand}.parent"))
+        elif axis in ("following-sibling", "preceding-sibling"):
+            if ctx is None:
+                raise TranslationError(
+                    "sibling axes need an element context"
+                )
+            sub.add_where(frag(f"{m}.parent = {cand}.parent"))
+            if axis == "following-sibling":
+                sub.add_where(self.sibling_before(ctx, m))
+            else:
+                sub.add_where(self.sibling_before(m, ctx))
+        elif axis in ("descendant", "descendant-or-self", "following",
+                      "preceding", "ancestor", "ancestor-or-self"):
+            sub.add_where(self.axis_condition(axis, ctx, m, t))
+        else:
+            raise UnsupportedXPathError(
+                f"positional predicate on axis {axis!r}"
+            )
+        return sub, m
+
+    def _mate_order_condition(
+        self,
+        m: str,
+        cand: str,
+        ctx: Optional[str],
+        step: NormStep,
+        after: bool,
+    ) -> Frag:
+        """Order *m* relative to *cand* along the positional axis.
+
+        ``after=False`` selects mates at smaller positions (earlier in
+        axis order); ``after=True`` selects mates at greater positions.
+        """
+        axis = step.positional_axis
+        reverse = axis in ("preceding-sibling", "preceding", "ancestor",
+                           "ancestor-or-self")
+        sibling_axes = ("child", "following-sibling", "preceding-sibling")
+        want_doc_after = after != reverse
+        if axis in sibling_axes:
+            if want_doc_after:
+                return self.sibling_before(cand, m)
+            return self.sibling_before(m, cand)
+        if want_doc_after:
+            return self.doc_before(cand, m)
+        return self.doc_before(m, cand)
+
+    # -- existence / value subqueries ------------------------------------------------------
+
+    def _exists_path(
+        self,
+        path: LocationPath,
+        context: str,
+        t: "_Translation",
+        value_cond=None,
+    ) -> Frag:
+        """EXISTS subquery: *path* (from *context*) selects something.
+
+        ``value_cond``, when given, maps the final node's value SQL to an
+        extra condition (used for value comparisons and string functions).
+        """
+        sub = SelectBuilder()
+        sub.select = [Frag("1")]
+        start = None if path.absolute else context
+        steps = normalize_steps(path.steps)
+        if not steps:
+            raise UnsupportedXPathError("empty predicate path")
+        alias, kind = self._compile_steps(steps, start, sub, t)
+        if value_cond is not None:
+            value_sql = f"{alias}.value"
+            sub.add_where(value_cond(value_sql))
+        t.stats.exists_subqueries += 1
+        return exists(sub)
+
+    def _count_path(
+        self, path: LocationPath, context: str, t: "_Translation"
+    ) -> Frag:
+        sub = SelectBuilder()
+        sub.select = [Frag("1")]
+        start = None if path.absolute else context
+        steps = normalize_steps(path.steps)
+        self._compile_steps(steps, start, sub, t)
+        t.stats.count_subqueries += 1
+        return scalar_count(sub)
+
+
+class _Translation:
+    """Per-call state: alias generator, doc id, stats."""
+
+    def __init__(self, translator: SqlTranslator, doc: int) -> None:
+        self.translator = translator
+        self.doc = doc
+        self.aliases = AliasGenerator()
+        self.stats = TranslationStats()
+        self.attribute_owner_alias: Optional[str] = None
+
+    def doc_cond(self, alias: str) -> Frag:
+        return frag(f"{alias}.doc = ?", self.doc)
+
+
+# -- small helpers ------------------------------------------------------------
+
+
+def _is_literal(expr: Expr) -> bool:
+    return isinstance(expr, (NumberLiteral, StringLiteral))
+
+
+def _require_path(expr: Expr, what: str) -> LocationPath:
+    if not isinstance(expr, PathExpr):
+        raise UnsupportedXPathError(f"{what} requires a path argument")
+    return expr.path
+
+
+def _format_number(value: float) -> str:
+    return str(int(value)) if value == int(value) else repr(value)
+
+
+def _int_compare(a: int, op: str, b: float) -> bool:
+    if op == "=":
+        return a == b
+    if op == "!=":
+        return a != b
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    return a >= b
+
+
+def _literal_compare(left: Expr, op: str, right: Expr) -> bool:
+    """Constant-fold literal-vs-literal comparisons (XPath semantics)."""
+    if isinstance(left, NumberLiteral) or isinstance(right, NumberLiteral):
+        try:
+            lval = (
+                left.value
+                if isinstance(left, NumberLiteral)
+                else float(left.value)  # type: ignore[union-attr]
+            )
+            rval = (
+                right.value
+                if isinstance(right, NumberLiteral)
+                else float(right.value)  # type: ignore[union-attr]
+            )
+        except ValueError:
+            return op == "!="
+        return _int_compare(lval, op, rval)  # type: ignore[arg-type]
+    if op == "=":
+        return left.value == right.value  # type: ignore[union-attr]
+    if op == "!=":
+        return left.value != right.value  # type: ignore[union-attr]
+    try:
+        return _int_compare(
+            float(left.value), op, float(right.value)  # type: ignore[union-attr]
+        )
+    except ValueError:
+        return False
+
+
+def _value_comparison(
+    value_sql: str, op: str, literal: Union[NumberLiteral, StringLiteral]
+) -> Frag:
+    """Compare a stored value column with a literal, XPath-style.
+
+    Numbers (and relational operators) compare numerically via CAST;
+    string equality compares as text.
+    """
+    if isinstance(literal, NumberLiteral):
+        return frag(
+            f"CAST({value_sql} AS REAL) {op} {_format_number(literal.value)}"
+        )
+    if op in ("=", "!="):
+        return frag(f"{value_sql} {op} ?", literal.value)
+    # Relational comparison against a string: XPath converts both sides
+    # to numbers; a non-numeric literal can never compare true.
+    try:
+        number = float(literal.value)
+    except ValueError:
+        return frag("1 = 0")
+    return frag(f"CAST({value_sql} AS REAL) {op} {number!r}")

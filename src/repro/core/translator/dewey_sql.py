@@ -1,0 +1,108 @@
+"""Dewey-encoding translation: axes are byte-range tests on the key.
+
+The binary Dewey codec makes document order bytewise key order, a node's
+subtree the half-open key range ``(key, dewey_successor(key))``, and
+ancestry a prefix test — so every ordered axis becomes one or two
+comparisons on a single indexed BLOB column, plus the two scalar helpers
+``dewey_parent``/``dewey_successor`` both backends register.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.encodings import DeweyEncoding
+from repro.core.sqlgen import Frag, frag
+from repro.core.translator.base import SqlTranslator, _Translation
+from repro.errors import TranslationError
+
+
+class DeweySqlTranslator(SqlTranslator):
+    """XPath -> SQL over ``node_dewey``."""
+
+    def __init__(self, max_depth: int = 16) -> None:
+        super().__init__(DeweyEncoding(), max_depth)
+
+    def axis_condition(
+        self,
+        axis: str,
+        ctx: Optional[str],
+        cand: str,
+        t: _Translation,
+    ) -> Frag:
+        if ctx is None:
+            return _document_axis(axis, cand)
+        if axis == "child":
+            # Derivable from the key alone: the candidate's key is one
+            # component longer inside the context's subtree.  The parent
+            # id join is equivalent and index-friendly on both backends.
+            return frag(f"{cand}.parent = {ctx}.id")
+        if axis == "descendant":
+            return frag(
+                f"{cand}.dkey > {ctx}.dkey AND "
+                f"{cand}.dkey < dewey_successor({ctx}.dkey)"
+            )
+        if axis == "descendant-or-self":
+            return frag(
+                f"{cand}.dkey >= {ctx}.dkey AND "
+                f"{cand}.dkey < dewey_successor({ctx}.dkey)"
+            )
+        if axis == "self":
+            return frag(f"{cand}.dkey = {ctx}.dkey")
+        if axis == "parent":
+            # The parent's key is a prefix of the context's key — the
+            # paper's headline property: no join through parent pointers.
+            return frag(f"{cand}.dkey = dewey_parent({ctx}.dkey)")
+        if axis == "ancestor":
+            return frag(
+                f"{cand}.dkey < {ctx}.dkey AND "
+                f"dewey_successor({cand}.dkey) > {ctx}.dkey"
+            )
+        if axis == "ancestor-or-self":
+            return frag(
+                f"{cand}.dkey <= {ctx}.dkey AND "
+                f"dewey_successor({cand}.dkey) > {ctx}.dkey"
+            )
+        if axis == "following-sibling":
+            return frag(
+                f"{cand}.parent = {ctx}.parent AND "
+                f"{cand}.dkey > {ctx}.dkey"
+            )
+        if axis == "preceding-sibling":
+            return frag(
+                f"{cand}.parent = {ctx}.parent AND "
+                f"{cand}.dkey < {ctx}.dkey"
+            )
+        if axis == "following":
+            # Everything at or past the subtree's upper bound comes after
+            # the context in document order and is not a descendant.
+            return frag(f"{cand}.dkey >= dewey_successor({ctx}.dkey)")
+        if axis == "preceding":
+            # Before the context in key order, excluding ancestors
+            # (whose subtree range still contains the context).
+            return frag(
+                f"{cand}.dkey < {ctx}.dkey AND "
+                f"dewey_successor({cand}.dkey) <= {ctx}.dkey"
+            )
+        raise TranslationError(f"axis {axis!r} not supported (dewey)")
+
+    def sibling_before(self, a: str, b: str) -> Frag:
+        return frag(f"{a}.dkey < {b}.dkey")
+
+    def doc_before(self, a: str, b: str) -> Frag:
+        return frag(f"{a}.dkey < {b}.dkey")
+
+    def order_by_columns(self, alias: str) -> Optional[list[str]]:
+        return [f"{alias}.dkey"]
+
+
+def _document_axis(axis: str, cand: str) -> Frag:
+    if axis == "child":
+        return frag(f"{cand}.parent = 0")
+    if axis in ("descendant", "descendant-or-self"):
+        return frag("")
+    if axis in ("self", "parent", "ancestor", "ancestor-or-self"):
+        raise TranslationError(
+            "the document node itself has no relational representation"
+        )
+    return frag("1 = 0")

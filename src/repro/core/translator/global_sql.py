@@ -1,0 +1,91 @@
+"""Global-encoding translation: every axis is an integer comparison.
+
+With ``pos`` (preorder rank) and ``endpos`` (rank of the last descendant)
+on each row, subtree containment is interval containment and document
+order is plain ``<`` — the reason the paper finds global order fastest for
+ordered queries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.encodings import GlobalEncoding
+from repro.core.sqlgen import Frag, frag
+from repro.core.translator.base import SqlTranslator, _Translation
+from repro.errors import TranslationError
+
+
+class GlobalSqlTranslator(SqlTranslator):
+    """XPath -> SQL over ``node_global``."""
+
+    def __init__(self, max_depth: int = 16) -> None:
+        super().__init__(GlobalEncoding(), max_depth)
+
+    def axis_condition(
+        self,
+        axis: str,
+        ctx: Optional[str],
+        cand: str,
+        t: _Translation,
+    ) -> Frag:
+        if ctx is None:
+            return _document_axis(axis, cand)
+        if axis == "child":
+            return frag(f"{cand}.parent = {ctx}.id")
+        if axis == "descendant":
+            return frag(
+                f"{cand}.pos > {ctx}.pos AND {cand}.pos <= {ctx}.endpos"
+            )
+        if axis == "descendant-or-self":
+            return frag(
+                f"{cand}.pos >= {ctx}.pos AND {cand}.pos <= {ctx}.endpos"
+            )
+        if axis == "self":
+            return frag(f"{cand}.id = {ctx}.id")
+        if axis == "parent":
+            return frag(f"{cand}.id = {ctx}.parent")
+        if axis == "ancestor":
+            return frag(
+                f"{cand}.pos < {ctx}.pos AND {cand}.endpos >= {ctx}.pos"
+            )
+        if axis == "ancestor-or-self":
+            return frag(
+                f"{cand}.pos <= {ctx}.pos AND {cand}.endpos >= {ctx}.pos"
+            )
+        if axis == "following-sibling":
+            return frag(
+                f"{cand}.parent = {ctx}.parent AND {cand}.pos > {ctx}.pos"
+            )
+        if axis == "preceding-sibling":
+            return frag(
+                f"{cand}.parent = {ctx}.parent AND {cand}.pos < {ctx}.pos"
+            )
+        if axis == "following":
+            return frag(f"{cand}.pos > {ctx}.endpos")
+        if axis == "preceding":
+            return frag(f"{cand}.endpos < {ctx}.pos")
+        raise TranslationError(f"axis {axis!r} not supported (global)")
+
+    def sibling_before(self, a: str, b: str) -> Frag:
+        return frag(f"{a}.pos < {b}.pos")
+
+    def doc_before(self, a: str, b: str) -> Frag:
+        return frag(f"{a}.pos < {b}.pos")
+
+    def order_by_columns(self, alias: str) -> Optional[list[str]]:
+        return [f"{alias}.pos"]
+
+
+def _document_axis(axis: str, cand: str) -> Frag:
+    """Axis conditions when the context is the document node itself."""
+    if axis == "child":
+        return frag(f"{cand}.parent = 0")
+    if axis in ("descendant", "descendant-or-self"):
+        return frag("")  # every stored node descends from the document
+    if axis in ("self", "parent", "ancestor", "ancestor-or-self"):
+        raise TranslationError(
+            "the document node itself has no relational representation"
+        )
+    # following/preceding/sibling axes of the document are empty.
+    return frag("1 = 0")

@@ -1,0 +1,168 @@
+"""Local-encoding translation: parent/sibling axes only, chains for the rest.
+
+Local order stores nothing but the position among siblings, so:
+
+* child and sibling axes are direct (and cheap — the paper's motivation
+  for local order);
+* descendant/ancestor axes require *transitive closure*, which plain SQL
+  of the paper's era cannot express.  We use the standard workaround the
+  paper alludes to: depth-bounded expansion.  "``a`` is an ancestor of
+  ``n``" becomes an OR over distances 1..D of EXISTS chains walking the
+  parent pointers, with D taken from the document catalogue's recorded
+  maximum depth;
+* ``following``/``preceding`` compose three expansions (ancestor-or-self,
+  following-sibling, descendant-or-self) — the big, slow queries the
+  paper reports for local order on document-order axes;
+* document-order comparison between arbitrary nodes (needed by positional
+  predicates on document-order axes) is not expressible at all and raises
+  :class:`TranslationError`;
+* results carry no document-order column: the store runs a client-side
+  order-resolution pass (fetching ancestor paths) to sort them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.encodings import LocalEncoding
+from repro.core.sqlgen import (
+    Frag,
+    SelectBuilder,
+    any_of,
+    exists,
+    frag,
+)
+from repro.core.translator.base import SqlTranslator, _Translation
+from repro.errors import TranslationError
+
+
+class LocalSqlTranslator(SqlTranslator):
+    """XPath -> SQL over ``node_local``."""
+
+    def __init__(self, max_depth: int = 16) -> None:
+        super().__init__(LocalEncoding(), max_depth)
+
+    # -- expansion helpers -------------------------------------------------
+
+    def ancestor_chain(
+        self,
+        anc: str,
+        node: str,
+        t: _Translation,
+        include_self: bool = False,
+    ) -> Frag:
+        """OR-expansion: *anc* is an ancestor of *node* (distance <= D)."""
+        arms: list[Frag] = []
+        if include_self:
+            arms.append(frag(f"{anc}.id = {node}.id"))
+        arms.append(frag(f"{anc}.id = {node}.parent"))
+        for distance in range(2, self.max_depth):
+            arms.append(self._chain_arm(anc, node, distance, t))
+            t.stats.or_expansions += 1
+        return any_of(arms)
+
+    def _chain_arm(
+        self, anc: str, node: str, distance: int, t: _Translation
+    ) -> Frag:
+        """EXISTS arm walking *distance* parent pointers up from *node*."""
+        hops = [t.aliases.next() for _ in range(distance - 1)]
+        sub = SelectBuilder()
+        sub.select = [Frag("1")]
+        previous = node
+        for hop in hops:
+            sub.add_from(self.node_table, hop)
+            sub.add_where(t.doc_cond(hop))
+            sub.add_where(frag(f"{hop}.id = {previous}.parent"))
+            previous = hop
+        sub.add_where(frag(f"{anc}.id = {previous}.parent"))
+        return exists(sub)
+
+    # -- axis conditions -------------------------------------------------------
+
+    def axis_condition(
+        self,
+        axis: str,
+        ctx: Optional[str],
+        cand: str,
+        t: _Translation,
+    ) -> Frag:
+        if ctx is None:
+            return _document_axis(axis, cand)
+        if axis == "child":
+            return frag(f"{cand}.parent = {ctx}.id")
+        if axis == "descendant":
+            return self.ancestor_chain(ctx, cand, t)
+        if axis == "descendant-or-self":
+            return self.ancestor_chain(ctx, cand, t, include_self=True)
+        if axis == "self":
+            return frag(f"{cand}.id = {ctx}.id")
+        if axis == "parent":
+            return frag(f"{cand}.id = {ctx}.parent")
+        if axis == "ancestor":
+            return self.ancestor_chain(cand, ctx, t)
+        if axis == "ancestor-or-self":
+            return self.ancestor_chain(cand, ctx, t, include_self=True)
+        if axis == "following-sibling":
+            return frag(
+                f"{cand}.parent = {ctx}.parent AND "
+                f"{cand}.lpos > {ctx}.lpos"
+            )
+        if axis == "preceding-sibling":
+            return frag(
+                f"{cand}.parent = {ctx}.parent AND "
+                f"{cand}.lpos < {ctx}.lpos"
+            )
+        if axis in ("following", "preceding"):
+            return self._document_order_axis(axis, ctx, cand, t)
+        raise TranslationError(f"axis {axis!r} not supported (local)")
+
+    def _document_order_axis(
+        self, axis: str, ctx: str, cand: str, t: _Translation
+    ) -> Frag:
+        """``following``/``preceding`` as a triple expansion.
+
+        cand is in following(ctx) iff some ancestor-or-self *f* of cand is
+        a following sibling of some ancestor-or-self *a* of ctx.
+        """
+        a = t.aliases.next()
+        f = t.aliases.next()
+        sub = SelectBuilder()
+        sub.select = [Frag("1")]
+        sub.add_from(self.node_table, a)
+        sub.add_from(self.node_table, f)
+        sub.add_where(t.doc_cond(a))
+        sub.add_where(t.doc_cond(f))
+        sub.add_where(self.ancestor_chain(a, ctx, t, include_self=True))
+        sub.add_where(self.ancestor_chain(f, cand, t, include_self=True))
+        sub.add_where(frag(f"{f}.parent = {a}.parent"))
+        if axis == "following":
+            sub.add_where(frag(f"{f}.lpos > {a}.lpos"))
+        else:
+            sub.add_where(frag(f"{f}.lpos < {a}.lpos"))
+        t.stats.exists_subqueries += 1
+        return exists(sub)
+
+    def sibling_before(self, a: str, b: str) -> Frag:
+        return frag(f"{a}.lpos < {b}.lpos")
+
+    def doc_before(self, a: str, b: str) -> Frag:
+        raise TranslationError(
+            "local order cannot compare document order of arbitrary "
+            "nodes; positional predicates on document-order axes are "
+            "not translatable"
+        )
+
+    def order_by_columns(self, alias: str) -> Optional[list[str]]:
+        return None  # client-side order resolution required
+
+
+def _document_axis(axis: str, cand: str) -> Frag:
+    if axis == "child":
+        return frag(f"{cand}.parent = 0")
+    if axis in ("descendant", "descendant-or-self"):
+        return frag("")
+    if axis in ("self", "parent", "ancestor", "ancestor-or-self"):
+        raise TranslationError(
+            "the document node itself has no relational representation"
+        )
+    return frag("1 = 0")

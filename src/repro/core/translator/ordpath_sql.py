@@ -1,0 +1,98 @@
+"""ORDPATH-encoding translation (extension).
+
+Identical in structure to the Dewey translation — document order is
+bytewise key order, a subtree is the half-open range
+``(okey, ordpath_successor(okey))``, ancestry is a prefix test — with the
+``ordpath_*`` scalar helpers in place of the ``dewey_*`` ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.encodings import get_encoding
+from repro.core.sqlgen import Frag, frag
+from repro.core.translator.base import SqlTranslator, _Translation
+from repro.errors import TranslationError
+
+
+class OrdpathSqlTranslator(SqlTranslator):
+    """XPath -> SQL over ``node_ordpath``."""
+
+    def __init__(self, max_depth: int = 16) -> None:
+        super().__init__(get_encoding("ordpath"), max_depth)
+
+    def axis_condition(
+        self,
+        axis: str,
+        ctx: Optional[str],
+        cand: str,
+        t: _Translation,
+    ) -> Frag:
+        if ctx is None:
+            return _document_axis(axis, cand)
+        if axis == "child":
+            return frag(f"{cand}.parent = {ctx}.id")
+        if axis == "descendant":
+            return frag(
+                f"{cand}.okey > {ctx}.okey AND "
+                f"{cand}.okey < ordpath_successor({ctx}.okey)"
+            )
+        if axis == "descendant-or-self":
+            return frag(
+                f"{cand}.okey >= {ctx}.okey AND "
+                f"{cand}.okey < ordpath_successor({ctx}.okey)"
+            )
+        if axis == "self":
+            return frag(f"{cand}.okey = {ctx}.okey")
+        if axis == "parent":
+            return frag(f"{cand}.okey = ordpath_parent({ctx}.okey)")
+        if axis == "ancestor":
+            return frag(
+                f"{cand}.okey < {ctx}.okey AND "
+                f"ordpath_successor({cand}.okey) > {ctx}.okey"
+            )
+        if axis == "ancestor-or-self":
+            return frag(
+                f"{cand}.okey <= {ctx}.okey AND "
+                f"ordpath_successor({cand}.okey) > {ctx}.okey"
+            )
+        if axis == "following-sibling":
+            return frag(
+                f"{cand}.parent = {ctx}.parent AND "
+                f"{cand}.okey > {ctx}.okey"
+            )
+        if axis == "preceding-sibling":
+            return frag(
+                f"{cand}.parent = {ctx}.parent AND "
+                f"{cand}.okey < {ctx}.okey"
+            )
+        if axis == "following":
+            return frag(f"{cand}.okey >= ordpath_successor({ctx}.okey)")
+        if axis == "preceding":
+            return frag(
+                f"{cand}.okey < {ctx}.okey AND "
+                f"ordpath_successor({cand}.okey) <= {ctx}.okey"
+            )
+        raise TranslationError(f"axis {axis!r} not supported (ordpath)")
+
+    def sibling_before(self, a: str, b: str) -> Frag:
+        return frag(f"{a}.okey < {b}.okey")
+
+    def doc_before(self, a: str, b: str) -> Frag:
+        return frag(f"{a}.okey < {b}.okey")
+
+    def order_by_columns(self, alias: str) -> Optional[list[str]]:
+        return [f"{alias}.okey"]
+
+
+def _document_axis(axis: str, cand: str) -> Frag:
+    if axis == "child":
+        return frag(f"{cand}.parent = 0")
+    if axis in ("descendant", "descendant-or-self"):
+        return frag("")
+    if axis in ("self", "parent", "ancestor", "ancestor-or-self"):
+        raise TranslationError(
+            "the document node itself has no relational representation"
+        )
+    return frag("1 = 0")

@@ -1,0 +1,737 @@
+"""Ordered updates: insertion and deletion with per-encoding renumbering.
+
+This module implements the paper's update cost model:
+
+* **Global** — inserting at a position must shift the ``pos``/``endpos``
+  of every node after the insertion point (O(document) in the worst
+  case), plus extend the ``endpos`` of ancestors whose subtree ended at
+  the insertion point;
+* **Local** — inserting shifts only the ``lpos`` of following siblings
+  (O(fan-out)), the encoding's strength;
+* **Dewey** — inserting relabels the following siblings *and all their
+  descendants* (their keys share the shifted component), the middle
+  ground;
+* **Sparse variants** (``gap > 1``) — order values are spaced out at load
+  time, so an insertion that fits in an existing gap relabels *nothing*;
+  renumbering only happens when a gap is exhausted (experiment E10);
+* **Deletions** are cheap for every encoding: the subtree's rows are
+  removed and no renumbering is required (stale ancestor ``endpos``
+  values in the Global encoding remain safe because the vacated interval
+  can contain no rows).
+
+Every operation returns an :class:`UpdateReport` with the number of rows
+inserted, deleted, and *relabeled* — the engine-independent cost the
+benchmarks chart alongside wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.core.dewey import DeweyKey
+from repro.core.schema import KIND_ELEMENT, KIND_TEXT
+from repro.core.shredder import ShreddedDocument, ShreddedNode, shred
+from repro.errors import UpdateError
+from repro.xmldom.dom import Document, Node, Text
+from repro.xmldom.parser import parse_fragment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store import XmlStore
+
+_ID_BATCH = 400
+
+
+@dataclass
+class UpdateReport:
+    """Cost accounting for one update operation."""
+
+    inserted: int = 0
+    deleted: int = 0
+    relabeled: int = 0
+    value_updates: int = 0  # direct-text maintenance on the parent
+    new_root_id: Optional[int] = None
+
+    def rows_touched(self) -> int:
+        return (
+            self.inserted + self.deleted + self.relabeled
+            + self.value_updates
+        )
+
+
+class UpdateManager:
+    """Insert/delete operations bound to one :class:`XmlStore`."""
+
+    def __init__(self, store: "XmlStore") -> None:
+        self.store = store
+
+    # -- public operations -------------------------------------------------
+
+    def insert(
+        self,
+        doc: int,
+        parent_id: int,
+        index: int,
+        fragment: Union[str, Node],
+    ) -> UpdateReport:
+        """Insert *fragment* as the *index*-th child of *parent_id*.
+
+        ``parent_id`` 0 addresses the document node (top level).  The
+        fragment may be an XML string or a detached DOM node.
+        """
+        if isinstance(fragment, str):
+            fragment = parse_fragment(fragment)
+        shredded = self._shred_fragment(fragment)
+        with self.store.backend.transaction():
+            return self._insert_in_transaction(
+                doc, parent_id, index, shredded
+            )
+
+    def _insert_in_transaction(
+        self, doc: int, parent_id: int, index: int,
+        shredded: ShreddedDocument,
+    ) -> UpdateReport:
+        info = self.store.document_info(doc)
+
+        parent_row = None
+        if parent_id != 0:
+            parent_row = self.store.fetch_node(doc, parent_id)
+            if parent_row is None:
+                raise UpdateError(f"no node {parent_id} in document {doc}")
+            if parent_row["kind"] != KIND_ELEMENT:
+                raise UpdateError(
+                    f"node {parent_id} is not an element"
+                )
+        children = self.store.fetch_children(doc, parent_id)
+        if not 0 <= index <= len(children):
+            raise UpdateError(
+                f"index {index} out of range for {len(children)} children"
+            )
+
+        encoding = self.store.encoding.name
+        if encoding == "global":
+            report = self._insert_global(
+                doc, parent_row, children, index, shredded, info
+            )
+        elif encoding == "local":
+            report = self._insert_local(
+                doc, parent_id, children, index, shredded, info
+            )
+        elif encoding == "ordpath":
+            report = self._insert_ordpath(
+                doc, parent_id, parent_row, children, index, shredded,
+                info,
+            )
+        else:
+            report = self._insert_dewey(
+                doc, parent_id, parent_row, children, index, shredded,
+                info,
+            )
+
+        # Maintain the parent's direct-text value when inserting text.
+        if shredded.nodes[0].kind == KIND_TEXT and parent_id != 0:
+            report.value_updates += self._refresh_direct_text(
+                doc, parent_id
+            )
+
+        info.node_count += shredded.node_count()
+        parent_depth = parent_row["depth"] if parent_row else 0
+        info.max_depth = max(
+            info.max_depth, parent_depth + shredded.max_depth
+        )
+        info.next_id += shredded.node_count()
+        self.store.update_document_info(info)
+        return report
+
+    def append(
+        self, doc: int, parent_id: int, fragment: Union[str, Node]
+    ) -> UpdateReport:
+        """Insert *fragment* as the last child of *parent_id*."""
+        children = self.store.fetch_children(doc, parent_id)
+        return self.insert(doc, parent_id, len(children), fragment)
+
+    def set_text(self, doc: int, element_id: int, text: str
+                 ) -> UpdateReport:
+        """Replace an element's text content with a single text node.
+
+        Existing text children are deleted; a new text node is appended
+        (or inserted first when the element also has element children,
+        keeping the common ``<price>42</price>`` shape stable).  No
+        order values of other nodes change for any encoding — one of the
+        paper's observations: *value* updates are order-free.
+        """
+        row = self.store.fetch_node(doc, element_id)
+        if row is None:
+            raise UpdateError(f"no node {element_id} in document {doc}")
+        if row["kind"] != KIND_ELEMENT:
+            raise UpdateError(f"node {element_id} is not an element")
+        report = UpdateReport()
+        with self.store.backend.transaction():
+            for child in self.store.fetch_children(doc, element_id):
+                if child["kind"] == KIND_TEXT:
+                    child_report = self.delete(doc, child["id"])
+                    report.deleted += child_report.deleted
+                    report.value_updates += child_report.value_updates
+            insert_report = self.insert(doc, element_id, 0, Text(text))
+            report.inserted += insert_report.inserted
+            report.relabeled += insert_report.relabeled
+            report.value_updates += insert_report.value_updates
+        return report
+
+    def rename(self, doc: int, element_id: int, tag: str) -> UpdateReport:
+        """Rename an element.  Touches exactly one row, no order values."""
+        row = self.store.fetch_node(doc, element_id)
+        if row is None:
+            raise UpdateError(f"no node {element_id} in document {doc}")
+        if row["kind"] != KIND_ELEMENT:
+            raise UpdateError(f"node {element_id} is not an element")
+        self.store.backend.execute(
+            f"UPDATE {self.store.node_table} SET tag = ? "
+            f"WHERE doc = ? AND id = ?",
+            (tag, doc, element_id),
+        )
+        return UpdateReport(value_updates=1)
+
+    def set_attribute(
+        self, doc: int, element_id: int, name: str, value: Optional[str]
+    ) -> UpdateReport:
+        """Set (or, with ``value=None``, remove) one attribute.
+
+        Attributes carry no order, so this never renumbers anything —
+        exactly why the paper stores them separately from the ordered
+        node list.
+        """
+        row = self.store.fetch_node(doc, element_id)
+        if row is None:
+            raise UpdateError(f"no node {element_id} in document {doc}")
+        if row["kind"] != KIND_ELEMENT:
+            raise UpdateError(f"node {element_id} is not an element")
+        deleted = self.store.backend.execute(
+            f"DELETE FROM {self.store.attr_table} "
+            f"WHERE doc = ? AND owner = ? AND name = ?",
+            (doc, element_id, name),
+        )
+        report = UpdateReport()
+        report.deleted += max(deleted.rowcount, 0)
+        if value is not None:
+            self.store.backend.execute(
+                f"INSERT INTO {self.store.attr_table} VALUES (?, ?, ?, ?)",
+                (doc, element_id, name, value),
+            )
+            report.inserted += 1
+        return report
+
+    def delete(self, doc: int, node_id: int) -> UpdateReport:
+        """Delete the subtree rooted at *node_id*."""
+        row = self.store.fetch_node(doc, node_id)
+        if row is None:
+            raise UpdateError(f"no node {node_id} in document {doc}")
+        parent_id = row["parent"]
+        was_text = row["kind"] == KIND_TEXT
+
+        with self.store.backend.transaction():
+            subtree_ids = self._subtree_ids(doc, row)
+            self._delete_attributes(doc, subtree_ids)
+            deleted = self._delete_rows(doc, row, subtree_ids)
+
+            report = UpdateReport(deleted=deleted)
+            if was_text and parent_id != 0:
+                report.value_updates += self._refresh_direct_text(
+                    doc, parent_id
+                )
+
+            info = self.store.document_info(doc)
+            info.node_count -= deleted
+            self.store.update_document_info(info)
+        return report
+
+    def rebalance(self, doc: int) -> UpdateReport:
+        """Relabel the whole document with fresh, evenly-gapped values.
+
+        The paper's amortisation strategy: instead of paying a shift on
+        every gap-exhausted insertion, renumber offline — one O(N) pass
+        that restores the store's configured gap everywhere (and, for
+        ORDPATH, collapses accumulated carets back to short keys).
+        Structure, ids, and attributes are untouched; only order values
+        change.
+        """
+        columns = self.store.encoding.node_columns()
+        result = self.store.backend.execute(
+            f"SELECT {', '.join(columns)} FROM {self.store.node_table} "
+            f"WHERE doc = ?",
+            (doc,),
+        )
+        rows = [dict(zip(columns, r)) for r in result.rows]
+        by_parent: dict[int, list[dict]] = {}
+        order_column = self.store.encoding.sibling_order_column
+        for row in rows:
+            by_parent.setdefault(row["parent"], []).append(row)
+        for siblings in by_parent.values():
+            siblings.sort(key=lambda r: r[order_column])
+
+        # One DFS assigns every quantity any encoding labels from.
+        fresh: list[tuple[int, ShreddedNode]] = []
+        counter = 0
+
+        def walk(row: dict, sibling_index: int,
+                 dewey_prefix: tuple[int, ...]) -> int:
+            nonlocal counter
+            counter += 1
+            rank = counter
+            dewey = (*dewey_prefix, sibling_index)
+            record = ShreddedNode(
+                id=row["id"], parent=row["parent"], kind=row["kind"],
+                tag=row["tag"], value=row["value"], depth=row["depth"],
+                rank=rank, end_rank=rank, sibling_index=sibling_index,
+                dewey=dewey,
+            )
+            fresh.append((row["id"], record))
+            last = rank
+            for index, child in enumerate(
+                by_parent.get(row["id"], []), start=1
+            ):
+                last = walk(child, index, dewey)
+            record.end_rank = last
+            return last
+
+        for index, top in enumerate(by_parent.get(0, []), start=1):
+            walk(top, index, ())
+
+        order_columns = self.store.encoding.order_columns
+        assignments = ", ".join(f"{c} = ?" for c in order_columns)
+        updates = [
+            (*self.store.encoding.order_values(record, self.store.gap),
+             doc, node_id)
+            for node_id, record in fresh
+        ]
+        with self.store.backend.transaction():
+            self.store.backend.executemany(
+                f"UPDATE {self.store.node_table} SET {assignments} "
+                f"WHERE doc = ? AND id = ?",
+                updates,
+            )
+        return UpdateReport(relabeled=len(updates))
+
+    # -- shared helpers --------------------------------------------------------
+
+    def _shred_fragment(self, fragment: Node) -> ShreddedDocument:
+        carrier = Document()
+        carrier.append(fragment)
+        shredded = shred(carrier)
+        fragment.detach()
+        return shredded
+
+    def _new_ids(
+        self, info, shredded: ShreddedDocument, parent_id: int
+    ) -> tuple[list[int], list[int]]:
+        """New surrogate ids and parent ids for the fragment's records."""
+        base = info.next_id
+        ids = [base + node.id - 1 for node in shredded.nodes]
+        parents = [
+            parent_id if node.parent == 0 else base + node.parent - 1
+            for node in shredded.nodes
+        ]
+        return ids, parents
+
+    def _insert_rows(
+        self,
+        doc: int,
+        shredded: ShreddedDocument,
+        ids: list[int],
+        parents: list[int],
+        depth_base: int,
+        order_values: list[tuple],
+    ) -> None:
+        table = self.store.node_table
+        width = len(self.store.encoding.node_columns())
+        placeholders = ", ".join("?" for _ in range(width))
+        rows = []
+        for node, node_id, parent, order in zip(
+            shredded.nodes, ids, parents, order_values
+        ):
+            rows.append(
+                (
+                    doc,
+                    node_id,
+                    parent,
+                    node.kind,
+                    node.tag,
+                    node.value,
+                    depth_base + node.depth,
+                    *order,
+                )
+            )
+        self.store.backend.executemany(
+            f"INSERT INTO {table} VALUES ({placeholders})", rows
+        )
+        id_of = {node.id: real for node, real in zip(shredded.nodes, ids)}
+        attr_rows = [
+            (doc, id_of[attr.owner], attr.name, attr.value)
+            for attr in shredded.attributes
+        ]
+        if attr_rows:
+            self.store.backend.executemany(
+                f"INSERT INTO {self.store.attr_table} VALUES (?, ?, ?, ?)",
+                attr_rows,
+            )
+
+    def _refresh_direct_text(self, doc: int, element_id: int) -> int:
+        """Recompute an element's stored direct-text value; returns rows
+        updated (0 or 1)."""
+        order = self.store.encoding.sibling_order_column
+        result = self.store.backend.execute(
+            f"SELECT value FROM {self.store.node_table} "
+            f"WHERE doc = ? AND parent = ? AND kind = '{KIND_TEXT}' "
+            f"ORDER BY {order}",
+            (doc, element_id),
+        )
+        value = (
+            "".join(row[0] for row in result.rows)
+            if result.rows
+            else None
+        )
+        updated = self.store.backend.execute(
+            f"UPDATE {self.store.node_table} SET value = ? "
+            f"WHERE doc = ? AND id = ?",
+            (value, doc, element_id),
+        )
+        return max(updated.rowcount, 0)
+
+    # -- Global encoding -----------------------------------------------------------
+
+    def _insert_global(
+        self, doc, parent_row, children, index, shredded, info
+    ) -> UpdateReport:
+        gap = self.store.gap
+        n = shredded.node_count()
+        table = self.store.node_table
+        if index > 0:
+            pos_before = children[index - 1]["endpos"]
+        elif parent_row is not None:
+            pos_before = parent_row["pos"]
+        else:
+            pos_before = 0
+
+        result = self.store.backend.execute(
+            f"SELECT MIN(pos) FROM {table} WHERE doc = ? AND pos > ?",
+            (doc, pos_before),
+        )
+        next_pos = result.rows[0][0] if result.rows else None
+
+        relabeled = 0
+        if next_pos is None:
+            # Appending past everything: open-ended slots.
+            slots = [pos_before + gap * (i + 1) for i in range(n)]
+        else:
+            next_pos = int(next_pos)
+            step = (next_pos - pos_before) // (n + 1)
+            if step < 1:
+                delta = n * gap
+                self.store.backend.execute(
+                    f"UPDATE {table} SET pos = pos + ? "
+                    f"WHERE doc = ? AND pos >= ?",
+                    (delta, doc, next_pos),
+                )
+                # Every row with pos >= next_pos also has endpos >= pos,
+                # so the endpos update touches a superset: its rowcount
+                # is the number of distinct rows relabelled.
+                extended = self.store.backend.execute(
+                    f"UPDATE {table} SET endpos = endpos + ? "
+                    f"WHERE doc = ? AND endpos >= ?",
+                    (delta, doc, next_pos),
+                )
+                relabeled += max(extended.rowcount, 0)
+                next_pos += delta
+                step = (next_pos - pos_before) // (n + 1)
+            slots = [pos_before + step * (i + 1) for i in range(n)]
+
+        last_slot = slots[-1]
+        relabeled += self._extend_global_ancestors(
+            doc,
+            parent_row["id"] if parent_row is not None else 0,
+            last_slot,
+        )
+
+        ids, parents = self._new_ids(
+            info, shredded,
+            parent_row["id"] if parent_row is not None else 0,
+        )
+        order_values = [
+            (slots[node.rank - 1], slots[node.end_rank - 1])
+            for node in shredded.nodes
+        ]
+        depth_base = parent_row["depth"] if parent_row is not None else 0
+        self._insert_rows(
+            doc, shredded, ids, parents, depth_base, order_values
+        )
+        return UpdateReport(
+            inserted=n, relabeled=relabeled, new_root_id=ids[0]
+        )
+
+    def _extend_global_ancestors(
+        self, doc: int, parent_id: int, last_slot: int
+    ) -> int:
+        """Extend ancestors whose interval ended before the new nodes.
+
+        Rows are re-fetched here because the tail shift may have already
+        moved some ancestors' ``endpos``.
+        """
+        relabeled = 0
+        current_id = parent_id
+        while current_id != 0:
+            current = self.store.fetch_node(doc, current_id)
+            if current is None or current["endpos"] >= last_slot:
+                break
+            self.store.backend.execute(
+                f"UPDATE {self.store.node_table} SET endpos = ? "
+                f"WHERE doc = ? AND id = ?",
+                (last_slot, doc, current["id"]),
+            )
+            relabeled += 1
+            current_id = current["parent"]
+        return relabeled
+
+    # -- Local encoding ------------------------------------------------------------------
+
+    def _insert_local(
+        self, doc, parent_id, children, index, shredded, info
+    ) -> UpdateReport:
+        gap = self.store.gap
+        table = self.store.node_table
+        lpos_before = children[index - 1]["lpos"] if index > 0 else 0
+        lpos_after = (
+            children[index]["lpos"] if index < len(children) else None
+        )
+
+        relabeled = 0
+        if lpos_after is None:
+            new_lpos = lpos_before + gap
+        elif lpos_after - lpos_before > 1:
+            new_lpos = (lpos_before + lpos_after) // 2
+        else:
+            shifted = self.store.backend.execute(
+                f"UPDATE {table} SET lpos = lpos + ? "
+                f"WHERE doc = ? AND parent = ? AND lpos >= ?",
+                (gap, doc, parent_id, lpos_after),
+            )
+            relabeled += max(shifted.rowcount, 0)
+            new_lpos = lpos_after
+
+        ids, parents = self._new_ids(info, shredded, parent_id)
+        order_values = []
+        for node in shredded.nodes:
+            if node.parent == 0:
+                order_values.append((new_lpos,))
+            else:
+                order_values.append((node.sibling_index * gap,))
+        depth_base = self._parent_depth(doc, parent_id)
+        self._insert_rows(
+            doc, shredded, ids, parents, depth_base, order_values
+        )
+        return UpdateReport(
+            inserted=shredded.node_count(),
+            relabeled=relabeled,
+            new_root_id=ids[0],
+        )
+
+    def _parent_depth(self, doc: int, parent_id: int) -> int:
+        if parent_id == 0:
+            return 0
+        row = self.store.fetch_node(doc, parent_id)
+        return row["depth"] if row is not None else 0
+
+    # -- Dewey encoding --------------------------------------------------------------------
+
+    def _insert_dewey(
+        self, doc, parent_id, parent_row, children, index, shredded, info
+    ) -> UpdateReport:
+        gap = self.store.gap
+        parent_key = (
+            DeweyKey.decode(parent_row["dkey"])
+            if parent_row is not None
+            else DeweyKey(())
+        )
+        comp_before = (
+            DeweyKey.decode(children[index - 1]["dkey"]).local_position()
+            if index > 0
+            else 0
+        )
+        comp_after = (
+            DeweyKey.decode(children[index]["dkey"]).local_position()
+            if index < len(children)
+            else None
+        )
+
+        relabeled = 0
+        if comp_after is None:
+            new_component = comp_before + gap
+        elif comp_after - comp_before > 1:
+            new_component = (comp_before + comp_after) // 2
+        else:
+            # Gap exhausted: shift the following siblings' subtrees up by
+            # one gap unit, relabelling every key under them.  Last
+            # sibling first, so shifted keys never collide.
+            for sibling in reversed(children[index:]):
+                relabeled += self._shift_dewey_subtree(
+                    doc, DeweyKey.decode(sibling["dkey"]), gap
+                )
+            new_component = comp_after
+
+        new_root_key = parent_key.child(new_component)
+        ids, parents = self._new_ids(info, shredded, parent_id)
+        order_values = []
+        for node in shredded.nodes:
+            relative = tuple(c * gap for c in node.dewey[1:])
+            key = DeweyKey((*new_root_key.components, *relative))
+            order_values.append((key.encode(),))
+        depth_base = parent_row["depth"] if parent_row is not None else 0
+        self._insert_rows(
+            doc, shredded, ids, parents, depth_base, order_values
+        )
+        return UpdateReport(
+            inserted=shredded.node_count(),
+            relabeled=relabeled,
+            new_root_id=ids[0],
+        )
+
+    def _shift_dewey_subtree(
+        self, doc: int, old_key: DeweyKey, shift: int
+    ) -> int:
+        """Relabel a sibling's whole subtree ``old_key -> old_key+shift``."""
+        new_key = old_key.with_local_position(
+            old_key.local_position() + shift
+        )
+        result = self.store.backend.execute(
+            f"SELECT id, dkey FROM {self.store.node_table} "
+            f"WHERE doc = ? AND dkey >= ? AND dkey < ?",
+            (doc, old_key.encode(),
+             old_key.sibling_successor().encode()),
+        )
+        updates = []
+        for node_id, key_bytes in result.rows:
+            rebased = DeweyKey.decode(key_bytes).replace_prefix(
+                old_key, new_key
+            )
+            updates.append((rebased.encode(), doc, node_id))
+        self.store.backend.executemany(
+            f"UPDATE {self.store.node_table} SET dkey = ? "
+            f"WHERE doc = ? AND id = ?",
+            updates,
+        )
+        return len(updates)
+
+    # -- ORDPATH encoding (extension) ------------------------------------------------------
+
+    def _insert_ordpath(
+        self, doc, parent_id, parent_row, children, index, shredded, info
+    ) -> UpdateReport:
+        """Careted insertion: a fresh key *between* the neighbours.
+
+        Never relabels an existing row — the property the paper's update
+        analysis motivates and ORDPATH delivers.
+        """
+        from repro.core.ordpath import OrdpathKey, suffix_between
+
+        gap = self.store.gap
+        parent_key = (
+            OrdpathKey.decode(parent_row["okey"])
+            if parent_row is not None
+            else OrdpathKey(())
+        )
+        left = (
+            OrdpathKey.decode(children[index - 1]["okey"])
+            .suffix_after(parent_key)
+            if index > 0
+            else None
+        )
+        right = (
+            OrdpathKey.decode(children[index]["okey"])
+            .suffix_after(parent_key)
+            if index < len(children)
+            else None
+        )
+        root_suffix = suffix_between(left, right)
+        new_root_key = OrdpathKey(
+            (*parent_key.components, *root_suffix)
+        )
+
+        ids, parents = self._new_ids(info, shredded, parent_id)
+        order_values = []
+        for node in shredded.nodes:
+            # Fragment-internal children get fresh odd slots under the
+            # new root, mirroring load-time labelling.
+            relative = tuple(
+                2 * gap * c - 1 for c in node.dewey[1:]
+            )
+            key = OrdpathKey((*new_root_key.components, *relative))
+            order_values.append((key.encode(),))
+        depth_base = parent_row["depth"] if parent_row is not None else 0
+        self._insert_rows(
+            doc, shredded, ids, parents, depth_base, order_values
+        )
+        return UpdateReport(
+            inserted=shredded.node_count(),
+            relabeled=0,
+            new_root_id=ids[0],
+        )
+
+    # -- deletion -------------------------------------------------------------------------
+
+    def _subtree_ids(self, doc: int, row: dict) -> list[int]:
+        """Ids of the node and all its descendants."""
+        from repro.core.reconstruct import fetch_subtree_rows
+
+        descendants = fetch_subtree_rows(self.store, doc, row)
+        return [row["id"], *(r["id"] for r in descendants)]
+
+    def _delete_attributes(self, doc: int, ids: list[int]) -> None:
+        for start in range(0, len(ids), _ID_BATCH):
+            batch = ids[start : start + _ID_BATCH]
+            placeholders = ", ".join("?" for _ in batch)
+            self.store.backend.execute(
+                f"DELETE FROM {self.store.attr_table} "
+                f"WHERE doc = ? AND owner IN ({placeholders})",
+                (doc, *batch),
+            )
+
+    def _delete_rows(
+        self, doc: int, row: dict, subtree_ids: list[int]
+    ) -> int:
+        table = self.store.node_table
+        name = self.store.encoding.name
+        if name == "global":
+            result = self.store.backend.execute(
+                f"DELETE FROM {table} "
+                f"WHERE doc = ? AND pos >= ? AND pos <= ?",
+                (doc, row["pos"], row["endpos"]),
+            )
+            return max(result.rowcount, 0)
+        if name == "dewey":
+            key = DeweyKey.decode(row["dkey"])
+            result = self.store.backend.execute(
+                f"DELETE FROM {table} "
+                f"WHERE doc = ? AND dkey >= ? AND dkey < ?",
+                (doc, key.encode(), key.sibling_successor().encode()),
+            )
+            return max(result.rowcount, 0)
+        if name == "ordpath":
+            from repro.core.ordpath import OrdpathKey
+
+            key = OrdpathKey.decode(row["okey"])
+            result = self.store.backend.execute(
+                f"DELETE FROM {table} "
+                f"WHERE doc = ? AND okey >= ? AND okey < ?",
+                (doc, key.encode(), key.encode_successor()),
+            )
+            return max(result.rowcount, 0)
+        deleted = 0
+        for start in range(0, len(subtree_ids), _ID_BATCH):
+            batch = subtree_ids[start : start + _ID_BATCH]
+            placeholders = ", ".join("?" for _ in batch)
+            result = self.store.backend.execute(
+                f"DELETE FROM {table} "
+                f"WHERE doc = ? AND id IN ({placeholders})",
+                (doc, *batch),
+            )
+            deleted += max(result.rowcount, 0)
+        return deleted

@@ -1,0 +1,216 @@
+"""The minidb engine facade.
+
+:class:`MiniDb` glues the catalog, parser, planner, and executor together
+behind a DB-API-flavoured interface::
+
+    db = MiniDb()
+    db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+    db.execute("INSERT INTO t VALUES (?, ?)", (1, "x"))
+    result = db.execute("SELECT b FROM t WHERE a = ?", (1,))
+    result.rows  # [("x",)]
+
+Statement ASTs are cached per SQL text, and compiled SELECT plans are
+cached per (SQL text, schema version), so the benchmark loops pay parsing
+and planning once.  Scalar functions can be registered with
+:meth:`create_function`, mirroring ``sqlite3.Connection.create_function``;
+the engine pre-registers the Dewey helpers that the paper's Dewey
+translation relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+from repro.core.dewey import (
+    dewey_depth_bytes,
+    dewey_local_bytes,
+    dewey_parent_bytes,
+    dewey_successor_bytes,
+)
+from repro.errors import ExecutionError
+from repro.minidb.catalog import Catalog
+from repro.minidb.executor import (
+    CompiledSelect,
+    ExecState,
+    Result,
+    StatementRunner,
+    Stats,
+)
+from repro.minidb.expressions import BUILTIN_SCALARS
+from repro.minidb.sql_ast import Select, Statement, Union_
+from repro.minidb.sql_parser import parse_sql
+
+
+class MiniDb:
+    """One in-memory minidb database instance."""
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+        self.stats = Stats()
+        self.functions: dict[str, Callable] = dict(BUILTIN_SCALARS)
+        self._ast_cache: dict[str, Statement] = {}
+        self._plan_cache: dict[tuple[str, int], CompiledSelect] = {}
+        self._runner = StatementRunner(
+            self.catalog, self.functions, self.stats
+        )
+        self._register_dewey_functions()
+
+    def _register_dewey_functions(self) -> None:
+        from repro.core.ordpath import (
+            ordpath_depth_bytes,
+            ordpath_parent_bytes,
+            ordpath_successor_bytes,
+        )
+
+        self.create_function("dewey_parent", dewey_parent_bytes)
+        self.create_function("dewey_successor", dewey_successor_bytes)
+        self.create_function("dewey_local", dewey_local_bytes)
+        self.create_function("dewey_depth", dewey_depth_bytes)
+        self.create_function("ordpath_parent", ordpath_parent_bytes)
+        self.create_function("ordpath_successor", ordpath_successor_bytes)
+        self.create_function("ordpath_depth", ordpath_depth_bytes)
+
+    def create_function(self, name: str, fn: Callable) -> None:
+        """Register a scalar SQL function under *name* (lower-cased)."""
+        self.functions[name.lower()] = fn
+        self._plan_cache.clear()
+
+    # -- execution --------------------------------------------------------
+
+    def _parse(self, sql: str) -> Statement:
+        statement = self._ast_cache.get(sql)
+        if statement is None:
+            statement = parse_sql(sql)
+            if len(self._ast_cache) < 4096:
+                self._ast_cache[sql] = statement
+        return statement
+
+    def execute(
+        self, sql: Union[str, Statement], params: Sequence = ()
+    ) -> Result:
+        """Execute one statement; returns a :class:`Result`."""
+        if isinstance(sql, str):
+            keyword = sql.strip().rstrip(";").upper()
+            if keyword in ("BEGIN", "BEGIN TRANSACTION"):
+                self.begin()
+                return Result()
+            if keyword == "COMMIT":
+                self.commit()
+                return Result()
+            if keyword == "ROLLBACK":
+                self.rollback()
+                return Result()
+        statement = self._parse(sql) if isinstance(sql, str) else sql
+        params = tuple(params)
+        if isinstance(statement, (Select, Union_)) and isinstance(sql, str):
+            key = (sql, self.catalog.version)
+            plan = self._plan_cache.get(key)
+            if plan is None:
+                plan = self._runner.compiler().compile_select(statement)
+                if len(self._plan_cache) < 4096:
+                    self._plan_cache[key] = plan
+            self.stats.statements += 1
+            state = ExecState(params=params, stats=self.stats)
+            rows = list(plan.rows({}, state))
+            return Result(plan.columns, rows, -1)
+        return self._runner.run(statement, params)
+
+    def executemany(
+        self, sql: str, param_rows: Iterable[Sequence]
+    ) -> Result:
+        """Execute a DML statement once per parameter row."""
+        statement = self._parse(sql)
+        if isinstance(statement, (Select, Union_)):
+            raise ExecutionError("executemany() does not accept SELECT")
+        total = 0
+        for params in param_rows:
+            result = self._runner.run(statement, tuple(params))
+            if result.rowcount > 0:
+                total += result.rowcount
+        return Result(rowcount=total)
+
+    def executescript(self, script: str) -> None:
+        """Execute ``;``-separated statements (DDL bootstrap helper)."""
+        for piece in script.split(";"):
+            text = piece.strip()
+            if text:
+                self.execute(text)
+
+    def explain(self, sql: str) -> list[str]:
+        """Describe the access plan of a SELECT without executing it.
+
+        One line per FROM item: the table, the index chosen (with its
+        equality/IN/range usage) or FULL SCAN, and the residual filter
+        count.  Derived tables and UNION arms are indented.
+        """
+        statement = self._parse(sql)
+        if not isinstance(statement, (Select, Union_)):
+            raise ExecutionError("explain() only accepts SELECT")
+        plan = self._runner.compiler().compile_select(statement)
+        return list(plan.plan_lines)
+
+    # -- transactions ---------------------------------------------------------
+
+    def begin(self) -> None:
+        """Start a transaction: row mutations are journalled for undo."""
+        if self._runner.journal is not None:
+            raise ExecutionError("transaction already in progress")
+        self._runner.journal = []
+
+    def commit(self) -> None:
+        """Commit: discard the undo journal (changes are in place)."""
+        if self._runner.journal is None:
+            raise ExecutionError("no transaction in progress")
+        self._runner.journal = None
+
+    def rollback(self) -> None:
+        """Undo every row mutation made since :meth:`begin`."""
+        journal = self._runner.journal
+        if journal is None:
+            raise ExecutionError("no transaction in progress")
+        self._runner.journal = None
+        for kind, table, rowid, old_row in reversed(journal):
+            if kind == "insert":
+                table.delete(rowid)
+            elif kind == "delete":
+                # Restore the tombstoned slot and its index entries.
+                table.rows[rowid] = old_row
+                table.live_count += 1
+                for index in table.indexes:
+                    index.insert(old_row, rowid)
+            else:  # update
+                table.update(rowid, old_row)
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._runner.journal is not None
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write a snapshot of this database to *path*.
+
+        See :mod:`repro.minidb.persist` for the format.
+        """
+        from repro.minidb import persist
+
+        persist.save(self, path)
+
+    @classmethod
+    def open(cls, path) -> "MiniDb":
+        """Load a database from a snapshot written by :meth:`save`."""
+        from repro.minidb import persist
+
+        return persist.load(path)
+
+    # -- introspection -----------------------------------------------------
+
+    def table_names(self) -> list[str]:
+        return sorted(self.catalog.tables)
+
+    def row_count(self, table: str) -> int:
+        return len(self.catalog.get_table(table))
+
+    def reset_stats(self) -> None:
+        self.stats = Stats()
+        self._runner.stats = self.stats

@@ -1,0 +1,155 @@
+"""Snapshot persistence for minidb databases.
+
+``save`` writes the catalog and every live row to a compact binary file;
+``load`` reads it back and rebuilds all indexes.  The format is a simple
+length-prefixed, tagged-value layout (no pickling — the file contains
+only data, never code):
+
+.. code-block:: text
+
+    magic "MDB1"
+    u32 table_count
+      table: str name, u16 n_columns, (str name, u8 type_code)*,
+             u32 n_rows, rows as tagged values
+    u32 index_count
+      index: str name, str table, u16 n_columns, str*, u8 unique
+
+Value tags: 0 NULL, 1 i64, 2 f64, 3 UTF-8 text, 4 blob.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Union
+
+from repro.errors import ExecutionError
+from repro.minidb.engine import MiniDb
+
+_MAGIC = b"MDB1"
+_TYPE_CODES = {"INTEGER": 0, "REAL": 1, "TEXT": 2, "BLOB": 3}
+_TYPE_NAMES = {v: k for k, v in _TYPE_CODES.items()}
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+
+def _write_str(out: BinaryIO, text: str) -> None:
+    data = text.encode("utf-8")
+    out.write(struct.pack(">I", len(data)))
+    out.write(data)
+
+
+def _read_str(src: BinaryIO) -> str:
+    (length,) = struct.unpack(">I", _read_exact(src, 4))
+    return _read_exact(src, length).decode("utf-8")
+
+
+def _read_exact(src: BinaryIO, n: int) -> bytes:
+    data = src.read(n)
+    if len(data) != n:
+        raise ExecutionError("truncated minidb snapshot")
+    return data
+
+
+def _write_value(out: BinaryIO, value: object) -> None:
+    if value is None:
+        out.write(b"\x00")
+    elif isinstance(value, bool):
+        out.write(b"\x01" + struct.pack(">q", int(value)))
+    elif isinstance(value, int):
+        if not _I64_MIN <= value <= _I64_MAX:
+            raise ExecutionError(
+                f"integer {value} does not fit the snapshot format"
+            )
+        out.write(b"\x01" + struct.pack(">q", value))
+    elif isinstance(value, float):
+        out.write(b"\x02" + struct.pack(">d", value))
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.write(b"\x03" + struct.pack(">I", len(data)))
+        out.write(data)
+    elif isinstance(value, bytes):
+        out.write(b"\x04" + struct.pack(">I", len(value)))
+        out.write(value)
+    else:
+        raise ExecutionError(f"cannot persist value {value!r}")
+
+
+def _read_value(src: BinaryIO) -> object:
+    tag = _read_exact(src, 1)[0]
+    if tag == 0:
+        return None
+    if tag == 1:
+        return struct.unpack(">q", _read_exact(src, 8))[0]
+    if tag == 2:
+        return struct.unpack(">d", _read_exact(src, 8))[0]
+    if tag == 3:
+        (length,) = struct.unpack(">I", _read_exact(src, 4))
+        return _read_exact(src, length).decode("utf-8")
+    if tag == 4:
+        (length,) = struct.unpack(">I", _read_exact(src, 4))
+        return _read_exact(src, length)
+    raise ExecutionError(f"bad value tag {tag} in snapshot")
+
+
+def save(db: MiniDb, path: Union[str, Path]) -> None:
+    """Write *db* (schema + data + index definitions) to *path*."""
+    tables = db.catalog.tables
+    with open(path, "wb") as out:
+        out.write(_MAGIC)
+        out.write(struct.pack(">I", len(tables)))
+        for table in tables.values():
+            _write_str(out, table.name)
+            out.write(struct.pack(">H", len(table.columns)))
+            for name, declared in zip(table.columns, table.types):
+                _write_str(out, name)
+                out.write(bytes((_TYPE_CODES.get(declared, 2),)))
+            out.write(struct.pack(">I", len(table)))
+            for _rowid, row in table.scan():
+                for value in row:
+                    _write_value(out, value)
+        indexes = db.catalog.indexes
+        out.write(struct.pack(">I", len(indexes)))
+        for index in indexes.values():
+            _write_str(out, index.name)
+            _write_str(out, index.table.name)
+            out.write(struct.pack(">H", len(index.column_positions)))
+            for position in index.column_positions:
+                _write_str(out, index.table.columns[position])
+            out.write(bytes((1 if index.unique else 0,)))
+
+
+def load(path: Union[str, Path]) -> MiniDb:
+    """Read a snapshot back into a fresh engine (indexes rebuilt)."""
+    db = MiniDb()
+    with open(path, "rb") as src:
+        if _read_exact(src, 4) != _MAGIC:
+            raise ExecutionError(f"{path} is not a minidb snapshot")
+        (table_count,) = struct.unpack(">I", _read_exact(src, 4))
+        for _ in range(table_count):
+            name = _read_str(src)
+            (n_columns,) = struct.unpack(">H", _read_exact(src, 2))
+            columns = []
+            types = []
+            for _c in range(n_columns):
+                columns.append(_read_str(src))
+                types.append(_TYPE_NAMES[_read_exact(src, 1)[0]])
+            table = db.catalog.create_table(
+                name, tuple(columns), tuple(types)
+            )
+            (n_rows,) = struct.unpack(">I", _read_exact(src, 4))
+            for _r in range(n_rows):
+                row = tuple(_read_value(src) for _v in range(n_columns))
+                table.insert(row)  # type: ignore[union-attr]
+        (index_count,) = struct.unpack(">I", _read_exact(src, 4))
+        for _ in range(index_count):
+            index_name = _read_str(src)
+            table_name = _read_str(src)
+            (n_columns,) = struct.unpack(">H", _read_exact(src, 2))
+            column_names = tuple(_read_str(src) for _c in range(n_columns))
+            unique = bool(_read_exact(src, 1)[0])
+            db.catalog.create_index(
+                index_name, table_name, column_names, unique
+            )
+    return db

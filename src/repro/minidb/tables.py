@@ -1,0 +1,199 @@
+"""Heap tables and secondary indexes for minidb.
+
+A :class:`HeapTable` stores rows as tuples in a slot list; deleted slots
+are tombstoned (``None``) so row ids stay stable.  A :class:`TableIndex`
+maintains a B+-tree from (total-order) key tuples to row ids and enforces
+uniqueness when requested.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import CatalogError, ExecutionError
+from repro.minidb.btree import BPlusTree
+from repro.minidb.values import SqlValue, row_sort_key
+
+
+class TableIndex:
+    """A secondary index over a subset of a table's columns."""
+
+    def __init__(
+        self,
+        name: str,
+        table: "HeapTable",
+        column_positions: tuple[int, ...],
+        unique: bool = False,
+    ) -> None:
+        self.name = name
+        self.table = table
+        self.column_positions = column_positions
+        self.unique = unique
+        self.tree = BPlusTree()
+
+    def key_for_row(self, row: tuple) -> tuple:
+        """Extract this index's raw key values from a full table row."""
+        return tuple(row[i] for i in self.column_positions)
+
+    def insert(self, row: tuple, rowid: int) -> None:
+        key = self.key_for_row(row)
+        sortable = row_sort_key(key)
+        if self.unique and None not in key and self.tree.get(sortable):
+            raise ExecutionError(
+                f"UNIQUE constraint failed on index {self.name}: {key!r}"
+            )
+        self.tree.insert(sortable, rowid)
+
+    def delete(self, row: tuple, rowid: int) -> None:
+        self.tree.delete(row_sort_key(self.key_for_row(row)), rowid)
+
+    def lookup(self, key_values: tuple) -> list[int]:
+        """Row ids whose index key equals *key_values* exactly."""
+        return self.tree.get(row_sort_key(key_values))
+
+    def scan_range(
+        self,
+        low: Optional[tuple],
+        high: Optional[tuple],
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[int]:
+        """Row ids whose index key lies in the given key-tuple range.
+
+        Bounds are raw value tuples which may be shorter than the index
+        key (prefix scans); a short bound compares against the key's
+        prefix, which Python tuple comparison gives us once both sides are
+        total-order keys.
+        """
+        lo = row_sort_key(low) if low is not None else None
+        hi = row_sort_key(high) if high is not None else None
+        if hi is not None and not high_inclusive:
+            pass  # open bound handled by the tree
+        for _key, rowid in self.tree.scan(
+            lo, hi, low_inclusive, high_inclusive
+        ):
+            yield rowid
+
+    def scan_prefix(self, prefix: tuple) -> Iterator[int]:
+        """Row ids whose index key starts with *prefix* (in key order)."""
+        lo = row_sort_key(prefix)
+        for key, rowid in self.tree.scan(lo, None, True, True):
+            if key[: len(lo)] != lo:
+                return
+            yield rowid
+
+
+class HeapTable:
+    """A heap of tuples plus its indexes."""
+
+    def __init__(self, name: str, columns: tuple[str, ...],
+                 types: tuple[str, ...]) -> None:
+        self.name = name
+        self.columns = columns
+        self.types = types
+        self._column_positions = {c: i for i, c in enumerate(columns)}
+        if len(self._column_positions) != len(columns):
+            raise CatalogError(f"duplicate column in table {name}")
+        self.rows: list[Optional[tuple]] = []
+        self.indexes: list[TableIndex] = []
+        self.live_count = 0
+
+    # -- metadata -------------------------------------------------------
+
+    def column_position(self, column: str) -> int:
+        try:
+            return self._column_positions[column]
+        except KeyError:
+            raise CatalogError(
+                f"no column {column!r} in table {self.name}"
+            ) from None
+
+    def has_column(self, column: str) -> bool:
+        return column in self._column_positions
+
+    def add_index(self, index: TableIndex) -> None:
+        self.indexes.append(index)
+        for rowid, row in enumerate(self.rows):
+            if row is not None:
+                index.insert(row, rowid)
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, row: tuple) -> int:
+        """Insert *row*, returning its rowid; maintains all indexes."""
+        if len(row) != len(self.columns):
+            raise ExecutionError(
+                f"table {self.name} expects {len(self.columns)} values, "
+                f"got {len(row)}"
+            )
+        rowid = len(self.rows)
+        self.rows.append(row)
+        try:
+            for index in self.indexes:
+                index.insert(row, rowid)
+        except ExecutionError:
+            # Roll the partial insert back so the table stays consistent.
+            for index in self.indexes:
+                index.delete(row, rowid)
+            self.rows[rowid] = None
+            raise
+        self.live_count += 1
+        return rowid
+
+    def delete(self, rowid: int) -> None:
+        row = self.rows[rowid]
+        if row is None:
+            return
+        for index in self.indexes:
+            index.delete(row, rowid)
+        self.rows[rowid] = None
+        self.live_count -= 1
+
+    def update(self, rowid: int, new_row: tuple) -> None:
+        old = self.rows[rowid]
+        if old is None:
+            raise ExecutionError(f"update of deleted row {rowid}")
+        for index in self.indexes:
+            index.delete(old, rowid)
+        self.rows[rowid] = new_row
+        for index in self.indexes:
+            index.insert(new_row, rowid)
+
+    # -- access ---------------------------------------------------------------
+
+    def get(self, rowid: int) -> tuple:
+        row = self.rows[rowid]
+        if row is None:
+            raise ExecutionError(f"access to deleted row {rowid}")
+        return row
+
+    def scan(self) -> Iterator[tuple[int, tuple]]:
+        """Yield (rowid, row) for every live row, in heap order."""
+        for rowid, row in enumerate(self.rows):
+            if row is not None:
+                yield rowid, row
+
+    def __len__(self) -> int:
+        return self.live_count
+
+
+def coerce_row(types: tuple[str, ...], row: tuple) -> tuple:
+    """Apply light column-affinity coercion on insert (SQLite style)."""
+    out = []
+    for declared, value in zip(types, row):
+        if value is None:
+            out.append(None)
+        elif declared == "INTEGER" and isinstance(value, bool):
+            out.append(int(value))
+        elif declared == "INTEGER" and isinstance(value, float) \
+                and value == int(value):
+            out.append(int(value))
+        elif declared == "REAL" and isinstance(value, int) \
+                and not isinstance(value, bool):
+            out.append(float(value))
+        else:
+            out.append(value)
+    return tuple(out)
+
+
+SqlRow = tuple[SqlValue, ...]

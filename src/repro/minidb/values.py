@@ -1,0 +1,145 @@
+"""SQL value model for the minidb engine.
+
+Values are plain Python objects: ``None`` (SQL NULL), ``int``/``float``
+(NUMERIC), ``str`` (TEXT), ``bytes`` (BLOB).  Booleans appear transiently
+during expression evaluation (with ``None`` standing for UNKNOWN in the
+three-valued logic) and are stored as integers.
+
+Two orderings exist on purpose:
+
+* :func:`compare` — *strict* comparison used by ``WHERE`` predicates.
+  Comparing NULL with anything yields UNKNOWN (``None``); comparing
+  incompatible types (e.g. TEXT with BLOB) raises, which surfaces
+  translation bugs instead of silently mis-sorting.
+* :func:`sort_key` — a *total* order used by B-trees and ``ORDER BY``:
+  NULL < numbers < text < blobs, mirroring SQLite's type ordering, so
+  indexes can store heterogeneous columns (e.g. ``tag`` is NULL for text
+  nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from repro.errors import ExecutionError
+
+SqlValue = Union[None, int, float, str, bytes]
+
+#: Type-class ranks for the total order.
+_RANK_NULL = 0
+_RANK_NUMBER = 1
+_RANK_TEXT = 2
+_RANK_BLOB = 3
+
+
+def type_rank(value: SqlValue) -> int:
+    """Return the type-class rank of *value* in the total order."""
+    if value is None:
+        return _RANK_NULL
+    if isinstance(value, bool):
+        return _RANK_NUMBER
+    if isinstance(value, (int, float)):
+        return _RANK_NUMBER
+    if isinstance(value, str):
+        return _RANK_TEXT
+    if isinstance(value, bytes):
+        return _RANK_BLOB
+    raise ExecutionError(f"unsupported SQL value {value!r}")
+
+
+def sort_key(value: SqlValue) -> tuple:
+    """Total-order key over all SQL values (used by indexes/ORDER BY)."""
+    rank = type_rank(value)
+    if rank == _RANK_NULL:
+        return (rank, 0)
+    if rank == _RANK_NUMBER:
+        return (rank, float(value))  # type: ignore[arg-type]
+    return (rank, value)
+
+
+def row_sort_key(values: tuple) -> tuple:
+    """Total-order key over a tuple of SQL values."""
+    return tuple(sort_key(v) for v in values)
+
+
+def compare(left: SqlValue, right: SqlValue) -> Optional[int]:
+    """Strict three-valued comparison.
+
+    Returns -1/0/1, or ``None`` (UNKNOWN) when either side is NULL.
+    Raises :class:`ExecutionError` for cross-type comparisons other than
+    int/float.
+    """
+    if left is None or right is None:
+        return None
+    lrank, rrank = type_rank(left), type_rank(right)
+    if lrank != rrank:
+        raise ExecutionError(
+            f"cannot compare {type(left).__name__} with {type(right).__name__}"
+        )
+    if left < right:  # type: ignore[operator]
+        return -1
+    if left > right:  # type: ignore[operator]
+        return 1
+    return 0
+
+
+def is_true(value: Any) -> bool:
+    """Collapse three-valued logic to WHERE semantics (UNKNOWN = false)."""
+    return value is not None and bool(value)
+
+
+def logical_and(left: Any, right: Any) -> Optional[bool]:
+    """Kleene AND over {True, False, None}."""
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return bool(left) and bool(right)
+
+
+def logical_or(left: Any, right: Any) -> Optional[bool]:
+    """Kleene OR over {True, False, None}."""
+    if is_true(left) or is_true(right):
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def logical_not(value: Any) -> Optional[bool]:
+    """Kleene NOT over {True, False, None}."""
+    if value is None:
+        return None
+    return not value
+
+
+def cast_value(value: SqlValue, target: str) -> SqlValue:
+    """Implement ``CAST(value AS target)`` with SQLite-style semantics."""
+    if value is None:
+        return None
+    target = target.upper()
+    if target in ("INTEGER", "INT"):
+        try:
+            if isinstance(value, bytes):
+                value = value.decode("utf-8", "replace")
+            return int(float(value))
+        except (TypeError, ValueError):
+            return 0
+    if target == "REAL":
+        try:
+            if isinstance(value, bytes):
+                value = value.decode("utf-8", "replace")
+            return float(value)
+        except (TypeError, ValueError):
+            return 0.0
+    if target == "TEXT":
+        if isinstance(value, bytes):
+            return value.decode("utf-8", "replace")
+        if isinstance(value, float) and value == int(value):
+            return str(value)  # keep SQLite's "1.0" style for floats
+        return str(value)
+    if target == "BLOB":
+        if isinstance(value, bytes):
+            return value
+        return str(value).encode("utf-8")
+    raise ExecutionError(f"unsupported CAST target {target!r}")

@@ -1,0 +1,462 @@
+"""The public facade: :class:`XmlStore`.
+
+An ``XmlStore`` owns one relational backend (sqlite3 or minidb) and one
+order encoding (global, local, or dewey), and exposes the operations the
+paper evaluates:
+
+* :meth:`load` — shred and bulk-load an XML document;
+* :meth:`query` — translate an XPath query to SQL, execute it, and return
+  matching items in document order (running the client-side
+  order-resolution pass that Local order requires);
+* :meth:`reconstruct` / :meth:`reconstruct_subtree` — rebuild documents
+  from rows (see :mod:`repro.core.reconstruct`);
+* :attr:`updates` — ordered insertions and deletions with per-encoding
+  renumbering (see :mod:`repro.core.updates`).
+
+Example
+-------
+>>> from repro import XmlStore
+>>> store = XmlStore(backend="sqlite", encoding="dewey")
+>>> doc_id = store.load("<bib><book><title>T</title></book></bib>")
+>>> [item.value for item in store.query("/bib/book/title/text()", doc_id)]
+['T']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.backends import Backend, make_backend
+from repro.core.dewey import DeweyKey
+from repro.core.encodings import OrderEncoding, get_encoding
+from repro.core.schema import documents_table
+from repro.core.shredder import ShreddedDocument, shred
+from repro.core.translator import TranslatedQuery, make_translator
+from repro.errors import StorageError
+from repro.xmldom import Document, parse
+
+#: How many ids one ``IN (...)`` batch may carry during order resolution.
+_ID_BATCH = 400
+
+
+@dataclass(frozen=True)
+class ResultItem:
+    """One query result: a node row or an attribute.
+
+    ``kind`` is ``elem``/``text``/``comment``/``pi`` for node results and
+    ``attribute`` for attribute results.  ``node_id`` is the surrogate id
+    of the node (for attributes: of the owner element).  ``label`` is the
+    element tag, PI target, or attribute name.  ``value`` is the stored
+    value (direct text value for elements; may be ``None``).
+    """
+
+    kind: str
+    node_id: int
+    label: Optional[str]
+    value: Optional[str]
+
+    def identity(self) -> tuple:
+        """Hashable identity used when comparing against the oracle."""
+        if self.kind == "attribute":
+            return ("attribute", self.node_id, self.label)
+        return ("node", self.node_id)
+
+
+@dataclass
+class DocumentInfo:
+    """Catalogue entry of one stored document."""
+
+    doc: int
+    name: str
+    node_count: int
+    max_depth: int
+    next_id: int
+
+
+class XmlStore:
+    """Ordered XML stored in a relational backend under one encoding."""
+
+    def __init__(
+        self,
+        backend: Union[str, Backend] = "sqlite",
+        encoding: Union[str, OrderEncoding] = "dewey",
+        gap: int = 1,
+    ) -> None:
+        """Create a store.
+
+        Parameters
+        ----------
+        backend:
+            A backend name (``"sqlite"`` / ``"minidb"``) or instance.
+        encoding:
+            An encoding name (``"global"`` / ``"local"`` / ``"dewey"``)
+            or instance.
+        gap:
+            Sparse-numbering gap factor.  1 means dense numbering (the
+            paper's base case); larger values space order values out so
+            bursts of insertions avoid renumbering (experiment E10).
+        """
+        if gap < 1:
+            raise StorageError(f"gap must be >= 1, got {gap}")
+        self.backend = (
+            make_backend(backend) if isinstance(backend, str) else backend
+        )
+        self.encoding = (
+            get_encoding(encoding) if isinstance(encoding, str) else encoding
+        )
+        self.gap = gap
+        self._docs_table = documents_table()
+        self._create_schema()
+        from repro.core.updates import UpdateManager
+
+        #: Ordered update operations (insert/delete with renumbering).
+        self.updates = UpdateManager(self)
+
+    # -- schema ----------------------------------------------------------
+
+    def _create_schema(self) -> None:
+        for statement in (
+            *self.encoding.create_statements(),
+            *self._docs_table.create_statements(),
+        ):
+            # Both backends accept IF NOT EXISTS-free DDL; tolerate reuse
+            # of a backend that already has the schema.
+            try:
+                self.backend.execute(statement)
+            except Exception:
+                if "CREATE" not in statement.upper():
+                    raise
+
+    @property
+    def node_table(self) -> str:
+        return self.encoding.node_table.name
+
+    @property
+    def attr_table(self) -> str:
+        return self.encoding.attr_table.name
+
+    # -- loading ------------------------------------------------------------
+
+    def load(
+        self,
+        document: Union[str, Document],
+        name: str = "doc",
+        strip_whitespace: bool = False,
+    ) -> int:
+        """Shred *document* and bulk-load it; returns the new doc id."""
+        if isinstance(document, str):
+            document = parse(document, strip_whitespace=strip_whitespace)
+        shredded = shred(document)
+        with self.backend.transaction():
+            doc_id = self._next_doc_id()
+            self._bulk_insert(doc_id, shredded)
+            self.backend.execute(
+                "INSERT INTO documents VALUES (?, ?, ?, ?, ?)",
+                (
+                    doc_id,
+                    name,
+                    shredded.node_count(),
+                    shredded.max_depth,
+                    shredded.node_count() + 1,
+                ),
+            )
+        self.backend.analyze()
+        return doc_id
+
+    def _next_doc_id(self) -> int:
+        result = self.backend.execute(
+            "SELECT COALESCE(MAX(doc), 0) FROM documents"
+        )
+        return int(result.rows[0][0]) + 1
+
+    def _bulk_insert(self, doc_id: int, shredded: ShreddedDocument) -> None:
+        columns = self.encoding.node_columns()
+        placeholders = ", ".join("?" for _ in columns)
+        self.backend.executemany(
+            f"INSERT INTO {self.node_table} VALUES ({placeholders})",
+            (
+                self.encoding.node_row(doc_id, node, self.gap)
+                for node in shredded.nodes
+            ),
+        )
+        self.backend.executemany(
+            f"INSERT INTO {self.attr_table} VALUES (?, ?, ?, ?)",
+            (
+                (doc_id, attr.owner, attr.name, attr.value)
+                for attr in shredded.attributes
+            ),
+        )
+
+    # -- catalogue ---------------------------------------------------------------
+
+    def document_info(self, doc: int) -> DocumentInfo:
+        result = self.backend.execute(
+            "SELECT doc, name, node_count, max_depth, next_id "
+            "FROM documents WHERE doc = ?",
+            (doc,),
+        )
+        if not result.rows:
+            raise StorageError(f"no document {doc}")
+        row = result.rows[0]
+        return DocumentInfo(*row)
+
+    def update_document_info(self, info: DocumentInfo) -> None:
+        self.backend.execute(
+            "UPDATE documents SET node_count = ?, max_depth = ?, "
+            "next_id = ? WHERE doc = ?",
+            (info.node_count, info.max_depth, info.next_id, info.doc),
+        )
+
+    def delete_document(self, doc: int) -> int:
+        """Drop a whole document; returns the number of rows removed."""
+        self.document_info(doc)  # raises StorageError if unknown
+        nodes = self.backend.execute(
+            f"DELETE FROM {self.node_table} WHERE doc = ?", (doc,)
+        )
+        attrs = self.backend.execute(
+            f"DELETE FROM {self.attr_table} WHERE doc = ?", (doc,)
+        )
+        self.backend.execute(
+            "DELETE FROM documents WHERE doc = ?", (doc,)
+        )
+        return max(nodes.rowcount, 0) + max(attrs.rowcount, 0)
+
+    def documents(self) -> list[DocumentInfo]:
+        result = self.backend.execute(
+            "SELECT doc, name, node_count, max_depth, next_id "
+            "FROM documents ORDER BY doc"
+        )
+        return [DocumentInfo(*row) for row in result.rows]
+
+    # -- querying ------------------------------------------------------------------
+
+    def translate(
+        self, xpath: str, doc: int, context_id: Optional[int] = None
+    ) -> TranslatedQuery:
+        """Translate *xpath* for this store's encoding (no execution).
+
+        Relative paths navigate from *context_id* (a node's surrogate
+        id); absolute paths start at the document.
+        """
+        info = self.document_info(doc)
+        translator = make_translator(
+            self.encoding.name, max_depth=max(info.max_depth, 2)
+        )
+        return translator.translate(xpath, doc, context_id=context_id)
+
+    def query(
+        self, xpath: str, doc: int, context_id: Optional[int] = None
+    ) -> list[ResultItem]:
+        """Run *xpath* via SQL; results arrive in document order."""
+        translated = self.translate(xpath, doc, context_id=context_id)
+        result = self.backend.execute(translated.sql, translated.params)
+        rows = result.rows
+        if translated.result_kind == "attribute":
+            items, owner_ids = self._attribute_items(rows)
+            if translated.needs_client_order:
+                items = self._client_sort_attributes(doc, items, owner_ids)
+            return items
+        if translated.needs_client_order:
+            rows = self._client_sort_nodes(doc, rows)
+        return [
+            ResultItem(
+                kind=row[2], node_id=row[0], label=row[3], value=row[4]
+            )
+            for row in rows
+        ]
+
+    def query_values(self, xpath: str, doc: int) -> list[Optional[str]]:
+        """Shorthand: the stored value of each result item."""
+        return [item.value for item in self.query(xpath, doc)]
+
+    def _attribute_items(
+        self, rows: list[tuple]
+    ) -> tuple[list[ResultItem], list[int]]:
+        items = []
+        owners = []
+        for row in rows:
+            owner, name, value = row[0], row[1], row[2]
+            items.append(ResultItem("attribute", owner, name, value))
+            owners.append(owner)
+        return items, owners
+
+    # -- client-side order resolution (Local encoding) ---------------------------------
+
+    def _fetch_structure(
+        self, doc: int, ids: Iterable[int]
+    ) -> dict[int, tuple[int, int]]:
+        """Fetch ``id -> (parent, lpos)`` for the given node ids."""
+        out: dict[int, tuple[int, int]] = {}
+        pending = [i for i in set(ids) if i != 0]
+        while pending:
+            batch = pending[:_ID_BATCH]
+            pending = pending[_ID_BATCH:]
+            placeholders = ", ".join("?" for _ in batch)
+            result = self.backend.execute(
+                f"SELECT id, parent, lpos FROM {self.node_table} "
+                f"WHERE doc = ? AND id IN ({placeholders})",
+                (doc, *batch),
+            )
+            for node_id, parent, lpos in result.rows:
+                out[node_id] = (parent, lpos)
+        return out
+
+    def _order_keys(
+        self, doc: int, ids: list[int]
+    ) -> dict[int, tuple[int, ...]]:
+        """Root-to-node ``lpos`` paths for each id (Local sort keys)."""
+        structure: dict[int, tuple[int, int]] = {}
+        frontier = set(ids)
+        while frontier:
+            fetched = self._fetch_structure(
+                doc, frontier - structure.keys()
+            )
+            structure.update(fetched)
+            frontier = {
+                parent
+                for parent, _lpos in fetched.values()
+                if parent != 0 and parent not in structure
+            }
+        keys: dict[int, tuple[int, ...]] = {}
+        for node_id in ids:
+            path: list[int] = []
+            current = node_id
+            while current != 0:
+                parent, lpos = structure[current]
+                path.append(lpos)
+                current = parent
+            keys[node_id] = tuple(reversed(path))
+        return keys
+
+    def _client_sort_nodes(
+        self, doc: int, rows: list[tuple]
+    ) -> list[tuple]:
+        keys = self._order_keys(doc, [row[0] for row in rows])
+        return sorted(rows, key=lambda row: keys[row[0]])
+
+    def _client_sort_attributes(
+        self, doc: int, items: list[ResultItem], owner_ids: list[int]
+    ) -> list[ResultItem]:
+        keys = self._order_keys(doc, owner_ids)
+        return sorted(
+            items, key=lambda item: (keys[item.node_id], item.label or "")
+        )
+
+    # -- reconstruction ------------------------------------------------------------------
+
+    def reconstruct(self, doc: int) -> Document:
+        """Rebuild the full document from its rows."""
+        from repro.core.reconstruct import reconstruct_document
+
+        return reconstruct_document(self, doc)
+
+    def reconstruct_subtree(self, doc: int, node_id: int):
+        """Rebuild the subtree rooted at *node_id* (returns a DOM node)."""
+        from repro.core.reconstruct import reconstruct_subtree
+
+        return reconstruct_subtree(self, doc, node_id)
+
+    def string_value(self, doc: int, node_id: int) -> str:
+        """The XPath *string-value* of a node: all descendant text.
+
+        Unlike the stored ``value`` column (direct text only), this
+        walks the whole subtree — one ordered range scan for Global/
+        Dewey/ORDPATH, a reconstruction walk for Local.
+        """
+        row = self.fetch_node(doc, node_id)
+        if row is None:
+            raise StorageError(f"no node {node_id} in document {doc}")
+        if row["kind"] != "elem":
+            return row["value"] or ""
+        name = self.encoding.name
+        if name == "global":
+            result = self.backend.execute(
+                f"SELECT value FROM {self.node_table} "
+                f"WHERE doc = ? AND pos >= ? AND pos <= ? "
+                f"AND kind = 'text' ORDER BY pos",
+                (doc, row["pos"], row["endpos"]),
+            )
+        elif name == "dewey":
+            key = DeweyKey.decode(row["dkey"])
+            result = self.backend.execute(
+                f"SELECT value FROM {self.node_table} "
+                f"WHERE doc = ? AND dkey > ? AND dkey < ? "
+                f"AND kind = 'text' ORDER BY dkey",
+                (doc, key.encode(), key.sibling_successor().encode()),
+            )
+        elif name == "ordpath":
+            from repro.core.ordpath import OrdpathKey
+
+            key = OrdpathKey.decode(row["okey"])
+            result = self.backend.execute(
+                f"SELECT value FROM {self.node_table} "
+                f"WHERE doc = ? AND okey > ? AND okey < ? "
+                f"AND kind = 'text' ORDER BY okey",
+                (doc, key.encode(), key.encode_successor()),
+            )
+        else:
+            node = self.reconstruct_subtree(doc, node_id)
+            return node.text_value()  # type: ignore[union-attr]
+        return "".join(r[0] for r in result.rows if r[0] is not None)
+
+    def query_string_values(self, xpath: str, doc: int) -> list[str]:
+        """XPath string-values of every result, in document order."""
+        out = []
+        for item in self.query(xpath, doc):
+            if item.kind == "attribute":
+                out.append(item.value or "")
+            else:
+                out.append(self.string_value(doc, item.node_id))
+        return out
+
+    # -- row-level helpers shared with updates/reconstruct ------------------------------
+
+    def fetch_node(self, doc: int, node_id: int) -> Optional[dict]:
+        """Fetch one node row as a column->value dict."""
+        columns = self.encoding.node_columns()
+        result = self.backend.execute(
+            f"SELECT {', '.join(columns)} FROM {self.node_table} "
+            f"WHERE doc = ? AND id = ?",
+            (doc, node_id),
+        )
+        if not result.rows:
+            return None
+        return dict(zip(columns, result.rows[0]))
+
+    def fetch_children(self, doc: int, parent_id: int) -> list[dict]:
+        """Fetch the child rows of *parent_id*, in document order."""
+        columns = self.encoding.node_columns()
+        order = self.encoding.sibling_order_column
+        result = self.backend.execute(
+            f"SELECT {', '.join(columns)} FROM {self.node_table} "
+            f"WHERE doc = ? AND parent = ? ORDER BY {order}",
+            (doc, parent_id),
+        )
+        return [dict(zip(columns, row)) for row in result.rows]
+
+    def fetch_attributes(self, doc: int, owner_ids: Sequence[int]) -> list[tuple]:
+        """Fetch (owner, name, value) for the given owners."""
+        out: list[tuple] = []
+        owner_list = list(owner_ids)
+        for start in range(0, len(owner_list), _ID_BATCH):
+            batch = owner_list[start : start + _ID_BATCH]
+            placeholders = ", ".join("?" for _ in batch)
+            result = self.backend.execute(
+                f"SELECT owner, name, value FROM {self.attr_table} "
+                f"WHERE doc = ? AND owner IN ({placeholders})",
+                (doc, *batch),
+            )
+            out.extend(result.rows)
+        return out
+
+    def dewey_key_of(self, row: dict) -> DeweyKey:
+        """Decode the Dewey key of a fetched row (Dewey encoding only)."""
+        return DeweyKey.decode(row["dkey"])
+
+    def node_count(self, doc: int) -> int:
+        result = self.backend.execute(
+            f"SELECT COUNT(*) FROM {self.node_table} WHERE doc = ?",
+            (doc,),
+        )
+        return int(result.rows[0][0])

@@ -1,0 +1,180 @@
+"""Deterministic synthetic XML document generators.
+
+The paper's experiments ran over generated XML documents; the two corpora
+here reproduce the tree-shape regimes that matter for order encodings:
+
+* :func:`article_corpus` — *document-centric*: deep-ish trees with wide
+  ordered sibling lists (sections, paragraphs) and mixed text, where
+  sibling order carries meaning (the paper's motivating scenario);
+* :func:`catalog_corpus` — *data-centric*: shallow, regular records with
+  numeric fields and attributes, the classic shredding workload.
+
+All generation is seeded and reproducible.  Value-bearing fields (title,
+name, price, year, …) always have *simple content* (a single text child),
+so the stored direct-text value equals the XPath string-value and SQL
+value predicates agree with the native evaluator (see DESIGN.md).
+
+:func:`random_document` produces small irregular trees for differential
+and property tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.xmldom.dom import Comment, Document, Element, Text
+
+_WORDS = (
+    "order data xml relational query encoding dewey global local update "
+    "document sibling ancestor index join translation shred node tree "
+    "storage system paper result table figure test bench author value"
+).split()
+
+
+def _sentence(rng: random.Random, words: int) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(words))
+
+
+def _simple(tag: str, text: str) -> Element:
+    element = Element(tag)
+    element.append(Text(text))
+    return element
+
+
+def article_corpus(
+    articles: int = 20,
+    sections: int = 4,
+    paragraphs: int = 5,
+    max_authors: int = 3,
+    seed: int = 7,
+) -> Document:
+    """A document-centric journal: ordered sections and paragraphs."""
+    rng = random.Random(seed)
+    doc = Document()
+    journal = Element("journal")
+    doc.append(journal)
+    for a in range(1, articles + 1):
+        article = Element(
+            "article",
+            {"id": f"a{a}", "year": str(rng.randint(1992, 2002))},
+        )
+        journal.append(article)
+        article.append(_simple("title", f"Article {a}: "
+                               + _sentence(rng, 3)))
+        for author_index in range(rng.randint(1, max_authors)):
+            article.append(
+                _simple("author", f"Author{(a * 7 + author_index) % 50}")
+            )
+        for s in range(1, sections + 1):
+            section = Element("section", {"no": str(s)})
+            article.append(section)
+            section.append(_simple("title", _sentence(rng, 2)))
+            for _p in range(rng.randint(1, paragraphs)):
+                section.append(
+                    _simple("para", _sentence(rng, rng.randint(4, 12)))
+                )
+    return doc
+
+
+def catalog_corpus(
+    products: int = 50,
+    max_reviews: int = 3,
+    seed: int = 11,
+) -> Document:
+    """A data-centric product catalogue with numeric fields."""
+    rng = random.Random(seed)
+    doc = Document()
+    catalog = Element("catalog")
+    doc.append(catalog)
+    categories = ("books", "music", "tools", "games")
+    for p in range(1, products + 1):
+        product = Element(
+            "product",
+            {"sku": f"p{p:05d}", "category": rng.choice(categories)},
+        )
+        catalog.append(product)
+        product.append(_simple("name", f"Product {p} "
+                               + _sentence(rng, 2)))
+        product.append(
+            _simple("price", f"{rng.randint(1, 500)}.{rng.randint(0,99):02d}")
+        )
+        product.append(_simple("stock", str(rng.randint(0, 1000))))
+        for _r in range(rng.randint(0, max_reviews)):
+            review = Element("review", {"rating": str(rng.randint(1, 5))})
+            product.append(review)
+            review.append(
+                _simple("comment", _sentence(rng, rng.randint(3, 8)))
+            )
+    return doc
+
+
+def sized_article_corpus(target_nodes: int, seed: int = 7) -> Document:
+    """An article corpus scaled to roughly *target_nodes* tree nodes.
+
+    One article contributes about ``2 + authors + sections * (2 + 2 *
+    paras_avg)`` nodes; we solve for the article count with the default
+    shape parameters.
+    """
+    per_article = 2 + 2 + 4 * (2 + 2 * 3)  # ~36 with defaults
+    articles = max(1, target_nodes // per_article)
+    return article_corpus(articles=articles, seed=seed)
+
+
+def random_document(
+    seed: int,
+    max_depth: int = 5,
+    max_children: int = 4,
+    tags: tuple[str, ...] = ("a", "b", "c", "d"),
+    allow_comments: bool = True,
+    attribute_names: tuple[str, ...] = ("id", "x", "y"),
+) -> Document:
+    """A small random tree for differential and property tests.
+
+    Values and attributes are drawn from small alphabets so random
+    queries actually hit something.
+    """
+    rng = random.Random(seed)
+    doc = Document()
+    root = Element(rng.choice(tags))
+    doc.append(root)
+
+    def fill(element: Element, depth: int) -> None:
+        for name in attribute_names:
+            if rng.random() < 0.3:
+                element.set(name, str(rng.randint(0, 9)))
+        n_children = rng.randint(0, max_children)
+        for _ in range(n_children):
+            roll = rng.random()
+            # Never create adjacent text siblings: the XPath data model
+            # (and any parse/serialize round trip) merges them.
+            last_is_text = bool(element.children) and isinstance(
+                element.children[-1], Text
+            )
+            if (depth >= max_depth or roll < 0.3) and not last_is_text:
+                element.append(Text(str(rng.randint(0, 99))))
+            elif allow_comments and roll < 0.35:
+                element.append(Comment(_sentence(rng, 2)))
+            elif depth < max_depth:
+                child = Element(rng.choice(tags))
+                element.append(child)
+                fill(child, depth + 1)
+
+    fill(root, 1)
+    return doc
+
+
+def document_stats(doc: Document) -> dict[str, int]:
+    """Node count, element count, and max depth of a document."""
+    nodes = 0
+    elements = 0
+    max_depth = 0
+    stack: list[tuple[object, int]] = [(c, 1) for c in doc.children]
+    while stack:
+        node, depth = stack.pop()
+        nodes += 1
+        max_depth = max(max_depth, depth)
+        if isinstance(node, Element):
+            elements += 1
+            stack.extend((c, depth + 1) for c in node.children)
+    return {"nodes": nodes, "elements": elements, "max_depth": max_depth}

@@ -1,0 +1,110 @@
+"""Update workloads: reproducible streams of ordered insert/delete ops.
+
+The generators pick *where* to insert (first / middle / last sibling
+position, or uniformly at random) against a live store, so the same seed
+produces the same logical operation sequence for every encoding — the
+apples-to-apples comparison experiments E5/E6/E7/E10 need.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.updates import UpdateReport
+from repro.xmldom.dom import Element, Text
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store import XmlStore
+
+
+def make_fragment(tag: str = "new", payload_nodes: int = 2) -> Element:
+    """A small insertable fragment with ~payload_nodes+1 nodes."""
+    root = Element(tag, {"generated": "1"})
+    for index in range(max(0, payload_nodes // 2)):
+        child = Element("v")
+        child.append(Text(f"value-{index}"))
+        root.append(child)
+    return root
+
+
+@dataclass
+class UpdateStreamResult:
+    """Aggregated cost of one stream of update operations."""
+
+    operations: int = 0
+    inserted: int = 0
+    deleted: int = 0
+    relabeled: int = 0
+    reports: list[UpdateReport] = field(default_factory=list)
+
+    def add(self, report: UpdateReport) -> None:
+        self.operations += 1
+        self.inserted += report.inserted
+        self.deleted += report.deleted
+        self.relabeled += report.relabeled
+        self.reports.append(report)
+
+
+class UpdateWorkload:
+    """Drives update operations against one store/document."""
+
+    def __init__(self, store: "XmlStore", doc: int, seed: int = 3) -> None:
+        self.store = store
+        self.doc = doc
+        self.rng = random.Random(seed)
+
+    # -- parent selection ----------------------------------------------
+
+    def container_ids(self, xpath: str) -> list[int]:
+        """Node ids matching *xpath* (insertion targets)."""
+        return [item.node_id for item in self.store.query(xpath, self.doc)]
+
+    def _index_for(self, parent_id: int, where: str) -> int:
+        children = self.store.fetch_children(self.doc, parent_id)
+        if where == "first":
+            return 0
+        if where == "last":
+            return len(children)
+        if where == "middle":
+            return len(children) // 2
+        return self.rng.randint(0, len(children))
+
+    # -- operations ------------------------------------------------------
+
+    def insert_at(
+        self,
+        parent_id: int,
+        where: str,
+        payload_nodes: int = 2,
+        tag: str = "new",
+    ) -> UpdateReport:
+        """One insert at a named position under *parent_id*."""
+        index = self._index_for(parent_id, where)
+        fragment = make_fragment(tag, payload_nodes)
+        return self.store.updates.insert(
+            self.doc, parent_id, index, fragment
+        )
+
+    def insert_stream(
+        self,
+        parent_id: int,
+        where: str,
+        count: int,
+        payload_nodes: int = 2,
+    ) -> UpdateStreamResult:
+        """*count* inserts at the same named position."""
+        result = UpdateStreamResult()
+        for _ in range(count):
+            result.add(self.insert_at(parent_id, where, payload_nodes))
+        return result
+
+    def delete_random(
+        self, candidates_xpath: str
+    ) -> Optional[UpdateReport]:
+        """Delete a random node matching *candidates_xpath*."""
+        ids = self.container_ids(candidates_xpath)
+        if not ids:
+            return None
+        return self.store.updates.delete(self.doc, self.rng.choice(ids))

@@ -1,0 +1,36 @@
+"""XML substrate: character tables, tokenizer, parser, DOM, serializer.
+
+This is a from-scratch, non-validating XML 1.0 processor sufficient for the
+shredding experiments in the paper: elements, attributes, character data
+(including CDATA), comments, processing instructions, the predefined and
+numeric entities, and DOCTYPE skipping.
+"""
+
+from repro.xmldom.dom import (
+    Comment,
+    Document,
+    Element,
+    Node,
+    ParentNode,
+    ProcessingInstruction,
+    Text,
+    document_order,
+    new_document,
+)
+from repro.xmldom.parser import parse, parse_fragment
+from repro.xmldom.serializer import serialize
+
+__all__ = [
+    "Comment",
+    "Document",
+    "Element",
+    "Node",
+    "ParentNode",
+    "ProcessingInstruction",
+    "Text",
+    "document_order",
+    "new_document",
+    "parse",
+    "parse_fragment",
+    "serialize",
+]

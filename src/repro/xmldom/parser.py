@@ -1,0 +1,131 @@
+"""Tree construction: tokens -> :class:`~repro.xmldom.dom.Document`.
+
+The parser enforces well-formedness at the tree level (matching tags, a
+single root element, no character data outside the root) and applies a
+configurable whitespace policy.  The paper's shredders discard whitespace
+that appears between elements in data-centric documents ("ignorable"
+whitespace); we make the same choice available, defaulting to *keep*, and
+the shredding/reconstruction round-trip tests pin the behaviour down.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XmlSyntaxError
+from repro.xmldom.dom import (
+    Comment,
+    Document,
+    Element,
+    ProcessingInstruction,
+    Text,
+)
+from repro.xmldom.tokenizer import (
+    CommentToken,
+    EndTagToken,
+    PIToken,
+    StartTagToken,
+    TextToken,
+    Tokenizer,
+)
+
+
+def parse(source: str, strip_whitespace: bool = False) -> Document:
+    """Parse *source* into a :class:`Document`.
+
+    Parameters
+    ----------
+    source:
+        The XML text.
+    strip_whitespace:
+        When true, text nodes that consist entirely of whitespace are
+        dropped (the usual policy for data-centric shredding).  Whitespace
+        inside mixed content (i.e. text with non-space characters) is
+        always preserved verbatim.
+
+    Raises
+    ------
+    XmlSyntaxError
+        On any lexical or well-formedness violation.
+    """
+    doc = Document()
+    stack: list[Element] = []
+    saw_root = False
+
+    for token in Tokenizer(source).tokens():
+        if isinstance(token, StartTagToken):
+            if not stack and saw_root:
+                raise XmlSyntaxError(
+                    "document has more than one root element",
+                    token.line,
+                    token.column,
+                )
+            element = Element(token.name, token.attributes)
+            parent = stack[-1] if stack else doc
+            parent.append(element)
+            if not stack:
+                saw_root = True
+            if not token.self_closing:
+                stack.append(element)
+        elif isinstance(token, EndTagToken):
+            if not stack:
+                raise XmlSyntaxError(
+                    f"unexpected closing tag </{token.name}>",
+                    token.line,
+                    token.column,
+                )
+            open_element = stack.pop()
+            if open_element.tag != token.name:
+                raise XmlSyntaxError(
+                    f"mismatched closing tag </{token.name}>, "
+                    f"expected </{open_element.tag}>",
+                    token.line,
+                    token.column,
+                )
+        elif isinstance(token, TextToken):
+            _append_text(doc, stack, token, strip_whitespace)
+        elif isinstance(token, CommentToken):
+            parent = stack[-1] if stack else doc
+            parent.append(Comment(token.content))
+        elif isinstance(token, PIToken):
+            parent = stack[-1] if stack else doc
+            parent.append(ProcessingInstruction(token.target, token.data))
+
+    if stack:
+        raise XmlSyntaxError(f"unclosed element <{stack[-1].tag}>")
+    if doc.root is None:
+        raise XmlSyntaxError("document has no root element")
+    return doc
+
+
+def _append_text(
+    doc: Document,
+    stack: list[Element],
+    token: TextToken,
+    strip_whitespace: bool,
+) -> None:
+    content = token.content
+    blank = content.strip() == ""
+    if not stack:
+        # Character data is only legal outside the root if it is blank.
+        if blank:
+            return
+        raise XmlSyntaxError(
+            "character data outside the root element",
+            token.line,
+            token.column,
+        )
+    if blank and strip_whitespace and not token.is_cdata:
+        return
+    if not content:
+        return
+    parent = stack[-1]
+    # Merge adjacent text (e.g. text + CDATA) into one node, matching the
+    # XPath data model where text nodes are maximal runs of character data.
+    if parent.children and isinstance(parent.children[-1], Text):
+        parent.children[-1].content += content
+    else:
+        parent.append(Text(content))
+
+
+def parse_fragment(source: str, strip_whitespace: bool = False) -> Element:
+    """Parse a single-rooted XML fragment and return its root element."""
+    return parse(source, strip_whitespace=strip_whitespace).root  # type: ignore[return-value]

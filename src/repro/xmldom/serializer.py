@@ -1,0 +1,91 @@
+"""Serialisation: DOM -> XML text.
+
+Supports compact (verbatim) output and a pretty-printed mode used by the
+examples.  Round-trip fidelity (`parse(serialize(doc))` structurally equal
+to `doc`) is property-tested for the compact mode.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.xmldom import chars
+from repro.xmldom.dom import (
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+)
+
+
+def serialize(
+    node: Union[Document, Node],
+    pretty: bool = False,
+    indent: str = "  ",
+    xml_declaration: bool = False,
+) -> str:
+    """Serialise a document or a subtree rooted at *node* to XML text."""
+    parts: list[str] = []
+    if xml_declaration:
+        parts.append('<?xml version="1.0" encoding="UTF-8"?>')
+        if not pretty:
+            parts.append("\n")
+    if isinstance(node, Document):
+        for i, child in enumerate(node.children):
+            _write(child, parts, pretty, indent, 0)
+            if pretty and i < len(node.children) - 1:
+                parts.append("\n")
+    else:
+        _write(node, parts, pretty, indent, 0)
+    if pretty:
+        parts.append("\n")
+    return "".join(parts)
+
+
+def _write(
+    node: Node, parts: list[str], pretty: bool, indent: str, level: int
+) -> None:
+    pad = indent * level if pretty else ""
+    if isinstance(node, Element):
+        _write_element(node, parts, pretty, indent, level)
+    elif isinstance(node, Text):
+        parts.append(chars.escape_text(node.content))
+    elif isinstance(node, Comment):
+        parts.append(f"{pad}<!--{node.content}-->")
+    elif isinstance(node, ProcessingInstruction):
+        data = f" {node.data}" if node.data else ""
+        parts.append(f"{pad}<?{node.target}{data}?>")
+    else:  # pragma: no cover - exhaustive over node kinds
+        raise TypeError(f"cannot serialise {type(node).__name__}")
+
+
+def _write_element(
+    element: Element,
+    parts: list[str],
+    pretty: bool,
+    indent: str,
+    level: int,
+) -> None:
+    pad = indent * level if pretty else ""
+    attrs = "".join(
+        f' {name}="{chars.escape_attribute(value)}"'
+        for name, value in element.attributes.items()
+    )
+    if not element.children:
+        parts.append(f"{pad}<{element.tag}{attrs}/>")
+        return
+    parts.append(f"{pad}<{element.tag}{attrs}>")
+
+    # Pretty mode only reformats element-only content; any text child means
+    # mixed content, which must be reproduced verbatim to preserve meaning.
+    mixed = any(isinstance(c, Text) for c in element.children)
+    use_pretty = pretty and not mixed
+    for child in element.children:
+        if use_pretty:
+            parts.append("\n")
+        _write(child, parts, use_pretty, indent, level + 1)
+    if use_pretty:
+        parts.append("\n" + pad)
+    parts.append(f"</{element.tag}>")

@@ -1,0 +1,242 @@
+"""A streaming tokenizer for XML 1.0 documents.
+
+Produces a flat sequence of :class:`Token` objects (start tags, end tags,
+character data, comments, processing instructions).  DOCTYPE declarations
+and the XML declaration are recognised and skipped; external entities and
+DTD validation are out of scope, matching the non-validating parsers the
+paper's systems used for shredding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import XmlSyntaxError
+from repro.xmldom import chars
+
+
+@dataclass
+class Token:
+    """Base token; carries the 1-based source position for diagnostics."""
+
+    line: int
+    column: int
+
+
+@dataclass
+class StartTagToken(Token):
+    name: str = ""
+    attributes: dict[str, str] = field(default_factory=dict)
+    self_closing: bool = False
+
+
+@dataclass
+class EndTagToken(Token):
+    name: str = ""
+
+
+@dataclass
+class TextToken(Token):
+    content: str = ""
+    is_cdata: bool = False
+
+
+@dataclass
+class CommentToken(Token):
+    content: str = ""
+
+
+@dataclass
+class PIToken(Token):
+    target: str = ""
+    data: str = ""
+
+
+class Tokenizer:
+    """Single-pass tokenizer over an XML source string."""
+
+    def __init__(self, source: str) -> None:
+        self._src = source
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    # -- low-level cursor ------------------------------------------------
+
+    def _error(self, message: str) -> XmlSyntaxError:
+        return XmlSyntaxError(message, self._line, self._col)
+
+    def _peek(self, offset: int = 0) -> str:
+        pos = self._pos + offset
+        return self._src[pos] if pos < len(self._src) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        """Consume *count* characters, maintaining line/column."""
+        taken = self._src[self._pos : self._pos + count]
+        if len(taken) < count:
+            raise self._error("unexpected end of input")
+        for ch in taken:
+            if ch == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+        self._pos += count
+        return taken
+
+    def _at_end(self) -> bool:
+        return self._pos >= len(self._src)
+
+    def _skip_whitespace(self) -> None:
+        while not self._at_end() and chars.is_whitespace(self._peek()):
+            self._advance()
+
+    def _expect(self, literal: str) -> None:
+        if not self._src.startswith(literal, self._pos):
+            raise self._error(f"expected {literal!r}")
+        self._advance(len(literal))
+
+    def _read_until(self, terminator: str, what: str) -> str:
+        """Consume text up to *terminator*, consuming the terminator too."""
+        end = self._src.find(terminator, self._pos)
+        if end == -1:
+            raise self._error(f"unterminated {what}")
+        content = self._advance(end - self._pos)
+        self._advance(len(terminator))
+        return content
+
+    def _read_name(self) -> str:
+        start = self._pos
+        if self._at_end() or not chars.is_name_start_char(self._peek()):
+            raise self._error("expected an XML name")
+        self._advance()
+        while not self._at_end() and chars.is_name_char(self._peek()):
+            self._advance()
+        return self._src[start : self._pos]
+
+    # -- token productions -------------------------------------------------
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield every token in the source, in order."""
+        while not self._at_end():
+            line, col = self._line, self._col
+            if self._peek() == "<":
+                yield from self._read_markup(line, col)
+            else:
+                yield self._read_text(line, col)
+
+    def _read_markup(self, line: int, col: int) -> Iterator[Token]:
+        nxt = self._peek(1)
+        if nxt == "?":
+            token = self._read_pi_or_decl(line, col)
+            if token is not None:
+                yield token
+        elif nxt == "!":
+            if self._src.startswith("<!--", self._pos):
+                yield self._read_comment(line, col)
+            elif self._src.startswith("<![CDATA[", self._pos):
+                yield self._read_cdata(line, col)
+            elif self._src.startswith("<!DOCTYPE", self._pos):
+                self._skip_doctype()
+            else:
+                raise self._error("unrecognised markup declaration")
+        elif nxt == "/":
+            yield self._read_end_tag(line, col)
+        else:
+            yield self._read_start_tag(line, col)
+
+    def _read_text(self, line: int, col: int) -> TextToken:
+        end = self._src.find("<", self._pos)
+        if end == -1:
+            end = len(self._src)
+        raw = self._advance(end - self._pos)
+        return TextToken(line, col, chars.unescape(raw, line, col))
+
+    def _read_comment(self, line: int, col: int) -> CommentToken:
+        self._expect("<!--")
+        content = self._read_until("-->", "comment")
+        if "--" in content:
+            raise XmlSyntaxError("'--' not allowed in comment", line, col)
+        return CommentToken(line, col, content)
+
+    def _read_cdata(self, line: int, col: int) -> TextToken:
+        self._expect("<![CDATA[")
+        content = self._read_until("]]>", "CDATA section")
+        return TextToken(line, col, content, is_cdata=True)
+
+    def _read_pi_or_decl(self, line: int, col: int) -> PIToken | None:
+        self._expect("<?")
+        target = self._read_name()
+        body = self._read_until("?>", "processing instruction")
+        if target.lower() == "xml":
+            return None  # the XML declaration carries no tree content
+        return PIToken(line, col, target, body.strip())
+
+    def _skip_doctype(self) -> None:
+        """Skip ``<!DOCTYPE ...>`` including a bracketed internal subset."""
+        self._expect("<!DOCTYPE")
+        depth = 1
+        in_subset = False
+        while depth > 0:
+            if self._at_end():
+                raise self._error("unterminated DOCTYPE")
+            ch = self._advance()
+            if ch == "[":
+                in_subset = True
+            elif ch == "]":
+                in_subset = False
+            elif ch == "<" and in_subset:
+                depth += 1
+            elif ch == ">":
+                depth -= 1
+                if in_subset:
+                    depth = max(depth, 1)
+
+    def _read_start_tag(self, line: int, col: int) -> StartTagToken:
+        self._expect("<")
+        name = self._read_name()
+        attributes = self._read_attributes(name)
+        self._skip_whitespace()
+        self_closing = False
+        if self._peek() == "/":
+            self._advance()
+            self_closing = True
+        self._expect(">")
+        return StartTagToken(line, col, name, attributes, self_closing)
+
+    def _read_attributes(self, tag: str) -> dict[str, str]:
+        attributes: dict[str, str] = {}
+        while True:
+            saw_space = False
+            while not self._at_end() and chars.is_whitespace(self._peek()):
+                self._advance()
+                saw_space = True
+            nxt = self._peek()
+            if nxt in ("", ">", "/"):
+                return attributes
+            if not saw_space:
+                raise self._error("expected whitespace before attribute")
+            name = self._read_name()
+            self._skip_whitespace()
+            self._expect("=")
+            self._skip_whitespace()
+            quote = self._peek()
+            if quote not in ("'", '"'):
+                raise self._error("attribute value must be quoted")
+            self._advance()
+            raw = self._read_until(quote, f"attribute {name!r}")
+            if "<" in raw:
+                raise self._error(f"'<' in value of attribute {name!r}")
+            if name in attributes:
+                raise self._error(
+                    f"duplicate attribute {name!r} on element {tag!r}"
+                )
+            attributes[name] = chars.unescape(raw, self._line, self._col)
+
+    def _read_end_tag(self, line: int, col: int) -> EndTagToken:
+        self._expect("</")
+        name = self._read_name()
+        self._skip_whitespace()
+        self._expect(">")
+        return EndTagToken(line, col, name)

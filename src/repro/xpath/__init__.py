@@ -1,0 +1,53 @@
+"""XPath substrate: lexer, parser, AST, and the native evaluator oracle."""
+
+from repro.xpath.ast import (
+    AXES,
+    BinaryOp,
+    Expr,
+    FunctionCall,
+    LocationPath,
+    NodeTest,
+    NumberLiteral,
+    PathExpr,
+    REVERSE_AXES,
+    Step,
+    StringLiteral,
+    UnionPath,
+    child_step,
+    position_eq,
+)
+from repro.xpath.evaluator import (
+    AttributeNode,
+    Evaluator,
+    evaluate,
+    string_value,
+    to_boolean,
+    to_number,
+    to_string,
+)
+from repro.xpath.parser import parse_xpath
+
+__all__ = [
+    "AXES",
+    "AttributeNode",
+    "BinaryOp",
+    "Evaluator",
+    "Expr",
+    "FunctionCall",
+    "LocationPath",
+    "NodeTest",
+    "NumberLiteral",
+    "PathExpr",
+    "REVERSE_AXES",
+    "Step",
+    "StringLiteral",
+    "UnionPath",
+    "child_step",
+    "evaluate",
+    "parse_xpath",
+    "position_eq",
+    "string_value",
+    "to_boolean",
+    "to_number",
+    "to_string",
+]

@@ -1,0 +1,187 @@
+"""Abstract syntax tree for the supported XPath 1.0 fragment.
+
+The fragment covers what the paper's ordered-query workload needs:
+
+* absolute and relative location paths with ``/`` and ``//``;
+* the thirteen axes that matter for ordered XML — ``child``,
+  ``descendant``, ``descendant-or-self``, ``self``, ``parent``,
+  ``ancestor``, ``ancestor-or-self``, ``attribute``,
+  ``following-sibling``, ``preceding-sibling``, ``following`` and
+  ``preceding`` — plus the usual abbreviations;
+* node tests: names, ``*``, ``text()``, ``node()``, ``comment()``;
+* predicates: positional (``[3]``, ``[position() <= 5]``, ``[last()]``),
+  existence (``[author]``, ``[@id]``), value comparisons
+  (``[@id = "x7"]``, ``[price < 10]``), boolean connectives
+  (``and``/``or``/``not(..)``), and ``count()``/``contains()``/
+  ``starts-with()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+#: Axes in the supported fragment.
+AXES = frozenset(
+    {
+        "child",
+        "descendant",
+        "descendant-or-self",
+        "self",
+        "parent",
+        "ancestor",
+        "ancestor-or-self",
+        "attribute",
+        "following-sibling",
+        "preceding-sibling",
+        "following",
+        "preceding",
+    }
+)
+
+#: Axes whose natural order is reverse document order (position() counts
+#: backwards from the context node).
+REVERSE_AXES = frozenset(
+    {"parent", "ancestor", "ancestor-or-self", "preceding-sibling", "preceding"}
+)
+
+
+@dataclass(frozen=True)
+class NodeTest:
+    """A node test within a step.
+
+    ``kind`` is one of ``"name"`` (match elements/attributes with ``name``),
+    ``"wildcard"`` (``*``), ``"text"`` (``text()``), ``"comment"``
+    (``comment()``), or ``"node"`` (``node()``).
+    """
+
+    kind: str
+    name: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.kind == "name":
+            return self.name or ""
+        if self.kind == "wildcard":
+            return "*"
+        return f"{self.kind}()"
+
+
+# ---------------------------------------------------------------------------
+# Expressions (predicate bodies)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NumberLiteral:
+    """A numeric literal, e.g. ``3`` or ``2.5``."""
+
+    value: float
+
+    def __str__(self) -> str:
+        if self.value == int(self.value):
+            return str(int(self.value))
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class StringLiteral:
+    """A quoted string literal."""
+
+    value: str
+
+    def __str__(self) -> str:
+        if '"' in self.value:
+            return f"'{self.value}'"
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A call to one of the supported functions."""
+
+    name: str
+    args: tuple["Expr", ...] = ()
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """A binary operation: comparison or boolean connective."""
+
+    op: str  # one of =, !=, <, <=, >, >=, and, or
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class PathExpr:
+    """A relative location path used as an expression inside a predicate."""
+
+    path: "LocationPath"
+
+    def __str__(self) -> str:
+        return str(self.path)
+
+
+Expr = Union[NumberLiteral, StringLiteral, FunctionCall, BinaryOp, PathExpr]
+
+
+# ---------------------------------------------------------------------------
+# Location paths
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: ``axis::node-test[predicate]*``."""
+
+    axis: str
+    test: NodeTest
+    predicates: tuple[Expr, ...] = ()
+
+    def __str__(self) -> str:
+        preds = "".join(f"[{p}]" for p in self.predicates)
+        if self.axis == "child":
+            return f"{self.test}{preds}"
+        if self.axis == "attribute":
+            return f"@{self.test}{preds}"
+        return f"{self.axis}::{self.test}{preds}"
+
+
+@dataclass(frozen=True)
+class LocationPath:
+    """A sequence of steps, optionally rooted at the document node."""
+
+    steps: tuple[Step, ...]
+    absolute: bool = False
+
+    def __str__(self) -> str:
+        body = "/".join(str(s) for s in self.steps)
+        return ("/" + body) if self.absolute else body
+
+
+@dataclass(frozen=True)
+class UnionPath:
+    """A top-level union of location paths: ``path1 | path2 | ...``."""
+
+    paths: tuple[LocationPath, ...]
+
+    def __str__(self) -> str:
+        return " | ".join(str(p) for p in self.paths)
+
+
+def child_step(
+    name: str, *predicates: Expr, axis: str = "child"
+) -> Step:
+    """Convenience constructor used heavily by tests and workloads."""
+    return Step(axis, NodeTest("name", name), tuple(predicates))
+
+
+def position_eq(n: int) -> Expr:
+    """The predicate ``[n]`` in explicit form (``position() = n``)."""
+    return BinaryOp("=", FunctionCall("position"), NumberLiteral(float(n)))

@@ -1,0 +1,119 @@
+"""Tokenizer for the XPath fragment.
+
+Token kinds are simple strings; the parser drives disambiguation (e.g.
+``*`` is always a wildcard in this fragment because we do not support
+arithmetic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import XPathSyntaxError
+
+#: Multi-character punctuation, longest first so maximal munch works.
+_PUNCTUATION = (
+    "//",
+    "..",
+    "::",
+    "!=",
+    "<=",
+    ">=",
+    "/",
+    "[",
+    "]",
+    "(",
+    ")",
+    "@",
+    ".",
+    ",",
+    "=",
+    "<",
+    ">",
+    "*",
+    "|",
+)
+
+from repro.xmldom import chars as _xml_chars
+
+
+def _is_name_start(ch: str) -> bool:
+    """XPath names follow XML Name rules, except ':' (axis separator)."""
+    return ch != ":" and _xml_chars.is_name_start_char(ch)
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch != ":" and _xml_chars.is_name_char(ch)
+
+
+@dataclass(frozen=True)
+class XPathToken:
+    """A lexical token: ``kind`` is ``name``/``number``/``string`` or the
+    punctuation text itself; ``value`` carries the payload."""
+
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(expression: str) -> list[XPathToken]:
+    """Tokenize *expression*, raising :class:`XPathSyntaxError` on junk."""
+    return list(_tokens(expression))
+
+
+def _tokens(expression: str) -> Iterator[XPathToken]:
+    i = 0
+    n = len(expression)
+    while i < n:
+        ch = expression[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch in "'\"":
+            end = expression.find(ch, i + 1)
+            if end == -1:
+                raise XPathSyntaxError("unterminated string literal", i)
+            yield XPathToken("string", expression[i + 1 : end], i)
+            i = end + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and expression[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            while j < n and (
+                expression[j].isdigit()
+                or (expression[j] == "." and not seen_dot)
+            ):
+                if expression[j] == ".":
+                    # '..' after digits belongs to the next token.
+                    if j + 1 < n and expression[j + 1] == ".":
+                        break
+                    seen_dot = True
+                j += 1
+            yield XPathToken("number", expression[i:j], i)
+            i = j
+            continue
+        if _is_name_start(ch):
+            j = i + 1
+            while j < n and _is_name_char(expression[j]):
+                # A trailing '.' could start '..'; names may not end with
+                # '.' followed by '.', so split conservatively.
+                if (
+                    expression[j] == "."
+                    and j + 1 < n
+                    and expression[j + 1] == "."
+                ):
+                    break
+                j += 1
+            yield XPathToken("name", expression[i:j], i)
+            i = j
+            continue
+        for punct in _PUNCTUATION:
+            if expression.startswith(punct, i):
+                yield XPathToken(punct, punct, i)
+                i += len(punct)
+                break
+        else:
+            raise XPathSyntaxError(f"unexpected character {ch!r}", i)

@@ -1,0 +1,92 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store import XmlStore
+from repro.xmldom import Document, parse
+from repro.xpath import AttributeNode, Evaluator
+
+#: The paper's three encodings (cost-shape tests assert their ordering).
+ENCODINGS = ("global", "local", "dewey")
+#: Including the ORDPATH extension (correctness tests cover all four).
+ALL_ENCODINGS = (*ENCODINGS, "ordpath")
+BACKENDS = ("sqlite", "minidb")
+
+BIB_XML = (
+    '<bib><book year="1994"><title>TCP/IP Illustrated</title>'
+    "<author>Stevens</author><price>65.95</price></book>"
+    '<book year="2000"><title>Data on the Web</title>'
+    "<author>Abiteboul</author><author>Buneman</author>"
+    "<author>Suciu</author><price>39.95</price></book>"
+    '<book year="1999"><title>Economics</title>'
+    "<author>Smith</author><price>10</price></book></bib>"
+)
+
+
+def node_ids(document: Document) -> dict[int, int]:
+    """Map ``id(dom node) -> shredded surrogate id`` (preorder, 1-based).
+
+    The shredder assigns ids in preorder starting at 1, so a parallel
+    preorder walk of the DOM yields the same numbering.
+    """
+    return {
+        id(node): index + 1
+        for index, node in enumerate(document.iter_preorder())
+    }
+
+
+def oracle_identities(document: Document, xpath: str) -> list[tuple]:
+    """Evaluate *xpath* natively; return store-comparable identities."""
+    ids = node_ids(document)
+    evaluator = Evaluator(document)
+    out = []
+    for node in evaluator.evaluate(xpath):
+        if isinstance(node, AttributeNode):
+            out.append(("attribute", ids[id(node.owner)], node.name))
+        else:
+            # The document node itself has no row; it maps to id 0 (such
+            # queries are untranslatable, so the value is never compared
+            # — it only keeps this helper total).
+            out.append(("node", ids.get(id(node), 0)))
+    return out
+
+
+def store_identities(store: XmlStore, doc: int, xpath: str) -> list[tuple]:
+    """Run *xpath* through the store; return comparable identities."""
+    return [item.identity() for item in store.query(xpath, doc)]
+
+
+def assert_query_matches_oracle(
+    store: XmlStore, doc: int, document: Document, xpath: str
+) -> None:
+    got = store_identities(store, doc, xpath)
+    want = oracle_identities(document, xpath)
+    assert got == want, (
+        f"{store.encoding.name}/{store.backend.name} {xpath!r}: "
+        f"got {got}, want {want}"
+    )
+
+
+@pytest.fixture
+def bib_document() -> Document:
+    return parse(BIB_XML)
+
+
+@pytest.fixture(params=ALL_ENCODINGS)
+def encoding(request) -> str:
+    return request.param
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request) -> str:
+    return request.param
+
+
+@pytest.fixture
+def bib_store(encoding, bib_document):
+    """A sqlite-backed store per encoding, loaded with the bib document."""
+    store = XmlStore(backend="sqlite", encoding=encoding)
+    doc = store.load(bib_document)
+    return store, doc, bib_document

@@ -1,0 +1,184 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main, open_store
+from repro.errors import ReproError
+
+BIB = (
+    '<bib><book year="1994"><title>TCP/IP</title>'
+    "<author>Stevens</author></book>"
+    '<book year="2000"><title>Data on the Web</title>'
+    "<author>Abiteboul</author></book></bib>"
+)
+
+
+@pytest.fixture
+def bib_file(tmp_path):
+    path = tmp_path / "bib.xml"
+    path.write_text(BIB)
+    return str(path)
+
+
+@pytest.fixture
+def db(tmp_path):
+    return str(tmp_path / "store.db")
+
+
+def run(args) -> int:
+    return main(args)
+
+
+class TestLoadAndQuery:
+    def test_load_reports_stats(self, bib_file, db, capsys):
+        assert run(["load", bib_file, "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "loaded document 1" in out
+        assert "dewey" in out
+
+    def test_query_prints_rows(self, bib_file, db, capsys):
+        run(["load", bib_file, "--db", db])
+        assert run(["query", "/bib/book/title", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "TCP/IP" in out and "Data on the Web" in out
+
+    def test_query_show_sql(self, bib_file, db, capsys):
+        run(["load", bib_file, "--db", db])
+        run(["query", "/bib/book[1]", "--db", db, "--show-sql"])
+        out = capsys.readouterr().out
+        assert "SELECT DISTINCT" in out
+        assert "node_dewey" in out
+
+    def test_query_xml_output(self, bib_file, db, capsys):
+        run(["load", bib_file, "--db", db])
+        run(["query", "/bib/book[1]/title", "--db", db, "--xml"])
+        out = capsys.readouterr().out
+        assert "<title>TCP/IP</title>" in out
+
+    def test_attribute_query(self, bib_file, db, capsys):
+        run(["load", bib_file, "--db", db])
+        run(["query", "//book/@year", "--db", db, "--xml"])
+        out = capsys.readouterr().out
+        assert 'year="1994"' in out
+
+    def test_encoding_choice(self, bib_file, db, capsys):
+        run(["load", bib_file, "--db", db, "--encoding", "global"])
+        out = capsys.readouterr().out
+        assert "global" in out
+        run(["query", "/bib/book[2]/author", "--db", db])
+        assert "Abiteboul" in capsys.readouterr().out
+
+    def test_encoding_mismatch_rejected(self, bib_file, db, capsys):
+        run(["load", bib_file, "--db", db, "--encoding", "local"])
+        capsys.readouterr()
+        code = run(["load", bib_file, "--db", db, "--encoding", "dewey"])
+        assert code == 1
+        assert "cannot reopen" in capsys.readouterr().err
+
+    def test_missing_file(self, db, capsys):
+        assert run(["load", "/nonexistent.xml", "--db", db]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestUpdatesAndDump:
+    def test_insert_and_dump(self, bib_file, db, capsys):
+        run(["load", bib_file, "--db", db])
+        assert run([
+            "insert", "<book><title>New</title></book>",
+            "--db", db, "--parent", "/bib", "--index", "0",
+        ]) == 0
+        capsys.readouterr()
+        run(["dump", "--db", db])
+        out = capsys.readouterr().out
+        assert out.index("<title>New</title>") < out.index("TCP/IP")
+
+    def test_insert_appends_by_default(self, bib_file, db, capsys):
+        run(["load", bib_file, "--db", db])
+        run(["insert", "<book><title>Z</title></book>",
+             "--db", db, "--parent", "/bib"])
+        capsys.readouterr()
+        run(["query", "/bib/book[last()]/title", "--db", db])
+        assert "Z" in capsys.readouterr().out
+
+    def test_delete_single(self, bib_file, db, capsys):
+        run(["load", bib_file, "--db", db])
+        assert run(["delete", "/bib/book[1]", "--db", db]) == 0
+        capsys.readouterr()
+        run(["query", "/bib/book/title", "--db", db])
+        out = capsys.readouterr().out
+        assert "TCP/IP" not in out
+        assert "Data on the Web" in out
+
+    def test_delete_multiple_needs_all_flag(self, bib_file, db, capsys):
+        run(["load", bib_file, "--db", db])
+        capsys.readouterr()
+        assert run(["delete", "//author", "--db", db]) == 1
+        assert "--all" in capsys.readouterr().err
+        assert run(["delete", "//author", "--db", db, "--all"]) == 0
+
+    def test_bad_parent(self, bib_file, db, capsys):
+        run(["load", bib_file, "--db", db])
+        code = run(["insert", "<x/>", "--db", db,
+                    "--parent", "//nothing"])
+        assert code == 1
+
+
+class TestInfoAndSql:
+    def test_info_lists_documents(self, bib_file, db, capsys):
+        run(["load", bib_file, "--db", db])
+        run(["load", bib_file, "--db", db, "--name", "second"])
+        capsys.readouterr()
+        run(["info", "--db", db])
+        out = capsys.readouterr().out
+        assert "bib" in out and "second" in out
+
+    def test_raw_sql(self, bib_file, db, capsys):
+        run(["load", bib_file, "--db", db])
+        capsys.readouterr()
+        run(["sql", "SELECT COUNT(*) FROM node_dewey", "--db", db])
+        out = capsys.readouterr().out.strip()
+        assert out == "11"  # the bib fixture shreds into 11 nodes
+
+    def test_query_without_documents(self, db, capsys):
+        code = run(["query", "/x", "--db", db])
+        assert code == 1
+        assert "no documents" in capsys.readouterr().err
+
+
+class TestOpenStoreHelper:
+    def test_persists_gap(self, bib_file, tmp_path):
+        db = str(tmp_path / "gapped.db")
+        run(["load", bib_file, "--db", db, "--encoding", "global",
+             "--gap", "32"])
+        store = open_store(db)
+        assert store.encoding.name == "global"
+        assert store.gap == 32
+
+    def test_memory_store(self):
+        store = open_store(":memory:", "dewey")
+        assert store.encoding.name == "dewey"
+
+
+class TestDrop:
+    def test_drop_document(self, bib_file, db, capsys):
+        run(["load", bib_file, "--db", db])
+        run(["load", bib_file, "--db", db, "--name", "again"])
+        capsys.readouterr()
+        assert run(["drop", "1", "--db", db]) == 0
+        capsys.readouterr()
+        run(["info", "--db", db])
+        out = capsys.readouterr().out
+        assert "again" in out
+        assert out.count("bib") <= 1  # only the second doc remains
+
+    def test_drop_unknown(self, db, capsys):
+        assert run(["drop", "9", "--db", db]) == 1
+
+
+class TestExperimentsCommand:
+    def test_fast_suite_prints_tables(self, capsys):
+        assert run(["experiments", "--fast"]) == 0
+        out = capsys.readouterr().out
+        # Every experiment table renders with its id and title.
+        for eid in ("E1:", "E3:", "E7:", "E11:", "E13:"):
+            assert eid in out

@@ -1,0 +1,42 @@
+"""The example scripts must run end-to-end without errors."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script,args",
+    [
+        ("quickstart.py", []),
+        ("ordered_bibliography.py", []),
+        ("versioned_catalog.py", []),
+        ("encoding_tradeoffs.py", ["20"]),  # small op count for CI
+        ("engine_introspection.py", []),
+    ],
+)
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples should print something"
+
+
+def test_quickstart_output_content():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "Abiteboul" in result.stdout
+    assert "SELECT" in result.stdout  # shows the generated SQL
+    assert "Ordered XML" in result.stdout  # the inserted book

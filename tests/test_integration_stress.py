@@ -1,0 +1,80 @@
+"""Integration stress: a realistic document through the whole stack.
+
+One moderately sized corpus (≈2k nodes), every encoding, sqlite:
+load -> full ordered/unordered query suite vs the oracle -> a batch of
+updates -> queries again -> reconstruction.  Slower than the unit suites
+(a few seconds total) but exercises every subsystem together.
+"""
+
+import pytest
+
+from repro.store import XmlStore
+from repro.workload import (
+    ORDERED_QUERIES,
+    UNORDERED_QUERIES,
+    UpdateWorkload,
+    article_corpus,
+    document_stats,
+)
+from repro.xpath import Evaluator
+from tests.conftest import ALL_ENCODINGS, oracle_identities, \
+    store_identities
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    document = article_corpus(articles=50)
+    assert document_stats(document)["nodes"] > 1500
+    return document
+
+
+@pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+def test_full_lifecycle(encoding, corpus):
+    store = XmlStore(backend="sqlite", encoding=encoding)
+    doc = store.load(corpus)
+
+    # 1. The whole query suite agrees with the oracle on the fresh doc.
+    for query in ORDERED_QUERIES + UNORDERED_QUERIES:
+        got = store_identities(store, doc, query.xpath)
+        want = oracle_identities(corpus, query.xpath)
+        assert got == want, (encoding, query.id)
+
+    # 2. A burst of mixed updates at several depths.
+    workload = UpdateWorkload(store, doc, seed=13)
+    root = store.query("/journal", doc)[0].node_id
+    sections = workload.container_ids("/journal/article/section")
+    for index, parent in enumerate([root, *sections[:8]]):
+        workload.insert_at(
+            parent, ("first", "middle", "last")[index % 3],
+            payload_nodes=4,
+        )
+    for _ in range(4):
+        workload.delete_random("/journal/article/section/para")
+    deleted_article = workload.delete_random("/journal/article")
+    assert deleted_article is not None
+
+    # 3. Catalogue bookkeeping stayed exact.
+    assert store.document_info(doc).node_count == store.node_count(doc)
+
+    # 4. Post-update queries (text/attribute results) agree with the
+    # oracle evaluated over the reconstructed document.
+    from repro.xpath import string_value
+
+    rebuilt = store.reconstruct(doc)
+    evaluator = Evaluator(rebuilt)
+    for xpath in (
+        "/journal/article[2]/section[1]/para[1]/text()",
+        "//article[1]/following-sibling::article[1]/title/text()",
+        "//section/title/text()",
+        "//article/@id",
+    ):
+        got = [item.value for item in store.query(xpath, doc)]
+        want = [
+            string_value(node) for node in evaluator.evaluate(xpath)
+        ]
+        assert got == want, (encoding, xpath)
+
+    # 5. Round trip to a second store preserves everything.
+    second = XmlStore(backend="sqlite", encoding=encoding)
+    doc2 = second.load(rebuilt)
+    assert second.reconstruct(doc2).structurally_equal(rebuilt)

@@ -1,0 +1,134 @@
+"""Tests for the B+-tree index structure."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.minidb.btree import BPlusTree
+
+
+class TestBasics:
+    def test_insert_and_get(self):
+        tree = BPlusTree()
+        tree.insert((1,), 10)
+        tree.insert((2,), 20)
+        assert tree.get((1,)) == [10]
+        assert tree.get((3,)) == []
+
+    def test_duplicate_keys_accumulate(self):
+        tree = BPlusTree()
+        tree.insert((1,), 10)
+        tree.insert((1,), 11)
+        assert sorted(tree.get((1,))) == [10, 11]
+        assert len(tree) == 2
+
+    def test_delete(self):
+        tree = BPlusTree()
+        tree.insert((1,), 10)
+        tree.insert((1,), 11)
+        assert tree.delete((1,), 10)
+        assert tree.get((1,)) == [11]
+        assert not tree.delete((1,), 99)
+        assert not tree.delete((9,), 1)
+
+    def test_items_in_key_order(self):
+        tree = BPlusTree()
+        for value in [5, 3, 8, 1, 9, 2]:
+            tree.insert((value,), value)
+        assert [k[0] for k, _v in tree.items()] == [1, 2, 3, 5, 8, 9]
+
+
+class TestRangeScan:
+    def _tree(self, n=100):
+        tree = BPlusTree()
+        order = list(range(n))
+        random.Random(1).shuffle(order)
+        for value in order:
+            tree.insert((value,), value)
+        return tree
+
+    def test_closed_range(self):
+        tree = self._tree()
+        got = [v for _k, v in tree.scan((10,), (15,))]
+        assert got == [10, 11, 12, 13, 14, 15]
+
+    def test_open_bounds(self):
+        tree = self._tree()
+        got = [v for _k, v in tree.scan((10,), (15,), False, False)]
+        assert got == [11, 12, 13, 14]
+
+    def test_unbounded_low(self):
+        tree = self._tree()
+        got = [v for _k, v in tree.scan(None, (3,))]
+        assert got == [0, 1, 2, 3]
+
+    def test_unbounded_high(self):
+        tree = self._tree()
+        got = [v for _k, v in tree.scan((97,), None)]
+        assert got == [97, 98, 99]
+
+    def test_empty_range(self):
+        tree = self._tree()
+        assert list(tree.scan((50,), (40,))) == []
+
+    def test_scan_after_heavy_deletes(self):
+        tree = self._tree(200)
+        for value in range(0, 200, 2):
+            assert tree.delete((value,), value)
+        got = [v for _k, v in tree.scan((0,), (20,))]
+        assert got == [1, 3, 5, 7, 9, 11, 13, 15, 17, 19]
+
+
+class TestSplitsAtScale:
+    def test_many_sequential_inserts(self):
+        tree = BPlusTree()
+        for value in range(5000):
+            tree.insert((value,), value)
+        assert len(tree) == 5000
+        assert [v for _k, v in tree.scan((4990,), None)] == \
+            list(range(4990, 5000))
+
+    def test_many_reverse_inserts(self):
+        tree = BPlusTree()
+        for value in reversed(range(3000)):
+            tree.insert((value,), value)
+        assert [v for _k, v in tree.scan(None, (5,))] == [0, 1, 2, 3, 4, 5]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete"]),
+            st.integers(0, 50),
+        ),
+        max_size=200,
+    ),
+    low=st.integers(0, 50),
+    high=st.integers(0, 50),
+)
+def test_matches_reference_model(operations, low, high):
+    """The tree behaves like a sorted multiset of (key, rowid) pairs."""
+    tree = BPlusTree()
+    reference: list[tuple[int, int]] = []
+    counter = 0
+    for op, key in operations:
+        if op == "insert":
+            tree.insert((key,), counter)
+            reference.append((key, counter))
+            counter += 1
+        else:
+            matching = [r for k, r in reference if k == key]
+            if matching:
+                rowid = matching[0]
+                assert tree.delete((key,), rowid)
+                reference.remove((key, rowid))
+            else:
+                assert not tree.delete((key,), 999_999)
+    lo, hi = min(low, high), max(low, high)
+    got = sorted(tree.scan((lo,), (hi,)))
+    want = sorted(
+        ((k,), r) for k, r in reference if lo <= k <= hi
+    )
+    assert got == want
+    assert len(tree) == len(reference)

@@ -1,0 +1,141 @@
+"""Tests for minidb snapshot persistence (save/open round trips)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ExecutionError
+from repro.minidb import MiniDb
+from repro.store import XmlStore
+
+
+@pytest.fixture
+def populated():
+    db = MiniDb()
+    db.execute(
+        "CREATE TABLE t (a INTEGER, b REAL, c TEXT, d BLOB)"
+    )
+    db.execute("CREATE INDEX ix_t_a ON t (a, c)")
+    db.execute("CREATE UNIQUE INDEX ux_t_c ON t (c)")
+    db.executemany(
+        "INSERT INTO t VALUES (?, ?, ?, ?)",
+        [
+            (1, 1.5, "one", b"\x01\x02"),
+            (None, None, "two", None),
+            (-7, 2.25, "three", b""),
+        ],
+    )
+    return db
+
+
+class TestRoundTrip:
+    def test_rows_survive(self, populated, tmp_path):
+        path = tmp_path / "db.mdb"
+        populated.save(path)
+        loaded = MiniDb.open(path)
+        rows = loaded.execute("SELECT a, b, c, d FROM t ORDER BY c").rows
+        assert rows == populated.execute(
+            "SELECT a, b, c, d FROM t ORDER BY c"
+        ).rows
+
+    def test_indexes_rebuilt_and_used(self, populated, tmp_path):
+        path = tmp_path / "db.mdb"
+        populated.save(path)
+        loaded = MiniDb.open(path)
+        lines = loaded.explain("SELECT c FROM t WHERE a = 1")
+        assert "INDEX ix_t_a" in lines[0]
+
+    def test_unique_constraint_survives(self, populated, tmp_path):
+        path = tmp_path / "db.mdb"
+        populated.save(path)
+        loaded = MiniDb.open(path)
+        with pytest.raises(ExecutionError):
+            loaded.execute(
+                "INSERT INTO t VALUES (9, 0.0, 'one', NULL)"
+            )
+
+    def test_deleted_rows_not_persisted(self, populated, tmp_path):
+        populated.execute("DELETE FROM t WHERE c = 'two'")
+        path = tmp_path / "db.mdb"
+        populated.save(path)
+        loaded = MiniDb.open(path)
+        assert loaded.row_count("t") == 2
+
+    def test_empty_database(self, tmp_path):
+        db = MiniDb()
+        path = tmp_path / "empty.mdb"
+        db.save(path)
+        loaded = MiniDb.open(path)
+        assert loaded.table_names() == []
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.mdb"
+        path.write_bytes(b"NOPE whatever")
+        with pytest.raises(ExecutionError):
+            MiniDb.open(path)
+
+    def test_truncated_file_rejected(self, populated, tmp_path):
+        path = tmp_path / "db.mdb"
+        populated.save(path)
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(ExecutionError):
+            MiniDb.open(path)
+
+    def test_oversized_integer_rejected(self, tmp_path):
+        db = MiniDb()
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (?)", (1 << 70,))
+        with pytest.raises(ExecutionError):
+            db.save(tmp_path / "big.mdb")
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.one_of(st.none(), st.integers(-(2**63), 2**63 - 1)),
+                st.one_of(st.none(), st.text(max_size=8)),
+                st.one_of(st.none(), st.binary(max_size=8)),
+            ),
+            max_size=20,
+        )
+    )
+    def test_random_contents_roundtrip(self, rows):
+        import tempfile
+        from pathlib import Path
+
+        db = MiniDb()
+        db.execute("CREATE TABLE r (a INTEGER, b TEXT, c BLOB)")
+        db.executemany("INSERT INTO r VALUES (?, ?, ?)", rows)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "rand.mdb"
+            db.save(path)
+            loaded = MiniDb.open(path)
+        original = sorted(
+            db.execute("SELECT a, b, c FROM r").rows,
+            key=repr,
+        )
+        restored = sorted(
+            loaded.execute("SELECT a, b, c FROM r").rows,
+            key=repr,
+        )
+        assert restored == original
+
+
+class TestStoreLevelPersistence:
+    def test_whole_xml_store_survives(self, tmp_path):
+        from repro.backends import MiniDbBackend
+
+        backend = MiniDbBackend()
+        store = XmlStore(backend=backend, encoding="dewey")
+        doc = store.load(
+            "<bib><book year='2000'><title>T</title></book></bib>"
+        )
+        path = tmp_path / "store.mdb"
+        backend.db.save(path)
+
+        reloaded_backend = MiniDbBackend()
+        reloaded_backend.db = MiniDb.open(path)
+        reloaded = XmlStore(backend=reloaded_backend, encoding="dewey")
+        assert reloaded.query_values("//title/text()", doc) == ["T"]
+        assert reloaded.reconstruct(doc).structurally_equal(
+            store.reconstruct(doc)
+        )

@@ -1,0 +1,119 @@
+"""Tests for the minidb value model (comparison, logic, CAST)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ExecutionError
+from repro.minidb.values import (
+    cast_value,
+    compare,
+    is_true,
+    logical_and,
+    logical_not,
+    logical_or,
+    row_sort_key,
+    sort_key,
+)
+
+
+class TestCompare:
+    def test_numbers(self):
+        assert compare(1, 2) == -1
+        assert compare(2.5, 2.5) == 0
+        assert compare(3, 2.5) == 1
+        assert compare(1, 1.0) == 0
+
+    def test_strings(self):
+        assert compare("a", "b") == -1
+        assert compare("b", "b") == 0
+
+    def test_blobs(self):
+        assert compare(b"\x01", b"\x02") == -1
+
+    def test_null_is_unknown(self):
+        assert compare(None, 1) is None
+        assert compare("x", None) is None
+        assert compare(None, None) is None
+
+    def test_cross_type_raises(self):
+        with pytest.raises(ExecutionError):
+            compare("1", 1)
+        with pytest.raises(ExecutionError):
+            compare(b"x", "x")
+
+
+class TestSortKey:
+    def test_type_class_order(self):
+        values = [b"\x00", "a", 3, None, 1.5]
+        ordered = sorted(values, key=sort_key)
+        assert ordered == [None, 1.5, 3, "a", b"\x00"]
+
+    def test_row_sort_key_tuples(self):
+        rows = [(1, "b"), (1, "a"), (None, "z")]
+        ordered = sorted(rows, key=row_sort_key)
+        assert ordered == [(None, "z"), (1, "a"), (1, "b")]
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        values=st.lists(
+            st.one_of(
+                st.none(),
+                st.integers(-100, 100),
+                st.floats(allow_nan=False, allow_infinity=False,
+                          width=32),
+                st.text(max_size=5),
+                st.binary(max_size=5),
+            ),
+            max_size=10,
+        )
+    )
+    def test_sort_key_is_total(self, values):
+        sorted(values, key=sort_key)  # must never raise
+
+
+class TestLogic:
+    def test_kleene_and(self):
+        assert logical_and(True, True) is True
+        assert logical_and(True, False) is False
+        assert logical_and(False, None) is False
+        assert logical_and(True, None) is None
+
+    def test_kleene_or(self):
+        assert logical_or(False, True) is True
+        assert logical_or(False, False) is False
+        assert logical_or(None, True) is True
+        assert logical_or(False, None) is None
+
+    def test_kleene_not(self):
+        assert logical_not(True) is False
+        assert logical_not(None) is None
+
+    def test_is_true_collapses_unknown(self):
+        assert is_true(True)
+        assert not is_true(None)
+        assert not is_true(False)
+
+
+class TestCast:
+    def test_cast_to_integer(self):
+        assert cast_value("42", "INTEGER") == 42
+        assert cast_value("3.7", "INTEGER") == 3
+        assert cast_value("junk", "INTEGER") == 0
+        assert cast_value(None, "INTEGER") is None
+
+    def test_cast_to_real(self):
+        assert cast_value("39.95", "REAL") == 39.95
+        assert cast_value("junk", "REAL") == 0.0
+        assert cast_value(7, "REAL") == 7.0
+
+    def test_cast_to_text(self):
+        assert cast_value(42, "TEXT") == "42"
+        assert cast_value(b"ab", "TEXT") == "ab"
+
+    def test_cast_to_blob(self):
+        assert cast_value("ab", "BLOB") == b"ab"
+        assert cast_value(b"ab", "BLOB") == b"ab"
+
+    def test_unknown_target_raises(self):
+        with pytest.raises(ExecutionError):
+            cast_value("x", "JSON")

@@ -1,0 +1,187 @@
+"""Invariant 5 — update correctness, property-style.
+
+Random sequences of ordered insertions and deletions are applied both to
+the relational store (every encoding, dense and sparse) and to an
+in-memory DOM; afterwards the store must reconstruct to the DOM exactly,
+order keys must be strictly increasing in document order, and queries
+must still match the oracle.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dewey import DeweyKey
+from repro.store import XmlStore
+from repro.xmldom import Document, Element, Text, parse, serialize
+from repro.xpath import Evaluator, string_value
+from tests.conftest import ALL_ENCODINGS
+
+START_XML = (
+    '<root><sec n="0"><p>a</p><p>b</p></sec>'
+    '<sec n="1"><p>c</p></sec></root>'
+)
+
+
+def _dom_node_at(document: Document, store_ids: dict, node_id: int):
+    return store_ids[node_id]
+
+
+def _random_fragment(rng: random.Random) -> Element:
+    tag = rng.choice(("p", "sec", "note"))
+    element = Element(tag, {"gen": str(rng.randint(0, 9))})
+    if rng.random() < 0.6:
+        element.append(Text(str(rng.randint(0, 99))))
+    if rng.random() < 0.3:
+        child = Element("q")
+        element.append(child)
+    return element
+
+
+def _apply_random_ops(store, doc, dom, rng, operations):
+    """Apply the same op sequence to the store and the DOM.
+
+    Store nodes and DOM nodes are correlated positionally: both sides
+    pick targets by walking the current *reconstructable* structure, so
+    using element paths keeps them in lock-step.
+    """
+    for _ in range(operations):
+        elements = [
+            n for n in dom.iter_preorder() if isinstance(n, Element)
+        ]
+        # Resolve the same element in the store by its document-order
+        # element index.
+        target_index = rng.randrange(len(elements))
+        dom_parent = elements[target_index]
+        store_elements = store.query("//*", doc)
+        store_parent = store_elements[target_index].node_id
+
+        if rng.random() < 0.75 or len(elements) < 3:
+            index = rng.randint(0, len(dom_parent.children))
+            fragment = _random_fragment(rng)
+            fragment_xml = serialize(fragment)
+            store.updates.insert(doc, store_parent, index, fragment_xml)
+            dom_parent.insert(
+                index, parse(f"<w>{fragment_xml}</w>").root.children[0]
+            )
+        else:
+            if dom_parent.parent is None or isinstance(
+                dom_parent.parent, Document
+            ):
+                continue  # never delete the root
+            store.updates.delete(doc, store_parent)
+            dom_parent.parent.remove(dom_parent)
+
+
+@pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000), gap=st.sampled_from([1, 8]))
+def test_random_update_sequences(encoding, seed, gap):
+    rng = random.Random(seed)
+    store = XmlStore(backend="sqlite", encoding=encoding, gap=gap)
+    doc = store.load(START_XML)
+    dom = parse(START_XML)
+
+    _apply_random_ops(store, doc, dom, rng, operations=8)
+
+    # 1. Structural round trip.
+    assert store.reconstruct(doc).structurally_equal(dom)
+
+    # 2. Order keys strictly increasing in document order; no duplicates.
+    _assert_order_keys_valid(store, doc)
+
+    # 3. Queries still agree with the oracle.  Text/attribute results
+    # compare by value; element results compare by reconstructed
+    # subtree (an element's stored value is its *direct* text, which is
+    # not the XPath string-value when elements nest — see DESIGN.md).
+    evaluator = Evaluator(dom)
+    for xpath in ("//p/text()", "//@gen"):
+        got = [item.value for item in store.query(xpath, doc)]
+        want = [string_value(n) for n in evaluator.evaluate(xpath)]
+        assert got == want, (encoding, gap, xpath)
+    for xpath in ("/root/sec[1]/p[1]", "//sec/p[last()]"):
+        got = [
+            serialize(store.reconstruct_subtree(doc, item.node_id))
+            for item in store.query(xpath, doc)
+        ]
+        want = [serialize(n) for n in evaluator.evaluate(xpath)]
+        assert got == want, (encoding, gap, xpath)
+
+    # 4. The catalogue's node count is maintained.
+    assert store.document_info(doc).node_count == store.node_count(doc)
+
+
+def _assert_order_keys_valid(store, doc):
+    encoding = store.encoding.name
+    if encoding == "global":
+        rows = store.backend.execute(
+            "SELECT pos, endpos FROM node_global WHERE doc = ? "
+            "ORDER BY pos",
+            (doc,),
+        ).rows
+        positions = [r[0] for r in rows]
+        assert positions == sorted(set(positions))
+        assert all(end >= pos for pos, end in rows)
+    elif encoding == "dewey":
+        rows = store.backend.execute(
+            "SELECT dkey FROM node_dewey WHERE doc = ? ORDER BY dkey",
+            (doc,),
+        ).rows
+        keys = [r[0] for r in rows]
+        assert keys == sorted(set(keys))
+        # Key order must equal component order after decoding too.
+        decoded = [DeweyKey.decode(k) for k in keys]
+        assert decoded == sorted(decoded)
+    elif encoding == "ordpath":
+        from repro.core.ordpath import OrdpathKey
+
+        rows = store.backend.execute(
+            "SELECT okey FROM node_ordpath WHERE doc = ? ORDER BY okey",
+            (doc,),
+        ).rows
+        keys = [r[0] for r in rows]
+        assert keys == sorted(set(keys))
+        decoded = [OrdpathKey.decode(k) for k in keys]
+        # Byte order equals component order; keys are odd-terminated.
+        for a, b in zip(decoded, decoded[1:]):
+            assert a.components < b.components
+        for key in decoded:
+            assert key.components[-1] % 2 != 0
+    else:
+        rows = store.backend.execute(
+            "SELECT parent, lpos FROM node_local WHERE doc = ?",
+            (doc,),
+        ).rows
+        seen = set()
+        for parent, lpos in rows:
+            assert (parent, lpos) not in seen
+            seen.add((parent, lpos))
+
+
+@pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+def test_interleaved_inserts_between_same_neighbours(encoding):
+    """Repeated insertion at the same spot — the renumbering stress case."""
+    store = XmlStore(backend="sqlite", encoding=encoding)
+    doc = store.load("<r><a/><b/></r>")
+    root_id = store.query("/r", doc)[0].node_id
+    for step in range(12):
+        store.updates.insert(doc, root_id, 1, f"<m i='{step}'/>")
+    values = store.query_values("/r/m/@i", doc)
+    assert values == [str(i) for i in reversed(range(12))]
+    _assert_order_keys_valid(store, doc)
+
+
+@pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+def test_insert_everywhere_positions(encoding):
+    """Insert once at every possible index; order must match a list."""
+    store = XmlStore(backend="sqlite", encoding=encoding)
+    doc = store.load("<r/>")
+    root_id = store.query("/r", doc)[0].node_id
+    expected: list[str] = []
+    rng = random.Random(42)
+    for step in range(15):
+        index = rng.randint(0, len(expected))
+        store.updates.insert(doc, root_id, index, f"<x v='{step}'/>")
+        expected.insert(index, str(step))
+    assert store.query_values("/r/x/@v", doc) == expected

@@ -1,0 +1,96 @@
+"""Round-trip and subtree reconstruction tests (invariant 2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.store import XmlStore
+from repro.workload import article_corpus, catalog_corpus, random_document
+from repro.xmldom import Element, parse, serialize
+from tests.conftest import ALL_ENCODINGS, BACKENDS
+
+
+class TestFullRoundTrip:
+    @pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+    def test_bib_roundtrip(self, encoding, bib_document):
+        store = XmlStore(backend="sqlite", encoding=encoding)
+        doc = store.load(bib_document)
+        assert store.reconstruct(doc).structurally_equal(bib_document)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_roundtrip_on_both_backends(self, backend, bib_document):
+        store = XmlStore(backend=backend, encoding="dewey")
+        doc = store.load(bib_document)
+        assert store.reconstruct(doc).structurally_equal(bib_document)
+
+    @pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+    def test_mixed_content_roundtrip(self, encoding):
+        document = parse(
+            "<p>lead <b>bold</b> middle <i>ital</i> tail<!--c--></p>"
+        )
+        store = XmlStore(backend="sqlite", encoding=encoding)
+        doc = store.load(document)
+        assert store.reconstruct(doc).structurally_equal(document)
+
+    @pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+    def test_processing_instructions_roundtrip(self, encoding):
+        document = parse('<?style href="a"?><r><?go now?></r>')
+        store = XmlStore(backend="sqlite", encoding=encoding)
+        doc = store.load(document)
+        assert store.reconstruct(doc).structurally_equal(document)
+
+    @pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+    def test_corpus_roundtrips(self, encoding):
+        for document in (
+            article_corpus(articles=3), catalog_corpus(products=5),
+        ):
+            store = XmlStore(backend="sqlite", encoding=encoding)
+            doc = store.load(document)
+            assert store.reconstruct(doc).structurally_equal(document)
+
+    @pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_random_documents_roundtrip(self, encoding, seed):
+        document = random_document(seed)
+        store = XmlStore(backend="sqlite", encoding=encoding)
+        doc = store.load(document)
+        assert store.reconstruct(doc).structurally_equal(document)
+
+    @pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+    def test_gapped_store_roundtrips(self, encoding, bib_document):
+        store = XmlStore(backend="sqlite", encoding=encoding, gap=64)
+        doc = store.load(bib_document)
+        assert store.reconstruct(doc).structurally_equal(bib_document)
+
+    def test_load_from_string_with_whitespace_strip(self):
+        store = XmlStore(backend="sqlite", encoding="dewey")
+        doc = store.load("<a>\n  <b>x</b>\n</a>", strip_whitespace=True)
+        assert serialize(store.reconstruct(doc)) == "<a><b>x</b></a>"
+
+
+class TestSubtreeReconstruction:
+    @pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+    def test_subtree_matches_dom(self, encoding, bib_document):
+        store = XmlStore(backend="sqlite", encoding=encoding)
+        doc = store.load(bib_document)
+        book2_id = store.query("/bib/book[2]", doc)[0].node_id
+        subtree = store.reconstruct_subtree(doc, book2_id)
+        expected = bib_document.root.children[1]
+        assert subtree.structurally_equal(expected)
+        assert isinstance(subtree, Element)
+        assert subtree.get("year") == "2000"
+
+    @pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+    def test_leaf_subtree(self, encoding, bib_document):
+        store = XmlStore(backend="sqlite", encoding=encoding)
+        doc = store.load(bib_document)
+        text_id = store.query("/bib/book[1]/title/text()", doc)[0].node_id
+        node = store.reconstruct_subtree(doc, text_id)
+        assert node.content == "TCP/IP Illustrated"
+
+    def test_unknown_node_raises(self, bib_store):
+        store, doc, _document = bib_store
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            store.reconstruct_subtree(doc, 424242)

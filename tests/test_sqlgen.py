@@ -1,0 +1,125 @@
+"""Unit tests for the SQL fragment builder used by the translator."""
+
+from repro.core.sqlgen import (
+    AliasGenerator,
+    Frag,
+    SelectBuilder,
+    TranslationStats,
+    all_of,
+    any_of,
+    exists,
+    frag,
+    join_frags,
+    scalar_count,
+    sql_string_literal,
+)
+
+
+class TestFrag:
+    def test_params_travel_with_sql(self):
+        f = frag("a = ? AND b = ?", 1, "x")
+        assert f.sql == "a = ? AND b = ?"
+        assert f.params == (1, "x")
+
+    def test_empty_frag_is_falsy(self):
+        assert not frag("")
+        assert frag("1 = 1")
+
+    def test_join_frags_preserves_order(self):
+        joined = join_frags(
+            [frag("a = ?", 1), frag(""), frag("b = ?", 2)], " AND "
+        )
+        assert joined.sql == "a = ? AND b = ?"
+        assert joined.params == (1, 2)
+
+    def test_all_of(self):
+        combined = all_of([frag("x"), frag("y", 9)])
+        assert combined.sql == "x AND y"
+        assert combined.params == (9,)
+
+    def test_any_of_parenthesises(self):
+        combined = any_of([frag("x = ?", 1), frag("y = ?", 2)])
+        assert combined.sql == "(x = ? OR y = ?)"
+        assert combined.params == (1, 2)
+
+    def test_any_of_empty(self):
+        assert not any_of([])
+
+
+class TestAliasGenerator:
+    def test_unique_sequence(self):
+        gen = AliasGenerator()
+        names = [gen.next() for _ in range(4)]
+        assert names == ["n0", "n1", "n2", "n3"]
+
+    def test_custom_prefix(self):
+        gen = AliasGenerator("x")
+        assert gen.next() == "x0"
+
+
+class TestSelectBuilder:
+    def test_render_basic(self):
+        builder = SelectBuilder()
+        builder.select = [Frag("t.a")]
+        builder.add_from("things", "t")
+        builder.add_where(frag("t.a > ?", 5))
+        builder.order_by = ["t.a"]
+        rendered = builder.render()
+        assert rendered.sql == (
+            "SELECT t.a FROM things t WHERE t.a > ? ORDER BY t.a"
+        )
+        assert rendered.params == (5,)
+
+    def test_distinct(self):
+        builder = SelectBuilder()
+        builder.distinct = True
+        builder.select = [Frag("1")]
+        builder.add_from("t", "t")
+        assert builder.render().sql.startswith("SELECT DISTINCT 1")
+
+    def test_param_order_across_clauses(self):
+        builder = SelectBuilder()
+        builder.select = [Frag("?", (0,))]
+        builder.add_from("t", "t")
+        builder.add_where(frag("a = ?", 1))
+        builder.add_where(frag("b IN (?, ?)", 2, 3))
+        rendered = builder.render()
+        assert rendered.params == (0, 1, 2, 3)
+
+    def test_empty_where_omitted(self):
+        builder = SelectBuilder()
+        builder.select = [Frag("1")]
+        builder.add_from("t", "t")
+        builder.add_where(frag(""))
+        assert "WHERE" not in builder.render().sql
+
+    def test_exists_wrapper(self):
+        builder = SelectBuilder()
+        builder.select = [Frag("1")]
+        builder.add_from("t", "m")
+        builder.add_where(frag("m.x = ?", 7))
+        wrapped = exists(builder)
+        assert wrapped.sql == "EXISTS (SELECT 1 FROM t m WHERE m.x = ?)"
+        negated = exists(builder, negated=True)
+        assert negated.sql.startswith("NOT EXISTS (")
+
+    def test_scalar_count_restores_select(self):
+        builder = SelectBuilder()
+        builder.select = [Frag("m.x")]
+        builder.add_from("t", "m")
+        counted = scalar_count(builder)
+        assert counted.sql == "(SELECT COUNT(*) FROM t m)"
+        assert builder.select[0].sql == "m.x"  # restored
+
+
+class TestHelpers:
+    def test_sql_string_literal_escapes_quotes(self):
+        assert sql_string_literal("O'Reilly") == "'O''Reilly'"
+        assert sql_string_literal("plain") == "'plain'"
+
+    def test_translation_stats_total(self):
+        stats = TranslationStats(
+            joins=2, exists_subqueries=1, count_subqueries=1,
+            or_expansions=3,
+        )
+        assert stats.total_relational_operations() == 7

@@ -10,6 +10,7 @@ operation.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -29,6 +30,11 @@ class Backend(ABC):
 
     #: Short backend name ("sqlite" or "minidb").
     name: str
+
+    #: Whether the engine accepts ``CREATE ... IF NOT EXISTS`` DDL.
+    #: When false, schema bootstrap falls back to tolerating (only)
+    #: already-exists errors from plain CREATE statements.
+    supports_if_not_exists: bool = False
 
     @abstractmethod
     def execute(
@@ -57,6 +63,7 @@ class Backend(ABC):
     # -- transactions -----------------------------------------------------
 
     _tx_depth: int = 0
+    _tx_owner: int = 0
 
     def begin(self) -> None:
         """Start a transaction (engine-specific)."""
@@ -73,8 +80,14 @@ class Backend(ABC):
 
         Nested scopes flatten into the outermost transaction, so
         compound operations can freely call transactional helpers.
+        Flattening is per-thread: a second thread opening a scope while
+        another thread's transaction is live starts its own transaction
+        (blocking in ``begin()`` on backends that serialize, like the
+        lock-guarded sqlite connection) instead of silently joining one
+        it does not own.
         """
-        if self._tx_depth > 0:
+        ident = threading.get_ident()
+        if self._tx_depth > 0 and self._tx_owner == ident:
             self._tx_depth += 1
             try:
                 yield
@@ -83,14 +96,17 @@ class Backend(ABC):
             return
         self.begin()
         self._tx_depth = 1
+        self._tx_owner = ident
         try:
             yield
         except BaseException:
             self._tx_depth = 0
+            self._tx_owner = 0
             self.rollback()
             raise
         else:
             self._tx_depth = 0
+            self._tx_owner = 0
             self.commit_transaction()
 
     def executescript(self, script: str) -> None:

@@ -10,6 +10,7 @@ registered as deterministic scalar functions.
 from __future__ import annotations
 
 import sqlite3
+import threading
 from typing import Iterable, Optional, Sequence
 
 from repro.backends.base import Backend, BackendResult
@@ -30,13 +31,22 @@ class SqliteBackend(Backend):
     """In-memory (default) or file-backed sqlite3 storage."""
 
     name = "sqlite"
+    supports_if_not_exists = True
 
     def __init__(self, path: Optional[str] = None) -> None:
         # Autocommit mode: transactions are controlled explicitly by the
         # Backend.transaction protocol (python's implicit-BEGIN legacy
         # mode would collide with our explicit BEGIN).
+        #
+        # sqlite3 connections are thread-bound by default; an RLock plus
+        # check_same_thread=False makes statements safe to issue from
+        # any thread, and begin() holds the lock until commit/rollback
+        # so whole transactions serialize too.  True concurrency needs
+        # a per-thread connection pool — a ROADMAP item.
+        self._lock = threading.RLock()
         self._conn = sqlite3.connect(path or ":memory:",
-                                     isolation_level=None)
+                                     isolation_level=None,
+                                     check_same_thread=False)
         self._rows_written = 0
         for fn_name, fn, arity in (
             ("dewey_parent", dewey_parent_bytes, 1),
@@ -52,21 +62,25 @@ class SqliteBackend(Backend):
             )
 
     def execute(self, sql: str, params: Sequence = ()) -> BackendResult:
-        cursor = self._conn.execute(sql, tuple(params))
-        rows = cursor.fetchall()
-        rowcount = cursor.rowcount
-        if rowcount > 0 and not rows:
-            self._rows_written += rowcount
-        return BackendResult(rows=[tuple(r) for r in rows],
-                             rowcount=rowcount)
+        with self._lock:
+            cursor = self._conn.execute(sql, tuple(params))
+            rows = cursor.fetchall()
+            rowcount = cursor.rowcount
+            if rowcount > 0 and not rows:
+                self._rows_written += rowcount
+            return BackendResult(rows=[tuple(r) for r in rows],
+                                 rowcount=rowcount)
 
     def executemany(
         self, sql: str, param_rows: Iterable[Sequence]
     ) -> BackendResult:
-        cursor = self._conn.executemany(sql, [tuple(p) for p in param_rows])
-        if cursor.rowcount > 0:
-            self._rows_written += cursor.rowcount
-        return BackendResult(rowcount=cursor.rowcount)
+        with self._lock:
+            cursor = self._conn.executemany(
+                sql, [tuple(p) for p in param_rows]
+            )
+            if cursor.rowcount > 0:
+                self._rows_written += cursor.rowcount
+            return BackendResult(rowcount=cursor.rowcount)
 
     def rows_written(self) -> int:
         return self._rows_written
@@ -74,19 +88,40 @@ class SqliteBackend(Backend):
     def analyze(self) -> None:
         """Collect index statistics so the query planner picks the
         selective (parent/pos) indexes for correlated subqueries."""
-        self._conn.execute("ANALYZE")
+        with self._lock:
+            self._conn.execute("ANALYZE")
 
     def begin(self) -> None:
-        self._conn.execute("BEGIN")
+        # Hold the lock for the whole transaction (released again by
+        # commit_transaction/rollback), so statements from other
+        # threads cannot interleave with an open transaction on the
+        # shared connection.  The RLock keeps the owning thread's own
+        # per-statement acquisitions reentrant.
+        self._lock.acquire()
+        try:
+            self._conn.execute("BEGIN")
+        except BaseException:
+            self._lock.release()
+            raise
 
     def commit_transaction(self) -> None:
-        self._conn.execute("COMMIT")
+        try:
+            with self._lock:
+                self._conn.execute("COMMIT")
+        finally:
+            self._lock.release()
 
     def rollback(self) -> None:
-        self._conn.execute("ROLLBACK")
+        try:
+            with self._lock:
+                self._conn.execute("ROLLBACK")
+        finally:
+            self._lock.release()
 
     def commit(self) -> None:
-        self._conn.commit()
+        with self._lock:
+            self._conn.commit()
 
     def close(self) -> None:
-        self._conn.close()
+        with self._lock:
+            self._conn.close()

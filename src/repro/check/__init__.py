@@ -1,0 +1,41 @@
+"""Correctness auditing: invariant checks and differential fuzzing.
+
+The paper's contribution rests on order encodings staying mutually
+consistent under updates — Global ``pos``/``endpos`` intervals properly
+nested, Local ``(parent, lpos)`` slots unique, Dewey/ORDPATH keys
+prefix-consistent with parent pointers and byte-ordered like preorder.
+This package industrializes two oracles over those properties:
+
+* :mod:`repro.check.invariants` — a structural **auditor** run against a
+  live store (``repro check <db>``, and at the end of every store-level
+  test via a conftest fixture);
+* :mod:`repro.check.fuzz` — a **differential fuzzer** that applies
+  seeded random update streams through :class:`repro.core.updates.
+  UpdateManager` and cross-checks every encoding/backend pair against
+  the native XPath evaluator and reconstruction round trips
+  (``repro fuzz --seeds N --ops M``).
+"""
+
+from repro.check.invariants import (
+    Violation,
+    audit_document,
+    audit_store,
+    assert_store_clean,
+)
+from repro.check.fuzz import (
+    FuzzConfig,
+    FuzzFailure,
+    FuzzReport,
+    run_fuzz,
+)
+
+__all__ = [
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "Violation",
+    "assert_store_clean",
+    "audit_document",
+    "audit_store",
+    "run_fuzz",
+]

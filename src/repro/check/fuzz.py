@@ -1,0 +1,499 @@
+"""Differential fuzzing: random update streams, cross-checked oracles.
+
+One fuzz *cell* is a ``(document seed, gap)`` pair.  For every cell the
+fuzzer builds one store per requested ``(backend, encoding)`` pair, loads
+the same :func:`repro.workload.docgen.random_document` into each, then
+applies an identical seeded stream of update operations through
+:class:`repro.core.updates.UpdateManager` — inserts of element and bare
+text fragments (as strings, exercising the fragment parser), subtree
+deletions, ``set_text``, ``rename``, and ``set_attribute``.
+
+After every ``check_every`` operations each store must simultaneously:
+
+* pass the full invariant audit (:mod:`repro.check.invariants`);
+* reconstruct to a document that serialises and re-parses back to an
+  equal tree (the round-trip oracle the XRecursive and DOM-mapping
+  papers validate their mappings with);
+* answer a batch of random XPath queries exactly like the native
+  :class:`repro.xpath.Evaluator` run over the reconstructed tree;
+* reconstruct to a tree structurally equal to every other
+  encoding/backend store in the cell, with matching per-op insert and
+  delete counts.
+
+Failures are *minimized*: the reported operation index is the shortest
+prefix of the stream that still fails (re-derived with per-op checking
+when the original run checked more coarsely), and every failure carries
+a ``repro`` command line that replays exactly that cell.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.check.invariants import audit_document
+from repro.core.reconstruct import reconstruct_document_with_ids
+from repro.errors import TranslationError, UnsupportedXPathError
+from repro.store import XmlStore
+from repro.workload.docgen import random_document
+from repro.xmldom import parse, serialize
+from repro.xmldom.dom import (
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+)
+from repro.xpath import AttributeNode, Evaluator
+
+#: Alphabets shared with :func:`repro.workload.docgen.random_document`
+#: so fuzz queries regularly match something.
+_TAGS = ("a", "b", "c", "d")
+_ATTRS = ("id", "x", "y")
+
+DEFAULT_ENCODINGS = ("global", "local", "dewey", "ordpath")
+DEFAULT_BACKENDS = ("sqlite", "minidb")
+
+
+# -- configuration and results ------------------------------------------
+
+
+@dataclass
+class FuzzConfig:
+    """Parameters of one fuzz run."""
+
+    #: Number of random documents (seeds ``base_seed .. base_seed+n-1``).
+    seeds: int = 5
+    #: Update operations applied per cell.
+    ops: int = 25
+    encodings: Sequence[str] = DEFAULT_ENCODINGS
+    backends: Sequence[str] = ("sqlite",)
+    gaps: Sequence[int] = (1,)
+    base_seed: int = 0
+    #: Oracle queries evaluated per store per check round.
+    queries_per_check: int = 5
+    #: Run the full check battery every N operations (1 = after each).
+    check_every: int = 1
+    #: Shape of the generated documents.
+    max_depth: int = 4
+    max_children: int = 3
+
+    def cells(self) -> list[tuple[int, int]]:
+        return [
+            (self.base_seed + i, gap)
+            for i in range(self.seeds)
+            for gap in self.gaps
+        ]
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One minimized fuzz failure."""
+
+    seed: int
+    gap: int
+    backend: str
+    encoding: str
+    #: 1-based index of the last applied operation (minimal failing
+    #: prefix: the same cell passed every check through op_index - 1).
+    op_index: int
+    #: Human-readable description of that operation.
+    op: str
+    #: invariant | oracle | roundtrip | cross-store | cost-mismatch | crash
+    kind: str
+    detail: str
+
+    def repro_command(self) -> str:
+        """A CLI line that replays exactly this cell, checking every op."""
+        return (
+            f"repro fuzz --seeds 1 --base-seed {self.seed} "
+            f"--ops {self.op_index} --gaps {self.gap} "
+            f"--encodings {self.encoding} --backends {self.backend} "
+            f"--check-every 1"
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind} failure in {self.encoding}/{self.backend} "
+            f"(seed {self.seed}, gap {self.gap}) after op "
+            f"#{self.op_index} [{self.op}]: {self.detail}\n"
+            f"  reproduce: {self.repro_command()}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate result of a fuzz run."""
+
+    cells: int = 0
+    operations: int = 0
+    checks: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.ok() else f"{len(self.failures)} FAILURE(S)"
+        return (
+            f"fuzz: {self.cells} cell(s), {self.operations} operation(s), "
+            f"{self.checks} store-check(s): {status}"
+        )
+
+
+# -- random operation / query generation --------------------------------
+
+
+def _random_fragment(rng: random.Random) -> str:
+    """An insertable XML fragment string (sometimes nested)."""
+    tag = rng.choice(_TAGS)
+    roll = rng.random()
+    if roll < 0.35:
+        return f"<{tag}/>"
+    if roll < 0.7:
+        attr = rng.choice(_ATTRS)
+        return (
+            f'<{tag} {attr}="{rng.randint(0, 9)}">'
+            f"{rng.randint(0, 99)}</{tag}>"
+        )
+    inner = rng.choice(_TAGS)
+    return (
+        f"<{tag}><{inner}>{rng.randint(0, 99)}</{inner}>"
+        f"<{inner}/></{tag}>"
+    )
+
+
+def random_xpath(rng: random.Random) -> str:
+    """A random query in the translatable fragment (small alphabets)."""
+    steps = []
+    n_steps = rng.randint(1, 3)
+    for position in range(n_steps):
+        final = position == n_steps - 1
+        if final and rng.random() < 0.15:
+            steps.append(f"@{rng.choice((*_ATTRS, '*'))}")
+            break
+        axis = rng.choices(
+            (
+                "", "descendant::", "following-sibling::",
+                "preceding-sibling::", "following::", "preceding::",
+                "parent::", "ancestor::", "self::",
+            ),
+            weights=(10, 3, 2, 2, 1, 1, 1, 1, 1),
+        )[0]
+        if axis in ("parent::", "ancestor::"):
+            test = rng.choice((*_TAGS, "*"))
+        else:
+            test = rng.choices(
+                (*_TAGS, "*", "text()", "node()"),
+                weights=(4, 4, 4, 4, 2, 1, 1),
+            )[0]
+        predicate = ""
+        if test not in ("text()", "node()") and rng.random() < 0.4:
+            predicate = f"[{_random_predicate(rng)}]"
+        steps.append(f"{axis}{test}{predicate}")
+    lead = rng.choice(("/", "//"))
+    return lead + "/".join(steps)
+
+
+def _random_predicate(rng: random.Random) -> str:
+    kind = rng.randint(0, 5)
+    if kind == 0:
+        return str(rng.randint(1, 4))
+    if kind == 1:
+        return "last()"
+    if kind == 2:
+        op = rng.choice(("<=", "<", ">=", ">", "=", "!="))
+        return f"position() {op} {rng.randint(1, 4)}"
+    if kind == 3:
+        return rng.choice((*_TAGS, "@" + rng.choice(_ATTRS)))
+    if kind == 4:
+        op = rng.choice(("=", "!=", "<", ">"))
+        return f"@{rng.choice(_ATTRS)} {op} {rng.randint(0, 9)}"
+    op = rng.choice(("=", "!=", "<", ">"))
+    return f"text() {op} {rng.randint(0, 99)}"
+
+
+def _plan_op(rng: random.Random, reference: XmlStore, doc: int) -> dict:
+    """Decide the next operation from the reference store's structure.
+
+    The plan is expressed in surrogate ids, which are assigned
+    identically by every store in the cell, so one plan applies to all.
+    """
+    columns = reference.encoding.node_columns()
+    result = reference.backend.execute(
+        f"SELECT {', '.join(columns)} FROM {reference.node_table} "
+        f"WHERE doc = ?",
+        (doc,),
+    )
+    rows = [dict(zip(columns, r)) for r in result.rows]
+    elements = sorted(r["id"] for r in rows if r["kind"] == "elem")
+    deletable = sorted(r["id"] for r in rows if r["parent"] != 0)
+
+    choices = ["insert_elem", "insert_elem", "insert_elem",
+               "insert_text", "insert_text", "set_text", "rename",
+               "set_attr"]
+    if deletable:
+        choices += ["delete", "delete"]
+    kind = rng.choice(choices)
+
+    if kind == "delete":
+        target = rng.choice(deletable)
+        return {"kind": kind, "target": target,
+                "describe": f"delete node {target}"}
+    parent = rng.choice(elements)
+    if kind in ("insert_elem", "insert_text"):
+        n_children = len(reference.fetch_children(doc, parent))
+        index = rng.randint(0, n_children)
+        fragment = (
+            _random_fragment(rng)
+            if kind == "insert_elem"
+            else f"t{rng.randint(0, 99)} "
+        )
+        return {
+            "kind": "insert", "parent": parent, "index": index,
+            "fragment": fragment,
+            "describe": (f"insert {fragment!r} at index {index} "
+                         f"under node {parent}"),
+        }
+    if kind == "set_text":
+        text = f"s{rng.randint(0, 99)}"
+        return {"kind": kind, "target": parent, "text": text,
+                "describe": f"set_text({parent}, {text!r})"}
+    if kind == "rename":
+        tag = rng.choice(_TAGS)
+        return {"kind": kind, "target": parent, "tag": tag,
+                "describe": f"rename({parent}, {tag!r})"}
+    name = rng.choice(_ATTRS)
+    value = None if rng.random() < 0.25 else str(rng.randint(0, 9))
+    return {"kind": "set_attr", "target": parent, "name": name,
+            "value": value,
+            "describe": f"set_attribute({parent}, {name!r}, {value!r})"}
+
+
+def _apply_op(store: XmlStore, doc: int, op: dict):
+    kind = op["kind"]
+    if kind == "insert":
+        return store.updates.insert(
+            doc, op["parent"], op["index"], op["fragment"]
+        )
+    if kind == "delete":
+        return store.updates.delete(doc, op["target"])
+    if kind == "set_text":
+        return store.updates.set_text(doc, op["target"], op["text"])
+    if kind == "rename":
+        return store.updates.rename(doc, op["target"], op["tag"])
+    return store.updates.set_attribute(
+        doc, op["target"], op["name"], op["value"]
+    )
+
+
+# -- oracles -------------------------------------------------------------
+
+
+def _normalized_copy(node: Node) -> Node:
+    """Deep copy with adjacent text siblings merged (and empty text
+    dropped) — the shape any serialize/parse round trip produces."""
+    if isinstance(node, Text):
+        return Text(node.content)
+    if isinstance(node, Comment):
+        return Comment(node.content)
+    if isinstance(node, ProcessingInstruction):
+        return ProcessingInstruction(node.target, node.data)
+    copy: Document | Element
+    if isinstance(node, Document):
+        copy = Document()
+    else:
+        assert isinstance(node, Element)
+        copy = Element(node.tag, dict(node.attributes))
+    for child in node.children:
+        child_copy = _normalized_copy(child)
+        if isinstance(child_copy, Text):
+            if not child_copy.content:
+                continue
+            last = copy.children[-1] if copy.children else None
+            if isinstance(last, Text):
+                last.content += child_copy.content
+                continue
+        copy.append(child_copy)
+    return copy
+
+
+def _oracle_identities(
+    document: Document, id_map: dict[int, int], xpath: str
+) -> list[tuple]:
+    out = []
+    for node in Evaluator(document).evaluate(xpath):
+        if isinstance(node, AttributeNode):
+            out.append(
+                ("attribute", id_map.get(id(node.owner), 0), node.name)
+            )
+        else:
+            out.append(("node", id_map.get(id(node), 0)))
+    return out
+
+
+def _check_store(
+    store: XmlStore,
+    doc: int,
+    queries: list[str],
+    reference_tree: Optional[Document],
+) -> tuple[Optional[tuple[str, str]], Optional[Document]]:
+    """Run the full check battery over one store.
+
+    Returns ``((kind, detail), tree)``; ``kind`` is None when clean.
+    The reconstructed tree is returned so the first store of a cell can
+    serve as the cross-store reference.
+    """
+    violations = audit_document(store, doc)
+    if violations:
+        listing = "; ".join(str(v) for v in violations[:5])
+        if len(violations) > 5:
+            listing += f" (+{len(violations) - 5} more)"
+        return ("invariant", listing), None
+
+    tree, id_map = reconstruct_document_with_ids(store, doc)
+
+    normalized = _normalized_copy(tree)
+    reparsed = parse(serialize(tree))
+    if not reparsed.structurally_equal(normalized):
+        return (
+            "roundtrip",
+            "serialize/parse round trip changed the reconstructed tree",
+        ), tree
+
+    for xpath in queries:
+        try:
+            got = [item.identity() for item in store.query(xpath, doc)]
+        except (TranslationError, UnsupportedXPathError):
+            continue  # outside this encoding's translatable fragment
+        want = _oracle_identities(tree, id_map, xpath)
+        if got != want:
+            return (
+                "oracle",
+                f"query {xpath!r}: store returned {got}, "
+                f"native evaluator returned {want}",
+            ), tree
+
+    if reference_tree is not None and not tree.structurally_equal(
+        reference_tree
+    ):
+        return (
+            "cross-store",
+            "reconstructed tree differs from the cell's reference store",
+        ), tree
+    return None, tree
+
+
+# -- the driver ---------------------------------------------------------
+
+
+def _run_cell(
+    config: FuzzConfig,
+    seed: int,
+    gap: int,
+    max_ops: int,
+    check_every: int,
+    report: FuzzReport,
+) -> Optional[FuzzFailure]:
+    """Fuzz one (seed, gap) cell; returns its first failure, if any."""
+    document = random_document(
+        seed, max_depth=config.max_depth,
+        max_children=config.max_children,
+    )
+    stores: list[tuple[str, str, XmlStore, int]] = []
+    for backend in config.backends:
+        for encoding in config.encodings:
+            store = XmlStore(backend=backend, encoding=encoding, gap=gap)
+            doc = store.load(document)
+            stores.append((backend, encoding, store, doc))
+
+    rng = random.Random(seed * 7919 + gap)
+    reference = stores[0]
+
+    def check_round(op_index: int, op_describe: str
+                    ) -> Optional[FuzzFailure]:
+        qrng = random.Random(seed * 1_000_003 + op_index)
+        queries = [
+            random_xpath(qrng) for _ in range(config.queries_per_check)
+        ]
+        reference_tree: Optional[Document] = None
+        for backend, encoding, store, doc in stores:
+            report.checks += 1
+            problem, tree = _check_store(
+                store, doc, queries, reference_tree
+            )
+            if problem is not None:
+                kind, detail = problem
+                return FuzzFailure(
+                    seed=seed, gap=gap, backend=backend,
+                    encoding=encoding, op_index=op_index,
+                    op=op_describe, kind=kind, detail=detail,
+                )
+            if reference_tree is None:
+                reference_tree = tree
+        return None
+
+    last_describe = "initial load"
+    failure = check_round(0, last_describe)
+    if failure is not None:
+        return failure
+
+    for op_index in range(1, max_ops + 1):
+        op = _plan_op(rng, reference[2], reference[3])
+        last_describe = op["describe"]
+        costs: list[tuple[int, int]] = []
+        for backend, encoding, store, doc in stores:
+            try:
+                result = _apply_op(store, doc, op)
+            except Exception as exc:
+                return FuzzFailure(
+                    seed=seed, gap=gap, backend=backend,
+                    encoding=encoding, op_index=op_index,
+                    op=last_describe, kind="crash",
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+            costs.append((result.inserted, result.deleted))
+        report.operations += 1
+        if len(set(costs)) > 1:
+            backend, encoding = stores[-1][0], stores[-1][1]
+            return FuzzFailure(
+                seed=seed, gap=gap, backend=backend, encoding=encoding,
+                op_index=op_index, op=last_describe,
+                kind="cost-mismatch",
+                detail=(
+                    "insert/delete counts diverge across stores: "
+                    + ", ".join(
+                        f"{b}/{e}={c}"
+                        for (b, e, _s, _d), c in zip(stores, costs)
+                    )
+                ),
+            )
+        if op_index % check_every == 0 or op_index == max_ops:
+            failure = check_round(op_index, last_describe)
+            if failure is not None:
+                return failure
+    return None
+
+
+def run_fuzz(config: FuzzConfig) -> FuzzReport:
+    """Run the differential fuzzer; failures come back minimized."""
+    report = FuzzReport()
+    for seed, gap in config.cells():
+        report.cells += 1
+        failure = _run_cell(
+            config, seed, gap, config.ops, config.check_every, report
+        )
+        if failure is None:
+            continue
+        if config.check_every > 1 and failure.kind != "crash":
+            # The coarse run only brackets the failing prefix; replay
+            # the cell checking after every op to pin the exact index.
+            minimized = _run_cell(
+                config, seed, gap, failure.op_index, 1, FuzzReport()
+            )
+            if minimized is not None:
+                failure = minimized
+        report.failures.append(failure)
+    return report

@@ -1,0 +1,280 @@
+"""The invariant auditor: structural checks over a live store.
+
+Every encoding's correctness story in the paper reduces to a handful of
+relational invariants.  This module audits them all against the actual
+rows of a store:
+
+* **encoding-independent** — surrogate ids unique; parent pointers
+  reference existing element rows (or 0, the document); every row
+  reachable from the document; ``depth`` equals the parent chain length;
+  leaf kinds childless; an element's ``value`` column equals the
+  concatenation of its direct text children; attribute rows owned by
+  live elements, one per ``(owner, name)``;
+* **encoding-specific** — contributed by each
+  :class:`~repro.core.encodings.OrderEncoding` via
+  :meth:`~repro.core.encodings.OrderEncoding.order_invariants`
+  (interval nesting for Global, slot uniqueness for Local, key-prefix
+  and byte-order agreement for Dewey/ORDPATH);
+* **catalogue** — ``documents.node_count`` equals the live row count,
+  ``next_id`` stays above every allocated id, ``max_depth`` bounds the
+  real depth, and no node/attribute rows exist for unknown documents.
+
+The auditor only reads; it never repairs.  ``repro check <db>`` exposes
+it on the command line, and the test suite runs it after every
+store-level test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.encodings import AuditView
+from repro.core.schema import KIND_ELEMENT, KIND_TEXT
+
+#: Node kinds that may own child rows.
+_PARENT_KINDS = (KIND_ELEMENT,)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation found by the auditor."""
+
+    #: Stable machine-readable code, e.g. ``"global-containment"``.
+    code: str
+    #: Document id the violation was found in (0 for store-level).
+    doc: int
+    #: Offending node id, when one row is identifiable.
+    node_id: Optional[int]
+    #: Human-readable description.
+    message: str
+
+    def __str__(self) -> str:
+        where = f"doc {self.doc}"
+        if self.node_id is not None:
+            where += f", node {self.node_id}"
+        return f"[{self.code}] {where}: {self.message}"
+
+
+def _fetch_rows(store, doc: int) -> list[dict]:
+    columns = store.encoding.node_columns()
+    result = store.backend.execute(
+        f"SELECT {', '.join(columns)} FROM {store.node_table} "
+        f"WHERE doc = ?",
+        (doc,),
+    )
+    return [dict(zip(columns, r)) for r in result.rows]
+
+
+def _build_view(store, rows: list[dict]) -> AuditView:
+    by_id = {row["id"]: row for row in rows}
+    children: dict[int, list[dict]] = {}
+    for row in rows:
+        children.setdefault(row["parent"], []).append(row)
+    order = store.encoding.sibling_order_column
+    for siblings in children.values():
+        siblings.sort(key=lambda r: r[order])
+    preorder: list[int] = []
+    stack = [row["id"] for row in reversed(children.get(0, []))]
+    visited: set[int] = set()
+    while stack:
+        node_id = stack.pop()
+        if node_id in visited:  # defensive: parent cycles
+            continue
+        visited.add(node_id)
+        preorder.append(node_id)
+        stack.extend(
+            row["id"] for row in reversed(children.get(node_id, []))
+        )
+    return AuditView(
+        rows=rows,
+        by_id=by_id,
+        children=children,
+        preorder=preorder,
+        gap=store.gap,
+    )
+
+
+def _structural_violations(store, doc: int, view: AuditView):
+    seen_ids: set[int] = set()
+    for row in view.rows:
+        node_id = row["id"]
+        if node_id in seen_ids:
+            yield Violation(
+                "store-id-duplicate", doc, node_id,
+                "surrogate id used by more than one row",
+            )
+        seen_ids.add(node_id)
+        parent_id = row["parent"]
+        if parent_id != 0:
+            parent = view.by_id.get(parent_id)
+            if parent is None:
+                yield Violation(
+                    "store-orphan-node", doc, node_id,
+                    f"parent {parent_id} has no row",
+                )
+                continue
+            if parent["kind"] not in _PARENT_KINDS:
+                yield Violation(
+                    "store-parent-not-element", doc, node_id,
+                    f"parent {parent_id} is a {parent['kind']} node",
+                )
+            expected_depth = parent["depth"] + 1
+        else:
+            expected_depth = 1
+        if row["depth"] != expected_depth:
+            yield Violation(
+                "store-depth-mismatch", doc, node_id,
+                f"depth {row['depth']}, expected {expected_depth}",
+            )
+        if row["kind"] not in _PARENT_KINDS and view.children.get(node_id):
+            yield Violation(
+                "store-leaf-has-children", doc, node_id,
+                f"{row['kind']} node has "
+                f"{len(view.children[node_id])} child row(s)",
+            )
+
+    # Reachability: every row must appear in the preorder walk from the
+    # document node (cycles and orphan chains both end up unreachable).
+    unreachable = seen_ids - set(view.preorder)
+    for node_id in sorted(unreachable):
+        yield Violation(
+            "store-unreachable", doc, node_id,
+            "row not reachable from the document node",
+        )
+
+    # Direct-text materialisation: an element's value column caches the
+    # concatenation of its immediate text children (None when it has
+    # none) — the column SQL value predicates compare against.
+    for row in view.rows:
+        if row["kind"] != KIND_ELEMENT:
+            continue
+        texts = [
+            child["value"] or ""
+            for child in view.children.get(row["id"], [])
+            if child["kind"] == KIND_TEXT
+        ]
+        expected = "".join(texts) if texts else None
+        if row["value"] != expected:
+            yield Violation(
+                "store-direct-text-stale", doc, row["id"],
+                f"value column {row['value']!r} != direct text "
+                f"{expected!r}",
+            )
+
+
+def _attribute_violations(store, doc: int, view: AuditView):
+    result = store.backend.execute(
+        f"SELECT owner, name FROM {store.attr_table} WHERE doc = ?",
+        (doc,),
+    )
+    seen: set[tuple[int, str]] = set()
+    for owner, name in result.rows:
+        owner_row = view.by_id.get(owner)
+        if owner_row is None:
+            yield Violation(
+                "store-attr-orphan", doc, owner,
+                f"attribute {name!r} owned by nonexistent node",
+            )
+        elif owner_row["kind"] != KIND_ELEMENT:
+            yield Violation(
+                "store-attr-orphan", doc, owner,
+                f"attribute {name!r} owned by a "
+                f"{owner_row['kind']} node",
+            )
+        if (owner, name) in seen:
+            yield Violation(
+                "store-attr-duplicate", doc, owner,
+                f"attribute {name!r} stored more than once",
+            )
+        seen.add((owner, name))
+
+
+def _catalog_violations(store, info, view: AuditView):
+    doc = info.doc
+    actual = len(view.rows)
+    if info.node_count != actual:
+        yield Violation(
+            "catalog-node-count", doc, None,
+            f"documents.node_count {info.node_count} != "
+            f"{actual} live rows",
+        )
+    max_id = max((row["id"] for row in view.rows), default=0)
+    if info.next_id <= max_id:
+        yield Violation(
+            "catalog-next-id", doc, None,
+            f"documents.next_id {info.next_id} <= max live id {max_id}",
+        )
+    actual_depth = max((row["depth"] for row in view.rows), default=0)
+    if info.max_depth < actual_depth:
+        yield Violation(
+            "catalog-max-depth", doc, None,
+            f"documents.max_depth {info.max_depth} < actual depth "
+            f"{actual_depth}",
+        )
+
+
+def audit_document(store, doc: int) -> list[Violation]:
+    """Audit one document; returns all violations found (empty = clean)."""
+    info = store.document_info(doc)
+    rows = _fetch_rows(store, doc)
+    view = _build_view(store, rows)
+    violations = list(_structural_violations(store, doc, view))
+    violations.extend(_attribute_violations(store, doc, view))
+    violations.extend(
+        Violation(code, doc, node_id, message)
+        for code, node_id, message in store.encoding.order_invariants(view)
+    )
+    violations.extend(_catalog_violations(store, info, view))
+    return violations
+
+
+def _stray_document_violations(store, known_docs: set[int]):
+    for table in (store.node_table, store.attr_table):
+        result = store.backend.execute(
+            f"SELECT DISTINCT doc FROM {table}"
+        )
+        for (doc,) in result.rows:
+            if doc not in known_docs:
+                yield Violation(
+                    "catalog-missing-doc", doc, None,
+                    f"rows in {table} for a document with no "
+                    "catalogue entry",
+                )
+
+
+def audit_store(
+    store, max_rows_per_doc: Optional[int] = None
+) -> list[Violation]:
+    """Audit every document of *store* plus store-level catalogue state.
+
+    ``max_rows_per_doc`` skips documents whose catalogued node count
+    exceeds the limit — the conftest fixture uses it to keep the audit
+    cheap after large stress tests.
+    """
+    infos = store.documents()
+    violations: list[Violation] = []
+    for info in infos:
+        if (
+            max_rows_per_doc is not None
+            and info.node_count > max_rows_per_doc
+        ):
+            continue
+        violations.extend(audit_document(store, info.doc))
+    violations.extend(
+        _stray_document_violations(store, {info.doc for info in infos})
+    )
+    return violations
+
+
+def assert_store_clean(store, context: str = "") -> None:
+    """Raise ``AssertionError`` listing violations, if any exist."""
+    violations = audit_store(store)
+    if violations:
+        prefix = f"{context}: " if context else ""
+        listing = "\n  ".join(str(v) for v in violations)
+        raise AssertionError(
+            f"{prefix}{len(violations)} invariant violation(s) in "
+            f"{store.encoding.name}/{store.backend.name} store:\n  "
+            f"{listing}"
+        )

@@ -75,7 +75,10 @@ def open_store(
     else:
         encoding = encoding or "dewey"
         gap = gap or 1
-        _write_meta(backend, encoding, gap)
+        try:
+            _write_meta(backend, encoding, gap)
+        except Exception as exc:
+            raise ReproError(f"cannot initialise store {db!r}: {exc}")
     return XmlStore(backend=backend, encoding=encoding, gap=gap)
 
 
@@ -223,6 +226,69 @@ def cmd_sql(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import audit_store
+
+    store = open_store(args.db)
+    violations = audit_store(store)
+    docs = len(store.documents())
+    if violations:
+        for violation in violations:
+            print(violation)
+        print(
+            f"-- {len(violations)} violation(s) across {docs} "
+            f"document(s) [{store.encoding.name}/{store.backend.name}]",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"ok: {docs} document(s) audited, 0 violations "
+        f"[{store.encoding.name}/{store.backend.name}, gap {store.gap}]"
+    )
+    return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.check import FuzzConfig, run_fuzz
+
+    encodings = tuple(args.encodings.split(","))
+    backends = tuple(args.backends.split(","))
+    for encoding in encodings:
+        if encoding not in ENCODINGS:
+            raise ReproError(
+                f"unknown encoding {encoding!r}; expected one of "
+                f"{sorted(ENCODINGS)}"
+            )
+    for backend in backends:
+        if backend not in ("sqlite", "minidb"):
+            raise ReproError(
+                f"unknown backend {backend!r}; expected 'sqlite' or "
+                "'minidb'"
+            )
+    try:
+        gaps = tuple(int(g) for g in args.gaps.split(","))
+    except ValueError:
+        raise ReproError(
+            f"--gaps expects comma-separated integers, got {args.gaps!r}"
+        ) from None
+    config = FuzzConfig(
+        seeds=args.seeds,
+        ops=args.ops,
+        encodings=encodings,
+        backends=backends,
+        gaps=gaps,
+        base_seed=args.base_seed,
+        check_every=args.check_every,
+        queries_per_check=args.queries_per_check,
+    )
+    report = run_fuzz(config)
+    for failure in report.failures:
+        print(failure)
+        print()
+    print(report.summary())
+    return 0 if report.ok() else 1
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.bench.experiments import run_all
 
@@ -305,6 +371,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("statement")
     add_db(p)
     p.set_defaults(func=cmd_sql)
+
+    p = sub.add_parser(
+        "check",
+        help="audit a store's structural and encoding invariants",
+    )
+    add_db(p)
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzz: random updates vs the native evaluator",
+    )
+    p.add_argument("--seeds", type=int, default=5,
+                   help="number of random documents (default 5)")
+    p.add_argument("--ops", type=int, default=25,
+                   help="update operations per document (default 25)")
+    p.add_argument("--encodings", default="global,local,dewey,ordpath",
+                   help="comma-separated encodings to cross-check")
+    p.add_argument("--backends", default="sqlite",
+                   help="comma-separated backends (sqlite,minidb)")
+    p.add_argument("--gaps", default="1",
+                   help="comma-separated gap factors (default 1)")
+    p.add_argument("--base-seed", type=int, default=0,
+                   help="first document seed (default 0)")
+    p.add_argument("--check-every", type=int, default=1,
+                   help="run the check battery every N ops (default 1)")
+    p.add_argument("--queries-per-check", type=int, default=5,
+                   help="oracle queries per store per check (default 5)")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("experiments",
                        help="run the E1-E11 experiment suite")

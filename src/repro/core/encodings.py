@@ -17,12 +17,40 @@ varies in axis conditions and order keys.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from dataclasses import dataclass
+from typing import Iterator, Optional
 
 from repro.core import schema
 from repro.core.dewey import DeweyKey
 from repro.core.schema import Table
 from repro.core.shredder import ShreddedNode
+from repro.errors import EncodingError
+
+#: One invariant violation: (code, offending node id or None, message).
+#: The ``repro.check`` auditor wraps these into rich Violation records.
+InvariantViolation = tuple[str, Optional[int], str]
+
+
+@dataclass
+class AuditView:
+    """One document's rows, pre-indexed for invariant checking.
+
+    Built by :func:`repro.check.invariants.audit_document` and handed to
+    each encoding's :meth:`OrderEncoding.order_invariants`, so encodings
+    only express *what* must hold, not how to fetch rows.
+    """
+
+    #: All node rows of the document, as column->value dicts.
+    rows: list[dict]
+    #: Node rows keyed by surrogate id.
+    by_id: dict[int, dict]
+    #: Child rows per parent id, sorted by the sibling order column.
+    children: dict[int, list[dict]]
+    #: Node ids in structural document order (DFS over parent pointers,
+    #: siblings ordered by the sibling order column).
+    preorder: list[int]
+    #: The store's sparse-numbering gap.
+    gap: int
 
 
 class OrderEncoding(ABC):
@@ -46,11 +74,11 @@ class OrderEncoding(ABC):
     #: order within one parent).  Used by child fetches/reconstruction.
     sibling_order_column: str
 
-    def create_statements(self) -> list[str]:
+    def create_statements(self, if_not_exists: bool = False) -> list[str]:
         """DDL statements creating this encoding's tables and indexes."""
         return [
-            *self.node_table.create_statements(),
-            *self.attr_table.create_statements(),
+            *self.node_table.create_statements(if_not_exists),
+            *self.attr_table.create_statements(if_not_exists),
         ]
 
     def node_columns(self) -> tuple[str, ...]:
@@ -73,6 +101,28 @@ class OrderEncoding(ABC):
             node.depth,
             *self.order_values(node, gap),
         )
+
+    def order_invariants(
+        self, view: AuditView
+    ) -> Iterator[InvariantViolation]:
+        """Yield violations of this encoding's order invariants.
+
+        Each encoding contributes the structural properties its paper
+        section relies on (interval nesting for Global, per-parent slot
+        uniqueness for Local, key-prefix/byte-order agreement for Dewey
+        and ORDPATH).  Encoding-independent checks (parent pointers,
+        depth, direct-text, catalogue) live in
+        :mod:`repro.check.invariants`.
+        """
+        return iter(())
+
+    def _sorted_order_ids(self, view: AuditView) -> list[int]:
+        """Node ids sorted by this encoding's total order column."""
+        column = self.order_by_column
+        return [
+            row["id"]
+            for row in sorted(view.rows, key=lambda r: r[column])
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__}>"
@@ -99,6 +149,53 @@ class GlobalEncoding(OrderEncoding):
     def order_values(self, node: ShreddedNode, gap: int) -> tuple:
         return (node.rank * gap, node.end_rank * gap)
 
+    def order_invariants(
+        self, view: AuditView
+    ) -> Iterator[InvariantViolation]:
+        seen_pos: dict[int, int] = {}
+        for row in view.rows:
+            pos, endpos = row["pos"], row["endpos"]
+            if pos in seen_pos:
+                yield (
+                    "global-pos-duplicate", row["id"],
+                    f"pos {pos} already used by node {seen_pos[pos]}",
+                )
+            seen_pos[pos] = row["id"]
+            if endpos < pos:
+                yield (
+                    "global-interval-degenerate", row["id"],
+                    f"endpos {endpos} < pos {pos}",
+                )
+            if row["parent"] != 0:
+                parent = view.by_id.get(row["parent"])
+                if parent is None:
+                    continue  # orphan reported by the structural checks
+                if not (parent["pos"] < pos and endpos <= parent["endpos"]):
+                    yield (
+                        "global-containment", row["id"],
+                        f"interval [{pos}, {endpos}] not inside parent "
+                        f"{parent['id']} [{parent['pos']}, "
+                        f"{parent['endpos']}]",
+                    )
+        # Sibling intervals must be disjoint and ordered.  Deletions may
+        # leave an ancestor's endpos past its last live descendant (the
+        # paper notes the vacated interval stays safe), so only overlap
+        # between siblings is a violation, not slack inside a parent.
+        for siblings in view.children.values():
+            for left, right in zip(siblings, siblings[1:]):
+                if right["pos"] <= left["endpos"]:
+                    yield (
+                        "global-sibling-overlap", right["id"],
+                        f"interval of node {right['id']} starts at "
+                        f"{right['pos']}, inside sibling {left['id']}'s "
+                        f"interval ending at {left['endpos']}",
+                    )
+        if self._sorted_order_ids(view) != view.preorder:
+            yield (
+                "global-preorder", None,
+                "sorting by pos does not yield structural preorder",
+            )
+
 
 class LocalEncoding(OrderEncoding):
     """Position among siblings only.
@@ -121,6 +218,27 @@ class LocalEncoding(OrderEncoding):
     def order_values(self, node: ShreddedNode, gap: int) -> tuple:
         return (node.sibling_index * gap,)
 
+    def order_invariants(
+        self, view: AuditView
+    ) -> Iterator[InvariantViolation]:
+        for parent_id, siblings in view.children.items():
+            seen: dict[int, int] = {}
+            for row in siblings:
+                lpos = row["lpos"]
+                if lpos < 1:
+                    yield (
+                        "local-lpos-nonpositive", row["id"],
+                        f"lpos {lpos} under parent {parent_id} "
+                        "(slots start at 1)",
+                    )
+                if lpos in seen:
+                    yield (
+                        "local-lpos-duplicate", row["id"],
+                        f"(parent {parent_id}, lpos {lpos}) already "
+                        f"used by node {seen[lpos]}",
+                    )
+                seen[lpos] = row["id"]
+
 
 class DeweyEncoding(OrderEncoding):
     """Binary Dewey keys: the balanced encoding.
@@ -142,6 +260,65 @@ class DeweyEncoding(OrderEncoding):
     def order_values(self, node: ShreddedNode, gap: int) -> tuple:
         key = DeweyKey(c * gap for c in node.dewey)
         return (key.encode(),)
+
+    def order_invariants(
+        self, view: AuditView
+    ) -> Iterator[InvariantViolation]:
+        seen: dict[bytes, int] = {}
+        for row in view.rows:
+            raw = row["dkey"]
+            try:
+                key = DeweyKey.decode(raw)
+            except EncodingError as exc:
+                yield ("dewey-key-corrupt", row["id"], str(exc))
+                continue
+            if key.encode() != bytes(raw):
+                yield (
+                    "dewey-key-corrupt", row["id"],
+                    f"non-canonical encoding of key {key}",
+                )
+            if bytes(raw) in seen:
+                yield (
+                    "dewey-key-duplicate", row["id"],
+                    f"key {key} already used by node {seen[bytes(raw)]}",
+                )
+            seen[bytes(raw)] = row["id"]
+            if any(c < 1 for c in key.components):
+                yield (
+                    "dewey-component-nonpositive", row["id"],
+                    f"key {key} has a component < 1",
+                )
+            if row["depth"] != key.depth():
+                yield (
+                    "dewey-depth-mismatch", row["id"],
+                    f"depth column {row['depth']} != key depth "
+                    f"{key.depth()} ({key})",
+                )
+            # Key-prefix <=> parent-pointer agreement.
+            parent_key = key.parent()
+            if row["parent"] == 0:
+                if parent_key is not None:
+                    yield (
+                        "dewey-parent-mismatch", row["id"],
+                        f"top-level node carries nested key {key}",
+                    )
+            else:
+                parent = view.by_id.get(row["parent"])
+                if parent is None:
+                    continue
+                if parent_key is None or (
+                    parent_key.encode() != bytes(parent["dkey"])
+                ):
+                    yield (
+                        "dewey-parent-mismatch", row["id"],
+                        f"key {key} is not a child key of parent "
+                        f"{parent['id']}",
+                    )
+        if self._sorted_order_ids(view) != view.preorder:
+            yield (
+                "dewey-preorder", None,
+                "byte order of dkey does not yield structural preorder",
+            )
 
 
 class OrdpathEncoding(OrderEncoding):
@@ -167,6 +344,57 @@ class OrdpathEncoding(OrderEncoding):
 
         components = tuple(2 * gap * c - 1 for c in node.dewey)
         return (OrdpathKey(components).encode(),)
+
+    def order_invariants(
+        self, view: AuditView
+    ) -> Iterator[InvariantViolation]:
+        from repro.core.ordpath import OrdpathKey
+
+        seen: dict[bytes, int] = {}
+        for row in view.rows:
+            raw = row["okey"]
+            try:
+                key = OrdpathKey.decode(raw)
+                key_depth = key.depth()  # validates level structure
+            except EncodingError as exc:
+                yield ("ordpath-key-corrupt", row["id"], str(exc))
+                continue
+            if bytes(raw) in seen:
+                yield (
+                    "ordpath-key-duplicate", row["id"],
+                    f"key {key} already used by node {seen[bytes(raw)]}",
+                )
+            seen[bytes(raw)] = row["id"]
+            if row["depth"] != key_depth:
+                yield (
+                    "ordpath-depth-mismatch", row["id"],
+                    f"depth column {row['depth']} != key depth "
+                    f"{key_depth} ({key})",
+                )
+            parent_key = key.parent()
+            if row["parent"] == 0:
+                if parent_key is not None:
+                    yield (
+                        "ordpath-parent-mismatch", row["id"],
+                        f"top-level node carries nested key {key}",
+                    )
+            else:
+                parent = view.by_id.get(row["parent"])
+                if parent is None:
+                    continue
+                if parent_key is None or (
+                    parent_key.encode() != bytes(parent["okey"])
+                ):
+                    yield (
+                        "ordpath-parent-mismatch", row["id"],
+                        f"key {key} is not a child key of parent "
+                        f"{parent['id']}",
+                    )
+        if self._sorted_order_ids(view) != view.preorder:
+            yield (
+                "ordpath-preorder", None,
+                "byte order of okey does not yield structural preorder",
+            )
 
 
 #: Singleton instances, keyed by name.  The first three are the paper's;

@@ -60,8 +60,14 @@ def _build_tree(
     doc: int,
     rows: list[dict],
     root_parent: int,
+    id_map: Optional[dict[int, int]] = None,
 ) -> list[Node]:
-    """Build DOM nodes for *rows*; returns children of *root_parent*."""
+    """Build DOM nodes for *rows*; returns children of *root_parent*.
+
+    When *id_map* is given, it is filled with ``id(dom node) ->
+    surrogate id`` for every materialised node (the identity bridge the
+    differential fuzzer's oracle comparisons need).
+    """
     by_parent: dict[int, list[dict]] = {}
     for row in rows:
         by_parent.setdefault(row["parent"], []).append(row)
@@ -81,6 +87,8 @@ def _build_tree(
             for name, value in sorted(attributes.get(row["id"], [])):
                 node.set(name, value)
         nodes[row["id"]] = node
+        if id_map is not None:
+            id_map[id(node)] = row["id"]
         for child_row in by_parent.get(row["id"], []):
             node_child = materialise(child_row)
             node.append(node_child)
@@ -91,6 +99,15 @@ def _build_tree(
 
 def reconstruct_document(store: "XmlStore", doc: int) -> Document:
     """Rebuild the entire document *doc* from its rows."""
+    document, _ids = reconstruct_document_with_ids(store, doc)
+    return document
+
+
+def reconstruct_document_with_ids(
+    store: "XmlStore", doc: int
+) -> tuple[Document, dict[int, int]]:
+    """Rebuild document *doc* plus an ``id(dom node) -> surrogate id``
+    map, so callers can compare store results against DOM nodes."""
     columns = store.encoding.node_columns()
     result = store.backend.execute(
         f"SELECT {', '.join(columns)} FROM {store.node_table} "
@@ -99,9 +116,10 @@ def reconstruct_document(store: "XmlStore", doc: int) -> Document:
     )
     rows = [dict(zip(columns, r)) for r in result.rows]
     document = Document()
-    for top in _build_tree(store, doc, rows, root_parent=0):
+    id_map: dict[int, int] = {}
+    for top in _build_tree(store, doc, rows, root_parent=0, id_map=id_map):
         document.append(top)
-    return document
+    return document, id_map
 
 
 def reconstruct_subtree(store: "XmlStore", doc: int, node_id: int) -> Node:

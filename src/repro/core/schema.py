@@ -45,10 +45,12 @@ class Index:
     columns: tuple[str, ...]
     unique: bool = False
 
-    def to_sql(self) -> str:
+    def to_sql(self, if_not_exists: bool = False) -> str:
         unique = "UNIQUE " if self.unique else ""
+        guard = "IF NOT EXISTS " if if_not_exists else ""
         cols = ", ".join(self.columns)
-        return f"CREATE {unique}INDEX {self.name} ON {self.table} ({cols})"
+        return (f"CREATE {unique}INDEX {guard}{self.name} "
+                f"ON {self.table} ({cols})")
 
 
 @dataclass(frozen=True)
@@ -59,15 +61,19 @@ class Table:
     columns: tuple[Column, ...]
     indexes: tuple[Index, ...] = field(default_factory=tuple)
 
-    def to_sql(self) -> str:
+    def to_sql(self, if_not_exists: bool = False) -> str:
+        guard = "IF NOT EXISTS " if if_not_exists else ""
         cols = ", ".join(f"{c.name} {c.type}" for c in self.columns)
-        return f"CREATE TABLE {self.name} ({cols})"
+        return f"CREATE TABLE {guard}{self.name} ({cols})"
 
     def column_names(self) -> tuple[str, ...]:
         return tuple(c.name for c in self.columns)
 
-    def create_statements(self) -> list[str]:
-        return [self.to_sql(), *(ix.to_sql() for ix in self.indexes)]
+    def create_statements(self, if_not_exists: bool = False) -> list[str]:
+        return [
+            self.to_sql(if_not_exists),
+            *(ix.to_sql(if_not_exists) for ix in self.indexes),
+        ]
 
 
 #: Node kinds stored in the ``kind`` column.

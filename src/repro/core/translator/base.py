@@ -308,6 +308,19 @@ class SqlTranslator(ABC):
                 "attributes"
             )
         kind = kinds.pop()
+        if kind == "attribute" and len({a.columns for a in arms}) != 1:
+            # Attribute arms only project the owner's order columns when
+            # the owner has a stable alias; arms can therefore disagree
+            # on projection width (e.g. ``/@id | //@x``), which SQL
+            # UNION rejects.  Fall back to the minimal three-column
+            # projection for every arm and sort client-side.
+            arms = [
+                self._translate_arm(
+                    p, doc, with_order_by=False, context_id=context_id,
+                    minimal_attr_projection=True,
+                )
+                for p in union.paths
+            ]
         sql = " UNION ".join(a.sql for a in arms)
         params: tuple = ()
         for a in arms:
@@ -342,6 +355,7 @@ class SqlTranslator(ABC):
         doc: int,
         with_order_by: bool,
         context_id: Optional[int] = None,
+        minimal_attr_projection: bool = False,
     ) -> TranslatedQuery:
         if not path.absolute and context_id is None:
             raise TranslationError(
@@ -376,7 +390,9 @@ class SqlTranslator(ABC):
             ]
             owner = t.attribute_owner_alias
             order_cols = (
-                self.order_by_columns(owner) if owner is not None else None
+                self.order_by_columns(owner)
+                if owner is not None and not minimal_attr_projection
+                else None
             )
             if order_cols is not None:
                 builder.select.extend(

@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING, Optional, Union
 from repro.core.dewey import DeweyKey
 from repro.core.schema import KIND_ELEMENT, KIND_TEXT
 from repro.core.shredder import ShreddedDocument, ShreddedNode, shred
-from repro.errors import UpdateError
+from repro.errors import UpdateError, XmlSyntaxError
 from repro.xmldom.dom import Document, Node, Text
 from repro.xmldom.parser import parse_fragment
 
@@ -77,10 +77,18 @@ class UpdateManager:
         """Insert *fragment* as the *index*-th child of *parent_id*.
 
         ``parent_id`` 0 addresses the document node (top level).  The
-        fragment may be an XML string or a detached DOM node.
+        fragment may be a detached DOM node or an XML string: a single
+        element, a bare run of character data (inserted as a text
+        node), a comment, or a processing instruction.  Multi-rooted
+        fragment strings are rejected — insert each node separately.
         """
         if isinstance(fragment, str):
-            fragment = parse_fragment(fragment)
+            try:
+                fragment = parse_fragment(fragment)
+            except XmlSyntaxError as exc:
+                raise UpdateError(
+                    f"cannot parse insert fragment: {exc}"
+                ) from exc
         shredded = self._shred_fragment(fragment)
         with self.store.backend.transaction():
             return self._insert_in_transaction(

@@ -40,6 +40,11 @@ from repro.xmldom import Document, parse
 _ID_BATCH = 400
 
 
+def _is_already_exists(exc: Exception) -> bool:
+    """True when a CREATE failed only because the object already exists."""
+    return "already exists" in str(exc)
+
+
 @dataclass(frozen=True)
 class ResultItem:
     """One query result: a node row or an attribute.
@@ -116,17 +121,22 @@ class XmlStore:
     # -- schema ----------------------------------------------------------
 
     def _create_schema(self) -> None:
+        if_not_exists = self.backend.supports_if_not_exists
         for statement in (
-            *self.encoding.create_statements(),
-            *self._docs_table.create_statements(),
+            *self.encoding.create_statements(if_not_exists),
+            *self._docs_table.create_statements(if_not_exists),
         ):
-            # Both backends accept IF NOT EXISTS-free DDL; tolerate reuse
-            # of a backend that already has the schema.
             try:
                 self.backend.execute(statement)
-            except Exception:
-                if "CREATE" not in statement.upper():
-                    raise
+            except Exception as exc:
+                # Reusing a backend that already has the schema is fine
+                # (engines without IF NOT EXISTS report it as an error);
+                # every other DDL failure is real and must surface.
+                if _is_already_exists(exc):
+                    continue
+                raise StorageError(
+                    f"schema bootstrap failed: {statement!r}: {exc}"
+                ) from exc
 
     @property
     def node_table(self) -> str:
@@ -286,7 +296,8 @@ class XmlStore:
     def _fetch_structure(
         self, doc: int, ids: Iterable[int]
     ) -> dict[int, tuple[int, int]]:
-        """Fetch ``id -> (parent, lpos)`` for the given node ids."""
+        """Fetch ``id -> (parent, sibling order value)`` for the ids."""
+        order_column = self.encoding.sibling_order_column
         out: dict[int, tuple[int, int]] = {}
         pending = [i for i in set(ids) if i != 0]
         while pending:
@@ -294,18 +305,20 @@ class XmlStore:
             pending = pending[_ID_BATCH:]
             placeholders = ", ".join("?" for _ in batch)
             result = self.backend.execute(
-                f"SELECT id, parent, lpos FROM {self.node_table} "
+                f"SELECT id, parent, {order_column} "
+                f"FROM {self.node_table} "
                 f"WHERE doc = ? AND id IN ({placeholders})",
                 (doc, *batch),
             )
-            for node_id, parent, lpos in result.rows:
-                out[node_id] = (parent, lpos)
+            for node_id, parent, order_value in result.rows:
+                out[node_id] = (parent, order_value)
         return out
 
     def _order_keys(
         self, doc: int, ids: list[int]
     ) -> dict[int, tuple[int, ...]]:
-        """Root-to-node ``lpos`` paths for each id (Local sort keys)."""
+        """Root-to-node sibling-order paths for each id (client sort
+        keys; document order for any encoding)."""
         structure: dict[int, tuple[int, int]] = {}
         frontier = set(ids)
         while frontier:

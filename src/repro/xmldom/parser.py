@@ -46,13 +46,29 @@ def parse(source: str, strip_whitespace: bool = False) -> Document:
     XmlSyntaxError
         On any lexical or well-formedness violation.
     """
+    doc = _parse_tree(source, strip_whitespace, fragment=False)
+    if doc.root is None:
+        raise XmlSyntaxError("document has no root element")
+    return doc
+
+
+def _parse_tree(
+    source: str, strip_whitespace: bool, fragment: bool
+) -> Document:
+    """Build the node tree; *fragment* mode relaxes document rules.
+
+    A document allows exactly one top-level element and no top-level
+    character data.  Fragment mode admits any number of top-level nodes,
+    including bare text runs; :func:`parse_fragment` validates the count
+    afterwards so it can report a fragment-specific message.
+    """
     doc = Document()
     stack: list[Element] = []
     saw_root = False
 
     for token in Tokenizer(source).tokens():
         if isinstance(token, StartTagToken):
-            if not stack and saw_root:
+            if not stack and saw_root and not fragment:
                 raise XmlSyntaxError(
                     "document has more than one root element",
                     token.line,
@@ -81,7 +97,7 @@ def parse(source: str, strip_whitespace: bool = False) -> Document:
                     token.column,
                 )
         elif isinstance(token, TextToken):
-            _append_text(doc, stack, token, strip_whitespace)
+            _append_text(doc, stack, token, strip_whitespace, fragment)
         elif isinstance(token, CommentToken):
             parent = stack[-1] if stack else doc
             parent.append(Comment(token.content))
@@ -91,8 +107,6 @@ def parse(source: str, strip_whitespace: bool = False) -> Document:
 
     if stack:
         raise XmlSyntaxError(f"unclosed element <{stack[-1].tag}>")
-    if doc.root is None:
-        raise XmlSyntaxError("document has no root element")
     return doc
 
 
@@ -101,23 +115,27 @@ def _append_text(
     stack: list[Element],
     token: TextToken,
     strip_whitespace: bool,
+    fragment: bool = False,
 ) -> None:
     content = token.content
     blank = content.strip() == ""
     if not stack:
-        # Character data is only legal outside the root if it is blank.
+        # Character data outside an element is only legal when blank —
+        # except in fragment mode, where a bare text run is a valid
+        # fragment (it becomes a top-level Text node).
         if blank:
             return
-        raise XmlSyntaxError(
-            "character data outside the root element",
-            token.line,
-            token.column,
-        )
-    if blank and strip_whitespace and not token.is_cdata:
+        if not fragment:
+            raise XmlSyntaxError(
+                "character data outside the root element",
+                token.line,
+                token.column,
+            )
+    if blank and strip_whitespace and not token.is_cdata and stack:
         return
     if not content:
         return
-    parent = stack[-1]
+    parent: Document | Element = stack[-1] if stack else doc
     # Merge adjacent text (e.g. text + CDATA) into one node, matching the
     # XPath data model where text nodes are maximal runs of character data.
     if parent.children and isinstance(parent.children[-1], Text):
@@ -126,6 +144,47 @@ def _append_text(
         parent.append(Text(content))
 
 
-def parse_fragment(source: str, strip_whitespace: bool = False) -> Element:
-    """Parse a single-rooted XML fragment and return its root element."""
-    return parse(source, strip_whitespace=strip_whitespace).root  # type: ignore[return-value]
+def _describe_node(node: object) -> str:
+    if isinstance(node, Element):
+        return f"element <{node.tag}>"
+    if isinstance(node, Text):
+        return "text"
+    if isinstance(node, Comment):
+        return "comment"
+    if isinstance(node, ProcessingInstruction):
+        return f"processing instruction <?{node.target}?>"
+    return type(node).__name__  # pragma: no cover - defensive
+
+
+def parse_fragment(source: str, strip_whitespace: bool = False):
+    """Parse an XML fragment and return its single top-level node.
+
+    A fragment is either one element (with any content), or a bare run
+    of character data (returned as a :class:`Text` node), or a single
+    comment / processing instruction.  Surrounding whitespace-only text
+    is ignored, matching document parsing.
+
+    Raises
+    ------
+    XmlSyntaxError
+        On malformed XML, an empty fragment, or a fragment with more
+        than one top-level node (e.g. ``"<a/><b/>"`` or ``"text <a/>"``
+        — insert such pieces one node at a time).
+    """
+    doc = _parse_tree(source, strip_whitespace, fragment=True)
+    tops = list(doc.children)
+    if not tops:
+        raise XmlSyntaxError(
+            "empty fragment: expected one element, text run, comment, "
+            "or processing instruction"
+        )
+    if len(tops) > 1:
+        shapes = ", ".join(_describe_node(n) for n in tops)
+        raise XmlSyntaxError(
+            f"fragment has {len(tops)} top-level nodes ({shapes}); "
+            "a fragment must have exactly one root — insert multiple "
+            "nodes one at a time"
+        )
+    node = tops[0]
+    node.detach()
+    return node

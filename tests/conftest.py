@@ -69,6 +69,50 @@ def assert_query_matches_oracle(
     )
 
 
+@pytest.fixture(autouse=True)
+def _audit_created_stores(request, monkeypatch):
+    """Audit every store a test created, once the test finishes.
+
+    Tracks :class:`XmlStore` construction for the duration of the test
+    and runs the full invariant auditor over each store at teardown, so
+    any update path that corrupts an encoding fails the test that drove
+    it even if its own assertions were weaker.  Mark a test
+    ``@pytest.mark.skip_audit`` when it deliberately corrupts a store.
+    Documents above the row cap are skipped to keep stress tests cheap.
+    """
+    if request.node.get_closest_marker("skip_audit"):
+        yield
+        return
+    created: list[XmlStore] = []
+    original_init = XmlStore.__init__
+
+    def tracking_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        created.append(self)
+
+    monkeypatch.setattr(XmlStore, "__init__", tracking_init)
+    yield
+    from repro.check import audit_store
+
+    problems: list[str] = []
+    for store in created:
+        try:
+            store.documents()
+        except Exception:
+            continue  # backend closed or made unusable by the test
+        violations = audit_store(store, max_rows_per_doc=3000)
+        if violations:
+            listing = "\n  ".join(str(v) for v in violations)
+            problems.append(
+                f"{store.encoding.name}/{store.backend.name}: "
+                f"{len(violations)} violation(s):\n  {listing}"
+            )
+    if problems:
+        pytest.fail(
+            "post-test invariant audit failed:\n" + "\n".join(problems)
+        )
+
+
 @pytest.fixture
 def bib_document() -> Document:
     return parse(BIB_XML)

@@ -156,3 +156,42 @@ def test_gapped_stores_match_oracle(doc_seed, query_seed, gap):
         except (TranslationError, UnsupportedXPathError):
             continue
         assert got == want, (encoding, xpath, gap)
+
+
+# -- differential fuzzing (repro.check.fuzz) --------------------------------
+#
+# The hypothesis tests above cover *static* stores; the fuzzer drives the
+# same oracle through random update streams, auditing every encoding's
+# structural invariants and cross-checking all stores in a cell against
+# each other along the way.
+
+
+@pytest.mark.fuzz_smoke
+def test_fuzz_smoke_fixed_seed():
+    """Fast fixed-seed fuzz: every encoding, sqlite, checked per-op."""
+    from repro.check import FuzzConfig, run_fuzz
+
+    report = run_fuzz(FuzzConfig(
+        seeds=2, ops=12, backends=("sqlite",), gaps=(1, 4),
+        check_every=1, queries_per_check=3,
+    ))
+    assert report.ok(), "\n".join(str(f) for f in report.failures)
+    assert report.operations == 2 * 2 * 12
+
+
+def test_fuzz_full_matrix_fixed_seed():
+    """The acceptance matrix: 4 encodings x 2 backends x 3 gaps, 25 ops.
+
+    Every one of the 24 (encoding, backend, gap) configurations sees the
+    same seeded update stream; zero invariant violations and zero oracle
+    mismatches are required.
+    """
+    from repro.check import FuzzConfig, run_fuzz
+
+    report = run_fuzz(FuzzConfig(
+        seeds=1, ops=25, backends=("sqlite", "minidb"),
+        gaps=(1, 4, 64), check_every=5, queries_per_check=4,
+    ))
+    assert report.ok(), "\n".join(str(f) for f in report.failures)
+    assert report.cells == 3
+    assert report.operations == 3 * 25

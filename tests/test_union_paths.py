@@ -122,3 +122,36 @@ def test_random_unions_match_oracle(doc_seed, query_seed):
         except (TranslationError, UnsupportedXPathError):
             continue
         assert got == want, (encoding, xpath)
+
+
+class TestMixedProjectionAttributeUnions:
+    """Arms that disagree on projection width (found by fuzzing).
+
+    An attribute arm only projects its owner's order columns when the
+    owner has a stable alias; ``/@id`` (document-node attributes) has
+    none, so ``/@id | //@x`` used to emit a UNION of a 3-column and a
+    4-column SELECT, which SQL rejects.  The translator now falls back
+    to the minimal projection plus client-side ordering.
+    """
+
+    DOC = parse('<r id="1"><a x="2"><b y="3"/></a><a x="4"/></r>')
+
+    @pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+    @pytest.mark.parametrize("xpath", [
+        "/@id | //@x",
+        "//@x | //b/@y",
+        "/r/@id | /r/a/@x | //@y",
+        "//@* | /@id",
+    ])
+    def test_mixed_owner_arms_match_oracle(self, encoding, xpath):
+        store = XmlStore(backend="sqlite", encoding=encoding)
+        doc = store.load(self.DOC)
+        assert store_identities(store, doc, xpath) == \
+            oracle_identities(self.DOC, xpath)
+
+    def test_client_order_fallback_is_used(self):
+        store = XmlStore(backend="sqlite", encoding="dewey")
+        doc = store.load(self.DOC)
+        translated = store.translate("/@id | //@x", doc)
+        assert translated.result_kind == "attribute"
+        assert translated.needs_client_order

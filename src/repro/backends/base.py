@@ -25,6 +25,52 @@ class BackendResult:
     rowcount: int = -1
 
 
+def split_sql_script(script: str) -> list[str]:
+    """Split a ``;``-separated SQL script into individual statements.
+
+    Quote-aware: semicolons inside single- or double-quoted literals
+    (including the ``''`` / ``""`` doubling escape) and inside ``--``
+    line comments do not terminate a statement.
+    """
+    statements: list[str] = []
+    current: list[str] = []
+    quote: str | None = None
+    i = 0
+    n = len(script)
+    while i < n:
+        ch = script[i]
+        if quote is not None:
+            current.append(ch)
+            if ch == quote:
+                quote = None  # a doubled quote just closes and reopens
+            i += 1
+            continue
+        if ch in ("'", '"'):
+            quote = ch
+            current.append(ch)
+            i += 1
+            continue
+        if ch == "-" and script.startswith("--", i):
+            end = script.find("\n", i)
+            end = n if end == -1 else end
+            current.append(script[i:end])
+            i = end
+            continue
+        if ch == ";":
+            text = "".join(current).strip()
+            if text:
+                statements.append(text)
+            current = []
+            i += 1
+            continue
+        current.append(ch)
+        i += 1
+    text = "".join(current).strip()
+    if text:
+        statements.append(text)
+    return statements
+
+
 class Backend(ABC):
     """A relational engine that stores shredded documents."""
 
@@ -99,10 +145,18 @@ class Backend(ABC):
         self._tx_owner = ident
         try:
             yield
-        except BaseException:
+        except BaseException as original:
             self._tx_depth = 0
             self._tx_owner = 0
-            self.rollback()
+            try:
+                self.rollback()
+            except Exception as rollback_error:
+                # The original exception is the root cause; a failed
+                # rollback (e.g. the connection died) must not mask it.
+                if hasattr(original, "add_note"):
+                    original.add_note(
+                        f"rollback also failed: {rollback_error!r}"
+                    )
             raise
         else:
             self._tx_depth = 0
@@ -111,10 +165,8 @@ class Backend(ABC):
 
     def executescript(self, script: str) -> None:
         """Execute ``;``-separated statements (DDL bootstrap)."""
-        for piece in script.split(";"):
-            text = piece.strip()
-            if text:
-                self.execute(text)
+        for text in split_sql_script(script):
+            self.execute(text)
 
     def close(self) -> None:
         """Release resources (no-op by default)."""

@@ -33,7 +33,11 @@ class SqliteBackend(Backend):
     name = "sqlite"
     supports_if_not_exists = True
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        busy_timeout_ms: int = 5000,
+    ) -> None:
         # Autocommit mode: transactions are controlled explicitly by the
         # Backend.transaction protocol (python's implicit-BEGIN legacy
         # mode would collide with our explicit BEGIN).
@@ -44,10 +48,22 @@ class SqliteBackend(Backend):
         # so whole transactions serialize too.  True concurrency needs
         # a per-thread connection pool — a ROADMAP item.
         self._lock = threading.RLock()
+        self.path = path
         self._conn = sqlite3.connect(path or ":memory:",
                                      isolation_level=None,
                                      check_same_thread=False)
         self._rows_written = 0
+        if path is not None:
+            # Crash safety for file-backed stores: WAL survives abrupt
+            # process death (uncommitted tail discarded on reopen) and
+            # lets readers proceed during a write.  synchronous=NORMAL
+            # is WAL's durable-at-checkpoint setting.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+        # Wait instead of failing immediately when another connection
+        # holds a conflicting lock (sqlite raises BUSY past the timeout;
+        # the RetryPolicy layer classifies that as transient).
+        self._conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
         for fn_name, fn, arity in (
             ("dewey_parent", dewey_parent_bytes, 1),
             ("dewey_successor", dewey_successor_bytes, 1),

@@ -215,11 +215,13 @@ def _random_predicate(rng: random.Random) -> str:
     return f"text() {op} {rng.randint(0, 99)}"
 
 
-def _plan_op(rng: random.Random, reference: XmlStore, doc: int) -> dict:
+def plan_operation(rng: random.Random, reference: XmlStore, doc: int) -> dict:
     """Decide the next operation from the reference store's structure.
 
     The plan is expressed in surrogate ids, which are assigned
     identically by every store in the cell, so one plan applies to all.
+    (Also reused by :mod:`repro.robust.crashtest`, which replays the
+    same seeded streams under injected crashes.)
     """
     columns = reference.encoding.node_columns()
     result = reference.backend.execute(
@@ -272,7 +274,7 @@ def _plan_op(rng: random.Random, reference: XmlStore, doc: int) -> dict:
             "describe": f"set_attribute({parent}, {name!r}, {value!r})"}
 
 
-def _apply_op(store: XmlStore, doc: int, op: dict):
+def apply_operation(store: XmlStore, doc: int, op: dict):
     kind = op["kind"]
     if kind == "insert":
         return store.updates.insert(
@@ -441,12 +443,12 @@ def _run_cell(
         return failure
 
     for op_index in range(1, max_ops + 1):
-        op = _plan_op(rng, reference[2], reference[3])
+        op = plan_operation(rng, reference[2], reference[3])
         last_describe = op["describe"]
         costs: list[tuple[int, int]] = []
         for backend, encoding, store, doc in stores:
             try:
-                result = _apply_op(store, doc, op)
+                result = apply_operation(store, doc, op)
             except Exception as exc:
                 return FuzzFailure(
                     seed=seed, gap=gap, backend=backend,

@@ -251,6 +251,28 @@ def cmd_check(args: argparse.Namespace) -> int:
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.check import FuzzConfig, run_fuzz
 
+    encodings, backends, gaps = _parse_matrix(args)
+    config = FuzzConfig(
+        seeds=args.seeds,
+        ops=args.ops,
+        encodings=encodings,
+        backends=backends,
+        gaps=gaps,
+        base_seed=args.base_seed,
+        check_every=args.check_every,
+        queries_per_check=args.queries_per_check,
+    )
+    report = run_fuzz(config)
+    for failure in report.failures:
+        print(failure)
+        print()
+    print(report.summary())
+    return 0 if report.ok() else 1
+
+
+def _parse_matrix(args) -> tuple[tuple[str, ...], tuple[str, ...],
+                                 tuple[int, ...]]:
+    """Validate the shared --encodings/--backends/--gaps flags."""
     encodings = tuple(args.encodings.split(","))
     backends = tuple(args.backends.split(","))
     for encoding in encodings:
@@ -271,17 +293,25 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         raise ReproError(
             f"--gaps expects comma-separated integers, got {args.gaps!r}"
         ) from None
-    config = FuzzConfig(
+    return encodings, backends, gaps
+
+
+def cmd_crashtest(args: argparse.Namespace) -> int:
+    from repro.robust.crashtest import CrashTestConfig, run_crashtest
+
+    encodings, backends, gaps = _parse_matrix(args)
+    config = CrashTestConfig(
         seeds=args.seeds,
         ops=args.ops,
         encodings=encodings,
         backends=backends,
         gaps=gaps,
         base_seed=args.base_seed,
-        check_every=args.check_every,
-        queries_per_check=args.queries_per_check,
+        crashes_per_op=0 if args.sweep else args.crashes_per_op,
+        transient_rate=args.transient_rate,
+        snapshot_fault_rate=args.snapshot_fault_rate,
     )
-    report = run_fuzz(config)
+    report = run_crashtest(config)
     for failure in report.failures:
         print(failure)
         print()
@@ -400,6 +430,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queries-per-check", type=int, default=5,
                    help="oracle queries per store per check (default 5)")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "crashtest",
+        help="crash-recovery check: seeded update streams with "
+             "simulated crashes at statement boundaries",
+    )
+    p.add_argument("--seeds", type=int, default=2,
+                   help="number of random documents (default 2)")
+    p.add_argument("--ops", type=int, default=6,
+                   help="update operations per cell (default 6)")
+    p.add_argument("--encodings", default="global,local,dewey,ordpath",
+                   help="comma-separated encodings to test")
+    p.add_argument("--backends", default="sqlite,minidb",
+                   help="comma-separated backends (sqlite,minidb)")
+    p.add_argument("--gaps", default="1",
+                   help="comma-separated gap factors (default 1)")
+    p.add_argument("--base-seed", type=int, default=0,
+                   help="first document seed (default 0)")
+    p.add_argument("--crashes-per-op", type=int, default=2,
+                   help="crash points sampled per operation (default 2)")
+    p.add_argument("--sweep", action="store_true",
+                   help="crash at every statement boundary of every op")
+    p.add_argument("--transient-rate", type=float, default=0.05,
+                   help="also replay each stream with this transient-"
+                        "fault rate under the retry policy (0 disables; "
+                        "default 0.05)")
+    p.add_argument("--snapshot-fault-rate", type=float, default=0.25,
+                   help="fraction of minidb checkpoints interrupted "
+                        "mid-save (default 0.25)")
+    p.set_defaults(func=cmd_crashtest)
 
     p = sub.add_parser("experiments",
                        help="run the E1-E11 experiment suite")

@@ -90,10 +90,11 @@ class UpdateManager:
                     f"cannot parse insert fragment: {exc}"
                 ) from exc
         shredded = self._shred_fragment(fragment)
-        with self.store.backend.transaction():
-            return self._insert_in_transaction(
+        return self.store.transactionally(
+            lambda: self._insert_in_transaction(
                 doc, parent_id, index, shredded
             )
+        )
 
     def _insert_in_transaction(
         self, doc: int, parent_id: int, index: int,
@@ -173,8 +174,9 @@ class UpdateManager:
             raise UpdateError(f"no node {element_id} in document {doc}")
         if row["kind"] != KIND_ELEMENT:
             raise UpdateError(f"node {element_id} is not an element")
-        report = UpdateReport()
-        with self.store.backend.transaction():
+
+        def set_text_in_transaction() -> UpdateReport:
+            report = UpdateReport()
             for child in self.store.fetch_children(doc, element_id):
                 if child["kind"] == KIND_TEXT:
                     child_report = self.delete(doc, child["id"])
@@ -184,7 +186,9 @@ class UpdateManager:
             report.inserted += insert_report.inserted
             report.relabeled += insert_report.relabeled
             report.value_updates += insert_report.value_updates
-        return report
+            return report
+
+        return self.store.transactionally(set_text_in_transaction)
 
     def rename(self, doc: int, element_id: int, tag: str) -> UpdateReport:
         """Rename an element.  Touches exactly one row, no order values."""
@@ -193,10 +197,12 @@ class UpdateManager:
             raise UpdateError(f"no node {element_id} in document {doc}")
         if row["kind"] != KIND_ELEMENT:
             raise UpdateError(f"node {element_id} is not an element")
-        self.store.backend.execute(
-            f"UPDATE {self.store.node_table} SET tag = ? "
-            f"WHERE doc = ? AND id = ?",
-            (tag, doc, element_id),
+        self.store.transactionally(
+            lambda: self.store.backend.execute(
+                f"UPDATE {self.store.node_table} SET tag = ? "
+                f"WHERE doc = ? AND id = ?",
+                (tag, doc, element_id),
+            )
         )
         return UpdateReport(value_updates=1)
 
@@ -214,20 +220,25 @@ class UpdateManager:
             raise UpdateError(f"no node {element_id} in document {doc}")
         if row["kind"] != KIND_ELEMENT:
             raise UpdateError(f"node {element_id} is not an element")
-        deleted = self.store.backend.execute(
-            f"DELETE FROM {self.store.attr_table} "
-            f"WHERE doc = ? AND owner = ? AND name = ?",
-            (doc, element_id, name),
-        )
-        report = UpdateReport()
-        report.deleted += max(deleted.rowcount, 0)
-        if value is not None:
-            self.store.backend.execute(
-                f"INSERT INTO {self.store.attr_table} VALUES (?, ?, ?, ?)",
-                (doc, element_id, name, value),
+
+        def set_attribute_in_transaction() -> UpdateReport:
+            deleted = self.store.backend.execute(
+                f"DELETE FROM {self.store.attr_table} "
+                f"WHERE doc = ? AND owner = ? AND name = ?",
+                (doc, element_id, name),
             )
-            report.inserted += 1
-        return report
+            report = UpdateReport()
+            report.deleted += max(deleted.rowcount, 0)
+            if value is not None:
+                self.store.backend.execute(
+                    f"INSERT INTO {self.store.attr_table} "
+                    f"VALUES (?, ?, ?, ?)",
+                    (doc, element_id, name, value),
+                )
+                report.inserted += 1
+            return report
+
+        return self.store.transactionally(set_attribute_in_transaction)
 
     def delete(self, doc: int, node_id: int) -> UpdateReport:
         """Delete the subtree rooted at *node_id*."""
@@ -237,7 +248,7 @@ class UpdateManager:
         parent_id = row["parent"]
         was_text = row["kind"] == KIND_TEXT
 
-        with self.store.backend.transaction():
+        def delete_in_transaction() -> UpdateReport:
             subtree_ids = self._subtree_ids(doc, row)
             self._delete_attributes(doc, subtree_ids)
             deleted = self._delete_rows(doc, row, subtree_ids)
@@ -251,7 +262,9 @@ class UpdateManager:
             info = self.store.document_info(doc)
             info.node_count -= deleted
             self.store.update_document_info(info)
-        return report
+            return report
+
+        return self.store.transactionally(delete_in_transaction)
 
     def rebalance(self, doc: int) -> UpdateReport:
         """Relabel the whole document with fresh, evenly-gapped values.
@@ -312,12 +325,13 @@ class UpdateManager:
              doc, node_id)
             for node_id, record in fresh
         ]
-        with self.store.backend.transaction():
-            self.store.backend.executemany(
+        self.store.transactionally(
+            lambda: self.store.backend.executemany(
                 f"UPDATE {self.store.node_table} SET {assignments} "
                 f"WHERE doc = ? AND id = ?",
                 updates,
             )
+        )
         return UpdateReport(relabeled=len(updates))
 
     # -- shared helpers --------------------------------------------------------

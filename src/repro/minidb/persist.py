@@ -13,13 +13,29 @@ only data, never code):
              u32 n_rows, rows as tagged values
     u32 index_count
       index: str name, str table, u16 n_columns, str*, u8 unique
+    footer "MDBF", u32 crc32 of everything before the footer
 
 Value tags: 0 NULL, 1 i64, 2 f64, 3 UTF-8 text, 4 blob.
+
+Crash safety
+------------
+
+``save`` is atomic and torn-write-proof: the whole snapshot is built in
+memory, written to ``<path>.tmp`` in the same directory, fsynced, and
+renamed into place — a reader never observes a half-written ``<path>``.
+Before the rename, the previous snapshot (when one exists) is rotated to
+``<path>.prev`` as a fallback generation.  ``load`` verifies the CRC
+footer and, when the primary file is missing, torn, or garbled, falls
+back to that previous generation, so a kill at any point during ``save``
+never loses the last good snapshot.
 """
 
 from __future__ import annotations
 
+import io
+import os
 import struct
+import zlib
 from pathlib import Path
 from typing import BinaryIO, Union
 
@@ -27,6 +43,8 @@ from repro.errors import ExecutionError
 from repro.minidb.engine import MiniDb
 
 _MAGIC = b"MDB1"
+_FOOTER_MAGIC = b"MDBF"
+_FOOTER_SIZE = 8  # magic + u32 crc32
 _TYPE_CODES = {"INTEGER": 0, "REAL": 1, "TEXT": 2, "BLOB": 3}
 _TYPE_NAMES = {v: k for k, v in _TYPE_CODES.items()}
 
@@ -93,63 +111,170 @@ def _read_value(src: BinaryIO) -> object:
     raise ExecutionError(f"bad value tag {tag} in snapshot")
 
 
-def save(db: MiniDb, path: Union[str, Path]) -> None:
-    """Write *db* (schema + data + index definitions) to *path*."""
+# -- paths of the generation scheme -------------------------------------
+
+
+def temp_path(path: Union[str, Path]) -> Path:
+    """Where ``save`` stages the new snapshot before the atomic rename."""
+    path = Path(path)
+    return path.with_name(path.name + ".tmp")
+
+
+def previous_path(path: Union[str, Path]) -> Path:
+    """Where ``save`` keeps the previous good generation."""
+    path = Path(path)
+    return path.with_name(path.name + ".prev")
+
+
+# -- serialisation ------------------------------------------------------
+
+
+def snapshot_bytes(db: MiniDb) -> bytes:
+    """The complete on-disk image of *db*, CRC footer included."""
+    out = io.BytesIO()
     tables = db.catalog.tables
-    with open(path, "wb") as out:
-        out.write(_MAGIC)
-        out.write(struct.pack(">I", len(tables)))
-        for table in tables.values():
-            _write_str(out, table.name)
-            out.write(struct.pack(">H", len(table.columns)))
-            for name, declared in zip(table.columns, table.types):
-                _write_str(out, name)
-                out.write(bytes((_TYPE_CODES.get(declared, 2),)))
-            out.write(struct.pack(">I", len(table)))
-            for _rowid, row in table.scan():
-                for value in row:
-                    _write_value(out, value)
-        indexes = db.catalog.indexes
-        out.write(struct.pack(">I", len(indexes)))
-        for index in indexes.values():
-            _write_str(out, index.name)
-            _write_str(out, index.table.name)
-            out.write(struct.pack(">H", len(index.column_positions)))
-            for position in index.column_positions:
-                _write_str(out, index.table.columns[position])
-            out.write(bytes((1 if index.unique else 0,)))
+    out.write(_MAGIC)
+    out.write(struct.pack(">I", len(tables)))
+    for table in tables.values():
+        _write_str(out, table.name)
+        out.write(struct.pack(">H", len(table.columns)))
+        for name, declared in zip(table.columns, table.types):
+            _write_str(out, name)
+            out.write(bytes((_TYPE_CODES.get(declared, 2),)))
+        out.write(struct.pack(">I", len(table)))
+        for _rowid, row in table.scan():
+            for value in row:
+                _write_value(out, value)
+    indexes = db.catalog.indexes
+    out.write(struct.pack(">I", len(indexes)))
+    for index in indexes.values():
+        _write_str(out, index.name)
+        _write_str(out, index.table.name)
+        out.write(struct.pack(">H", len(index.column_positions)))
+        for position in index.column_positions:
+            _write_str(out, index.table.columns[position])
+        out.write(bytes((1 if index.unique else 0,)))
+    body = out.getvalue()
+    return body + _FOOTER_MAGIC + struct.pack(">I", zlib.crc32(body))
+
+
+def save(db: MiniDb, path: Union[str, Path], durable: bool = True) -> None:
+    """Write *db* (schema + data + index definitions) to *path*.
+
+    Atomic: stages to ``<path>.tmp`` (fsynced when *durable*), rotates
+    any existing snapshot to ``<path>.prev``, then renames the staged
+    file into place.  A crash at any point leaves at least one good
+    generation for :func:`load` to recover.
+    """
+    path = Path(path)
+    image = snapshot_bytes(db)
+    tmp = temp_path(path)
+    try:
+        with open(tmp, "wb") as out:
+            out.write(image)
+            out.flush()
+            if durable:
+                os.fsync(out.fileno())
+        if path.exists():
+            os.replace(path, previous_path(path))
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        raise
+    if durable:
+        _fsync_directory(path.parent)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Make the renames themselves durable (best-effort; some platforms
+    refuse to fsync a directory handle)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+# -- deserialisation ----------------------------------------------------
+
+
+def verify_snapshot(path: Union[str, Path]) -> bytes:
+    """Return the verified body bytes of the snapshot at *path*.
+
+    Raises :class:`ExecutionError` on a bad magic, a missing footer, or
+    a CRC mismatch — i.e. on any torn or garbled file.
+    """
+    data = Path(path).read_bytes()
+    if data[:4] != _MAGIC:
+        raise ExecutionError(f"{path} is not a minidb snapshot")
+    if len(data) < len(_MAGIC) + _FOOTER_SIZE or data[-8:-4] != _FOOTER_MAGIC:
+        raise ExecutionError(f"torn minidb snapshot {path}: missing footer")
+    body = data[:-_FOOTER_SIZE]
+    (expected_crc,) = struct.unpack(">I", data[-4:])
+    if zlib.crc32(body) != expected_crc:
+        raise ExecutionError(
+            f"torn minidb snapshot {path}: checksum mismatch"
+        )
+    return body
+
+
+def _load_verified(path: Union[str, Path]) -> MiniDb:
+    body = verify_snapshot(path)
+    db = MiniDb()
+    src = io.BytesIO(body)
+    _read_exact(src, 4)  # magic, already verified
+    (table_count,) = struct.unpack(">I", _read_exact(src, 4))
+    for _ in range(table_count):
+        name = _read_str(src)
+        (n_columns,) = struct.unpack(">H", _read_exact(src, 2))
+        columns = []
+        types = []
+        for _c in range(n_columns):
+            columns.append(_read_str(src))
+            types.append(_TYPE_NAMES[_read_exact(src, 1)[0]])
+        table = db.catalog.create_table(
+            name, tuple(columns), tuple(types)
+        )
+        (n_rows,) = struct.unpack(">I", _read_exact(src, 4))
+        for _r in range(n_rows):
+            row = tuple(_read_value(src) for _v in range(n_columns))
+            table.insert(row)  # type: ignore[union-attr]
+    (index_count,) = struct.unpack(">I", _read_exact(src, 4))
+    for _ in range(index_count):
+        index_name = _read_str(src)
+        table_name = _read_str(src)
+        (n_columns,) = struct.unpack(">H", _read_exact(src, 2))
+        column_names = tuple(_read_str(src) for _c in range(n_columns))
+        unique = bool(_read_exact(src, 1)[0])
+        db.catalog.create_index(
+            index_name, table_name, column_names, unique
+        )
+    return db
 
 
 def load(path: Union[str, Path]) -> MiniDb:
-    """Read a snapshot back into a fresh engine (indexes rebuilt)."""
-    db = MiniDb()
-    with open(path, "rb") as src:
-        if _read_exact(src, 4) != _MAGIC:
-            raise ExecutionError(f"{path} is not a minidb snapshot")
-        (table_count,) = struct.unpack(">I", _read_exact(src, 4))
-        for _ in range(table_count):
-            name = _read_str(src)
-            (n_columns,) = struct.unpack(">H", _read_exact(src, 2))
-            columns = []
-            types = []
-            for _c in range(n_columns):
-                columns.append(_read_str(src))
-                types.append(_TYPE_NAMES[_read_exact(src, 1)[0]])
-            table = db.catalog.create_table(
-                name, tuple(columns), tuple(types)
-            )
-            (n_rows,) = struct.unpack(">I", _read_exact(src, 4))
-            for _r in range(n_rows):
-                row = tuple(_read_value(src) for _v in range(n_columns))
-                table.insert(row)  # type: ignore[union-attr]
-        (index_count,) = struct.unpack(">I", _read_exact(src, 4))
-        for _ in range(index_count):
-            index_name = _read_str(src)
-            table_name = _read_str(src)
-            (n_columns,) = struct.unpack(">H", _read_exact(src, 2))
-            column_names = tuple(_read_str(src) for _c in range(n_columns))
-            unique = bool(_read_exact(src, 1)[0])
-            db.catalog.create_index(
-                index_name, table_name, column_names, unique
-            )
-    return db
+    """Read a snapshot back into a fresh engine (indexes rebuilt).
+
+    When *path* is missing, torn, or garbled but a previous good
+    generation (``<path>.prev``) exists, that generation is loaded
+    instead — the recovery contract of the atomic :func:`save`.
+    """
+    path = Path(path)
+    try:
+        return _load_verified(path)
+    except (ExecutionError, OSError) as primary_error:
+        fallback = previous_path(path)
+        if fallback.exists():
+            try:
+                return _load_verified(fallback)
+            except (ExecutionError, OSError):
+                pass  # fall through to the primary error
+        raise primary_error

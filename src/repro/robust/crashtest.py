@@ -1,0 +1,528 @@
+"""Crash-recovery verification: seeded update streams under simulated
+process death.
+
+One crashtest *cell* is a ``(seed, gap, backend, encoding)`` tuple over
+a *durable* medium — a file-backed sqlite database, or a minidb engine
+checkpointed to an atomic snapshot after every committed operation.
+For each operation of a seeded update stream (the same generator the
+differential fuzzer uses), the harness:
+
+1. plans the operation against the current durable state and records
+   the pre-op state;
+2. measures the operation on a scratch clone of the durable medium:
+   how many statements it issues, and the post-op state;
+3. for each sampled crash point ``c`` in ``[1, statements]``, re-runs
+   the operation against the real durable medium with a
+   :class:`~repro.robust.faults.FaultInjectingBackend` armed to crash
+   at statement ``c`` — the engine is discarded mid-flight exactly as a
+   process death would leave it;
+4. reopens the store from the durable medium, runs the full invariant
+   auditor, and asserts **atomicity**: the recovered state must equal
+   either the pre-op or the post-op state, never anything in between;
+5. finally applies the operation for real (optionally interrupting the
+   minidb snapshot save at a random stage, which must never lose the
+   previous good generation) and moves to the next operation.
+
+A second phase (``transient_rate > 0``) replays each cell's full stream
+through a store wired with a :class:`~repro.robust.retry.RetryPolicy`
+while the backend injects transient BUSY-style faults: the stream must
+complete with no caller-visible errors and a clean final audit.
+
+``repro crashtest`` exposes the harness on the command line; failures
+carry a replaying command line just like fuzz failures.
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.backends.minidb_backend import MiniDbBackend
+from repro.backends.sqlite_backend import SqliteBackend
+from repro.check.fuzz import (
+    DEFAULT_ENCODINGS,
+    apply_operation,
+    plan_operation,
+)
+from repro.check.invariants import audit_document
+from repro.minidb import persist
+from repro.minidb.engine import MiniDb
+from repro.robust.faults import (
+    SAVE_CRASH_STAGES,
+    FaultInjectingBackend,
+    FaultPlan,
+    SimulatedCrash,
+    simulate_crash_during_save,
+)
+from repro.robust.retry import RetryPolicy
+from repro.store import XmlStore
+from repro.workload.docgen import random_document
+from repro.xmldom import serialize
+
+DEFAULT_BACKENDS = ("sqlite", "minidb")
+
+
+# -- configuration and results ------------------------------------------
+
+
+@dataclass
+class CrashTestConfig:
+    """Parameters of one crashtest run."""
+
+    #: Number of random documents (seeds ``base_seed .. base_seed+n-1``).
+    seeds: int = 2
+    #: Update operations applied per cell.
+    ops: int = 6
+    encodings: Sequence[str] = DEFAULT_ENCODINGS
+    backends: Sequence[str] = DEFAULT_BACKENDS
+    gaps: Sequence[int] = (1,)
+    base_seed: int = 0
+    #: Crash points sampled per operation; 0 sweeps every statement.
+    crashes_per_op: int = 2
+    #: When > 0, also replay each cell's stream with injected transient
+    #: faults and a retry policy, asserting zero caller-visible errors.
+    transient_rate: float = 0.0
+    #: Interrupt the minidb snapshot save at a random stage for this
+    #: fraction of checkpoints (tests the generation fallback).
+    snapshot_fault_rate: float = 0.25
+    #: Shape of the generated documents.
+    max_depth: int = 3
+    max_children: int = 3
+
+    def cells(self) -> list[tuple[int, int, str, str]]:
+        return [
+            (self.base_seed + i, gap, backend, encoding)
+            for i in range(self.seeds)
+            for gap in self.gaps
+            for backend in self.backends
+            for encoding in self.encodings
+        ]
+
+
+@dataclass(frozen=True)
+class CrashFailure:
+    """One crashtest failure."""
+
+    seed: int
+    gap: int
+    backend: str
+    encoding: str
+    #: 1-based index of the operation under test (0 = initial load).
+    op_index: int
+    #: Statement the crash was injected at (0 = no crash injected).
+    crash_at: int
+    #: Human-readable description of the operation.
+    op: str
+    #: invariant | atomicity | determinism | replay | transient | crash
+    kind: str
+    detail: str
+
+    def repro_command(self) -> str:
+        """A CLI line that replays exactly this cell."""
+        return (
+            f"repro crashtest --seeds 1 --base-seed {self.seed} "
+            f"--ops {self.op_index or 1} --gaps {self.gap} "
+            f"--encodings {self.encoding} --backends {self.backend} "
+            f"--sweep"
+        )
+
+    def __str__(self) -> str:
+        where = f"op #{self.op_index} [{self.op}]"
+        if self.crash_at:
+            where += f", crash at statement {self.crash_at}"
+        return (
+            f"{self.kind} failure in {self.encoding}/{self.backend} "
+            f"(seed {self.seed}, gap {self.gap}) after {where}: "
+            f"{self.detail}\n  reproduce: {self.repro_command()}"
+        )
+
+
+@dataclass
+class CrashTestReport:
+    """Aggregate result of a crashtest run."""
+
+    cells: int = 0
+    operations: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    transient_streams: int = 0
+    failures: list[CrashFailure] = field(default_factory=list)
+
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.ok() else f"{len(self.failures)} FAILURE(S)"
+        return (
+            f"crashtest: {self.cells} cell(s), {self.operations} "
+            f"operation(s), {self.crashes} injected crash(es), "
+            f"{self.recoveries} recovery check(s), "
+            f"{self.transient_streams} transient stream(s): {status}"
+        )
+
+
+# -- durable media ------------------------------------------------------
+
+
+class _SqliteMedium:
+    """A file-backed sqlite store: every commit is already durable."""
+
+    def __init__(self, workdir: Path, encoding: str, gap: int) -> None:
+        self.path = workdir / "store.db"
+        self.clone = workdir / "scratch.db"
+        self.encoding = encoding
+        self.gap = gap
+
+    def _open(
+        self, path: Path, retry: Optional[RetryPolicy] = None
+    ) -> tuple[XmlStore, FaultInjectingBackend]:
+        backend = FaultInjectingBackend(SqliteBackend(str(path)))
+        store = XmlStore(
+            backend=backend, encoding=self.encoding, gap=self.gap,
+            retry=retry,
+        )
+        backend.arm(None)  # schema bootstrap must not consume the plan
+        return store, backend
+
+    def open(self, retry: Optional[RetryPolicy] = None):
+        return self._open(self.path, retry)
+
+    def open_clone(self):
+        """A scratch copy of the durable state (discardable)."""
+        for suffix in ("", "-wal", "-shm"):
+            target = Path(str(self.clone) + suffix)
+            target.unlink(missing_ok=True)
+            source = Path(str(self.path) + suffix)
+            if source.exists():
+                shutil.copyfile(source, target)
+        return self._open(self.clone)
+
+    def checkpoint(self, store: XmlStore, rng: random.Random,
+                   fault_rate: float) -> None:
+        pass  # sqlite transactions are durable at commit
+
+    def close(self, store: XmlStore) -> None:
+        store.backend.close()
+
+
+class _MiniDbMedium:
+    """An in-memory minidb engine checkpointed to atomic snapshots;
+    durability is the last good snapshot generation."""
+
+    def __init__(self, workdir: Path, encoding: str, gap: int) -> None:
+        self.snapshot = workdir / "store.mdb"
+        self.encoding = encoding
+        self.gap = gap
+
+    def _engine(self) -> MiniDb:
+        try:
+            return MiniDb.open(self.snapshot)
+        except FileNotFoundError:
+            return MiniDb()  # nothing durable yet: fresh engine
+
+    def _open(self, retry: Optional[RetryPolicy] = None):
+        inner = MiniDbBackend()
+        inner.db = self._engine()
+        backend = FaultInjectingBackend(inner)
+        store = XmlStore(
+            backend=backend, encoding=self.encoding, gap=self.gap,
+            retry=retry,
+        )
+        backend.arm(None)
+        return store, backend
+
+    def open(self, retry: Optional[RetryPolicy] = None):
+        return self._open(retry)
+
+    def open_clone(self):
+        return self._open()  # loading the snapshot *is* a clone
+
+    def checkpoint(self, store: XmlStore, rng: random.Random,
+                   fault_rate: float) -> None:
+        """Persist the engine; sometimes die mid-save instead.
+
+        An interrupted save must never lose the previous generation:
+        the caller re-opens and reconciles, exactly like a process
+        restarting after a crash during checkpointing.
+        """
+        db = store.backend.inner.db
+        if fault_rate > 0.0 and rng.random() < fault_rate:
+            stage = rng.choice(SAVE_CRASH_STAGES)
+            simulate_crash_during_save(db, self.snapshot, stage, rng)
+            raise SimulatedCrash(f"simulated crash during save ({stage})")
+        persist.save(db, self.snapshot)
+
+    def close(self, store: XmlStore) -> None:
+        store.backend.close()
+
+
+def _medium(backend: str, workdir: Path, encoding: str, gap: int):
+    if backend == "sqlite":
+        return _SqliteMedium(workdir, encoding, gap)
+    if backend == "minidb":
+        return _MiniDbMedium(workdir, encoding, gap)
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+# -- the driver ---------------------------------------------------------
+
+
+def _state(store: XmlStore, doc: int) -> tuple:
+    """Canonical durable state: serialized document + catalogue row."""
+    info = store.document_info(doc)
+    return (
+        serialize(store.reconstruct(doc)),
+        (info.node_count, info.max_depth, info.next_id),
+    )
+
+
+def _audit_detail(store: XmlStore, doc: int) -> Optional[str]:
+    violations = audit_document(store, doc)
+    if not violations:
+        return None
+    listing = "; ".join(str(v) for v in violations[:5])
+    if len(violations) > 5:
+        listing += f" (+{len(violations) - 5} more)"
+    return listing
+
+
+def _run_cell(
+    config: CrashTestConfig,
+    seed: int,
+    gap: int,
+    backend_name: str,
+    encoding: str,
+    workdir: Path,
+    report: CrashTestReport,
+) -> Optional[CrashFailure]:
+    """Crash-test one cell; returns its first failure, if any."""
+
+    def failure(op_index, crash_at, op, kind, detail) -> CrashFailure:
+        return CrashFailure(
+            seed=seed, gap=gap, backend=backend_name, encoding=encoding,
+            op_index=op_index, crash_at=crash_at, op=op, kind=kind,
+            detail=detail,
+        )
+
+    medium = _medium(backend_name, workdir, encoding, gap)
+    document = random_document(
+        seed, max_depth=config.max_depth,
+        max_children=config.max_children,
+    )
+
+    store, _ = medium.open()
+    doc = store.load(document)
+    medium.checkpoint(store, random.Random(seed), 0.0)
+    detail = _audit_detail(store, doc)
+    medium.close(store)
+    if detail is not None:
+        return failure(0, 0, "initial load", "invariant", detail)
+
+    rng = random.Random(seed * 7919 + gap)
+    crash_rng = random.Random(seed * 104729 + gap)
+
+    for op_index in range(1, config.ops + 1):
+        # 1. Plan against the durable state; record the pre-op state.
+        store, _ = medium.open()
+        op = plan_operation(rng, store, doc)
+        pre = _state(store, doc)
+        medium.close(store)
+
+        # 2. Measure on a scratch clone: statement count + post state.
+        scratch, counter = medium.open_clone()
+        apply_operation(scratch, doc, op)
+        statements = counter.statements_executed
+        post = _state(scratch, doc)
+        medium.close(scratch)
+        report.operations += 1
+
+        # 3. Crash trials at sampled (or all) statement boundaries.
+        if config.crashes_per_op <= 0 or config.crashes_per_op >= statements:
+            points = list(range(1, statements + 1))
+        else:
+            points = sorted(
+                crash_rng.sample(
+                    range(1, statements + 1), config.crashes_per_op
+                )
+            )
+        for crash_at in points:
+            store, injector = medium.open()
+            injector.arm(FaultPlan(crash_at_statement=crash_at))
+            crashed = False
+            try:
+                apply_operation(store, doc, op)
+            except SimulatedCrash:
+                crashed = True
+            report.crashes += 1
+            if not crashed:
+                return failure(
+                    op_index, crash_at, op["describe"], "determinism",
+                    f"crash point {crash_at} <= measured statement "
+                    f"count {statements} but the operation completed",
+                )
+
+            # 4. Recover and verify atomicity + invariants.
+            recovered, _ = medium.open()
+            detail = _audit_detail(recovered, doc)
+            if detail is not None:
+                medium.close(recovered)
+                return failure(
+                    op_index, crash_at, op["describe"], "invariant",
+                    detail,
+                )
+            state = _state(recovered, doc)
+            medium.close(recovered)
+            report.recoveries += 1
+            if state != pre and state != post:
+                return failure(
+                    op_index, crash_at, op["describe"], "atomicity",
+                    "recovered state equals neither the pre-op nor the "
+                    "post-op document",
+                )
+
+        # 5. Apply for real; checkpoint (possibly dying mid-save).
+        store, _ = medium.open()
+        apply_operation(store, doc, op)
+        try:
+            medium.checkpoint(store, crash_rng, config.snapshot_fault_rate)
+        except SimulatedCrash:
+            medium.close(store)
+            recovered, _ = medium.open()
+            detail = _audit_detail(recovered, doc)
+            if detail is not None:
+                medium.close(recovered)
+                return failure(
+                    op_index, 0, op["describe"], "invariant",
+                    f"after interrupted checkpoint: {detail}",
+                )
+            state = _state(recovered, doc)
+            if state == pre:
+                # The checkpoint never became durable: the previous
+                # generation survived; redo the lost operation.
+                apply_operation(recovered, doc, op)
+                state = _state(recovered, doc)
+            if state != post:
+                medium.close(recovered)
+                return failure(
+                    op_index, 0, op["describe"], "atomicity",
+                    "state after interrupted checkpoint equals neither "
+                    "generation",
+                )
+            medium.checkpoint(recovered, crash_rng, 0.0)
+            store = recovered
+        else:
+            if _state(store, doc) != post:
+                medium.close(store)
+                return failure(
+                    op_index, 0, op["describe"], "replay",
+                    "clean replay diverged from the measured post state",
+                )
+        medium.close(store)
+    return None
+
+
+def _run_transient_stream(
+    config: CrashTestConfig,
+    seed: int,
+    gap: int,
+    backend_name: str,
+    encoding: str,
+    report: CrashTestReport,
+) -> Optional[CrashFailure]:
+    """Replay a cell's stream with transient faults + retry enabled.
+
+    The stream must complete with no caller-visible errors, a clean
+    audit, and a final state identical to a fault-free twin store.
+    """
+    document = random_document(
+        seed, max_depth=config.max_depth,
+        max_children=config.max_children,
+    )
+    retry = RetryPolicy(
+        attempts=6, base_delay=0.0005, max_delay=0.005,
+        seed=seed, sleep=lambda _delay: None,
+    )
+    from repro.backends import make_backend
+
+    injected = FaultInjectingBackend(make_backend(backend_name))
+    faulty = XmlStore(
+        backend=injected, encoding=encoding, gap=gap, retry=retry
+    )
+    injected.arm(FaultPlan(
+        seed=seed, transient_rate=config.transient_rate,
+        max_consecutive_transients=min(3, retry.attempts - 1),
+    ))
+    twin = XmlStore(backend=backend_name, encoding=encoding, gap=gap)
+
+    rng = random.Random(seed * 7919 + gap)
+    report.transient_streams += 1
+
+    def failure(op_index, op, kind, detail) -> CrashFailure:
+        return CrashFailure(
+            seed=seed, gap=gap, backend=backend_name, encoding=encoding,
+            op_index=op_index, crash_at=0, op=op, kind=kind,
+            detail=detail,
+        )
+
+    try:
+        doc = faulty.load(document)
+    except Exception as exc:
+        return failure(
+            0, "initial load", "transient",
+            f"{type(exc).__name__}: {exc}",
+        )
+    twin_doc = twin.load(document)
+
+    for op_index in range(1, config.ops + 1):
+        op = plan_operation(rng, twin, twin_doc)
+        apply_operation(twin, twin_doc, op)
+        try:
+            apply_operation(faulty, doc, op)
+        except Exception as exc:
+            return failure(
+                op_index, op["describe"], "transient",
+                f"retry policy leaked a caller-visible error: "
+                f"{type(exc).__name__}: {exc}",
+            )
+
+    detail = _audit_detail(faulty, doc)
+    if detail is not None:
+        return failure(config.ops, "end of stream", "invariant", detail)
+    if _state(faulty, doc) != _state(twin, twin_doc):
+        return failure(
+            config.ops, "end of stream", "transient",
+            "faulty-but-retried store diverged from the fault-free twin",
+        )
+    return None
+
+
+def run_crashtest(
+    config: CrashTestConfig,
+    workdir: Optional[Union[str, Path]] = None,
+) -> CrashTestReport:
+    """Run the crash-recovery harness; returns an aggregate report."""
+    report = CrashTestReport()
+    for seed, gap, backend_name, encoding in config.cells():
+        report.cells += 1
+        with tempfile.TemporaryDirectory(
+            dir=None if workdir is None else str(workdir),
+            prefix="crashtest-",
+        ) as cell_dir:
+            cell_failure = _run_cell(
+                config, seed, gap, backend_name, encoding,
+                Path(cell_dir), report,
+            )
+        if cell_failure is not None:
+            report.failures.append(cell_failure)
+            continue
+        if config.transient_rate > 0.0:
+            stream_failure = _run_transient_stream(
+                config, seed, gap, backend_name, encoding, report
+            )
+            if stream_failure is not None:
+                report.failures.append(stream_failure)
+    return report

@@ -24,8 +24,11 @@ Example
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING, Callable, Iterable, Optional, Sequence, TypeVar, Union,
+)
 
 from repro.backends import Backend, make_backend
 from repro.core.dewey import DeweyKey
@@ -36,8 +39,13 @@ from repro.core.translator import TranslatedQuery, make_translator
 from repro.errors import StorageError
 from repro.xmldom import Document, parse
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.robust.retry import RetryPolicy
+
 #: How many ids one ``IN (...)`` batch may carry during order resolution.
 _ID_BATCH = 400
+
+_T = TypeVar("_T")
 
 
 def _is_already_exists(exc: Exception) -> bool:
@@ -87,6 +95,7 @@ class XmlStore:
         backend: Union[str, Backend] = "sqlite",
         encoding: Union[str, OrderEncoding] = "dewey",
         gap: int = 1,
+        retry: Optional["RetryPolicy"] = None,
     ) -> None:
         """Create a store.
 
@@ -101,9 +110,17 @@ class XmlStore:
             Sparse-numbering gap factor.  1 means dense numbering (the
             paper's base case); larger values space order values out so
             bursts of insertions avoid renumbering (experiment E10).
+        retry:
+            Optional :class:`repro.robust.retry.RetryPolicy`.  When
+            set, transient backend faults (sqlite BUSY/LOCKED, injected
+            transients) are retried with bounded backoff — per
+            statement for reads, per whole transaction for updates —
+            surfacing :class:`repro.errors.TransientStorageError` only
+            after the budget is exhausted.
         """
         if gap < 1:
             raise StorageError(f"gap must be >= 1, got {gap}")
+        self.retry = retry
         self.backend = (
             make_backend(backend) if isinstance(backend, str) else backend
         )
@@ -138,6 +155,45 @@ class XmlStore:
                     f"schema bootstrap failed: {statement!r}: {exc}"
                 ) from exc
 
+    # -- fault-tolerant execution -----------------------------------------
+
+    def _execute(self, sql: str, params: Sequence = ()):
+        """One statement, retried per the store's policy (if any)."""
+        if self.retry is None:
+            return self.backend.execute(sql, params)
+        return self.retry.run(lambda: self.backend.execute(sql, params))
+
+    def _executemany(self, sql: str, param_rows):
+        if self.retry is None:
+            return self.backend.executemany(sql, param_rows)
+        # Materialise once: a retry must not replay a spent generator.
+        rows = [tuple(p) for p in param_rows]
+        return self.retry.run(lambda: self.backend.executemany(sql, rows))
+
+    def transactionally(self, operation: Callable[[], _T]) -> _T:
+        """Run *operation* inside a transaction scope.
+
+        With a retry policy configured, a transient failure retries the
+        *whole* transaction — but only from outside the outermost
+        scope, where the rollback has already undone every partial
+        effect.  Nested calls just join the enclosing transaction.
+        """
+        backend = self.backend
+
+        def attempt() -> _T:
+            with backend.transaction():
+                return operation()
+
+        if self.retry is None or self._in_own_transaction():
+            return attempt()
+        return self.retry.run(attempt)
+
+    def _in_own_transaction(self) -> bool:
+        return (
+            self.backend._tx_depth > 0
+            and self.backend._tx_owner == threading.get_ident()
+        )
+
     @property
     def node_table(self) -> str:
         return self.encoding.node_table.name
@@ -158,7 +214,8 @@ class XmlStore:
         if isinstance(document, str):
             document = parse(document, strip_whitespace=strip_whitespace)
         shredded = shred(document)
-        with self.backend.transaction():
+
+        def load_in_transaction() -> int:
             doc_id = self._next_doc_id()
             self._bulk_insert(doc_id, shredded)
             self.backend.execute(
@@ -171,11 +228,14 @@ class XmlStore:
                     shredded.node_count() + 1,
                 ),
             )
+            return doc_id
+
+        doc_id = self.transactionally(load_in_transaction)
         self.backend.analyze()
         return doc_id
 
     def _next_doc_id(self) -> int:
-        result = self.backend.execute(
+        result = self._execute(
             "SELECT COALESCE(MAX(doc), 0) FROM documents"
         )
         return int(result.rows[0][0]) + 1
@@ -201,7 +261,7 @@ class XmlStore:
     # -- catalogue ---------------------------------------------------------------
 
     def document_info(self, doc: int) -> DocumentInfo:
-        result = self.backend.execute(
+        result = self._execute(
             "SELECT doc, name, node_count, max_depth, next_id "
             "FROM documents WHERE doc = ?",
             (doc,),
@@ -212,7 +272,7 @@ class XmlStore:
         return DocumentInfo(*row)
 
     def update_document_info(self, info: DocumentInfo) -> None:
-        self.backend.execute(
+        self._execute(
             "UPDATE documents SET node_count = ?, max_depth = ?, "
             "next_id = ? WHERE doc = ?",
             (info.node_count, info.max_depth, info.next_id, info.doc),
@@ -221,19 +281,23 @@ class XmlStore:
     def delete_document(self, doc: int) -> int:
         """Drop a whole document; returns the number of rows removed."""
         self.document_info(doc)  # raises StorageError if unknown
-        nodes = self.backend.execute(
-            f"DELETE FROM {self.node_table} WHERE doc = ?", (doc,)
-        )
-        attrs = self.backend.execute(
-            f"DELETE FROM {self.attr_table} WHERE doc = ?", (doc,)
-        )
-        self.backend.execute(
-            "DELETE FROM documents WHERE doc = ?", (doc,)
-        )
-        return max(nodes.rowcount, 0) + max(attrs.rowcount, 0)
+
+        def drop_in_transaction() -> int:
+            nodes = self.backend.execute(
+                f"DELETE FROM {self.node_table} WHERE doc = ?", (doc,)
+            )
+            attrs = self.backend.execute(
+                f"DELETE FROM {self.attr_table} WHERE doc = ?", (doc,)
+            )
+            self.backend.execute(
+                "DELETE FROM documents WHERE doc = ?", (doc,)
+            )
+            return max(nodes.rowcount, 0) + max(attrs.rowcount, 0)
+
+        return self.transactionally(drop_in_transaction)
 
     def documents(self) -> list[DocumentInfo]:
-        result = self.backend.execute(
+        result = self._execute(
             "SELECT doc, name, node_count, max_depth, next_id "
             "FROM documents ORDER BY doc"
         )
@@ -260,7 +324,7 @@ class XmlStore:
     ) -> list[ResultItem]:
         """Run *xpath* via SQL; results arrive in document order."""
         translated = self.translate(xpath, doc, context_id=context_id)
-        result = self.backend.execute(translated.sql, translated.params)
+        result = self._execute(translated.sql, translated.params)
         rows = result.rows
         if translated.result_kind == "attribute":
             items, owner_ids = self._attribute_items(rows)
@@ -304,7 +368,7 @@ class XmlStore:
             batch = pending[:_ID_BATCH]
             pending = pending[_ID_BATCH:]
             placeholders = ", ".join("?" for _ in batch)
-            result = self.backend.execute(
+            result = self._execute(
                 f"SELECT id, parent, {order_column} "
                 f"FROM {self.node_table} "
                 f"WHERE doc = ? AND id IN ({placeholders})",
@@ -384,7 +448,7 @@ class XmlStore:
             return row["value"] or ""
         name = self.encoding.name
         if name == "global":
-            result = self.backend.execute(
+            result = self._execute(
                 f"SELECT value FROM {self.node_table} "
                 f"WHERE doc = ? AND pos >= ? AND pos <= ? "
                 f"AND kind = 'text' ORDER BY pos",
@@ -392,7 +456,7 @@ class XmlStore:
             )
         elif name == "dewey":
             key = DeweyKey.decode(row["dkey"])
-            result = self.backend.execute(
+            result = self._execute(
                 f"SELECT value FROM {self.node_table} "
                 f"WHERE doc = ? AND dkey > ? AND dkey < ? "
                 f"AND kind = 'text' ORDER BY dkey",
@@ -402,7 +466,7 @@ class XmlStore:
             from repro.core.ordpath import OrdpathKey
 
             key = OrdpathKey.decode(row["okey"])
-            result = self.backend.execute(
+            result = self._execute(
                 f"SELECT value FROM {self.node_table} "
                 f"WHERE doc = ? AND okey > ? AND okey < ? "
                 f"AND kind = 'text' ORDER BY okey",
@@ -428,7 +492,7 @@ class XmlStore:
     def fetch_node(self, doc: int, node_id: int) -> Optional[dict]:
         """Fetch one node row as a column->value dict."""
         columns = self.encoding.node_columns()
-        result = self.backend.execute(
+        result = self._execute(
             f"SELECT {', '.join(columns)} FROM {self.node_table} "
             f"WHERE doc = ? AND id = ?",
             (doc, node_id),
@@ -441,7 +505,7 @@ class XmlStore:
         """Fetch the child rows of *parent_id*, in document order."""
         columns = self.encoding.node_columns()
         order = self.encoding.sibling_order_column
-        result = self.backend.execute(
+        result = self._execute(
             f"SELECT {', '.join(columns)} FROM {self.node_table} "
             f"WHERE doc = ? AND parent = ? ORDER BY {order}",
             (doc, parent_id),
@@ -455,7 +519,7 @@ class XmlStore:
         for start in range(0, len(owner_list), _ID_BATCH):
             batch = owner_list[start : start + _ID_BATCH]
             placeholders = ", ".join("?" for _ in batch)
-            result = self.backend.execute(
+            result = self._execute(
                 f"SELECT owner, name, value FROM {self.attr_table} "
                 f"WHERE doc = ? AND owner IN ({placeholders})",
                 (doc, *batch),
@@ -468,7 +532,7 @@ class XmlStore:
         return DeweyKey.decode(row["dkey"])
 
     def node_count(self, doc: int) -> int:
-        result = self.backend.execute(
+        result = self._execute(
             f"SELECT COUNT(*) FROM {self.node_table} WHERE doc = ?",
             (doc,),
         )

@@ -1,0 +1,99 @@
+"""Acceptance tests for the crash-recovery harness (repro crashtest).
+
+These drive the real loop: replay a seeded update stream, crash the
+engine at sampled statement boundaries, reopen the durable medium, run
+the invariant auditor, and require the store to equal either the
+pre-operation or post-operation state.  Fixed seeds keep the runs
+deterministic; the nightly CI job varies them.
+"""
+
+import pytest
+
+from repro.robust.crashtest import (
+    CrashFailure,
+    CrashTestConfig,
+    run_crashtest,
+)
+
+ALL_ENCODINGS = ("global", "local", "dewey", "ordpath")
+
+
+@pytest.mark.skip_audit  # the harness audits internally, on reopened stores
+class TestCrashRecoveryMatrix:
+    def test_fixed_seed_matrix_all_encodings_both_backends(self):
+        config = CrashTestConfig(
+            seeds=1,
+            ops=3,
+            encodings=ALL_ENCODINGS,
+            backends=("sqlite", "minidb"),
+            crashes_per_op=2,
+            transient_rate=0.05,
+            base_seed=0,
+        )
+        report = run_crashtest(config)
+        assert report.ok(), "\n".join(str(f) for f in report.failures)
+        assert report.cells == 8
+        assert report.crashes > 0
+        assert report.recoveries == report.crashes
+        assert report.transient_streams == report.cells
+
+    def test_full_sweep_single_cell_per_backend(self):
+        # Sweeping every statement boundary of every operation is the
+        # strongest form of the atomicity check; keep it to one
+        # encoding per backend for test-suite latency.
+        config = CrashTestConfig(
+            seeds=1,
+            ops=3,
+            encodings=("dewey",),
+            backends=("sqlite", "minidb"),
+            crashes_per_op=0,  # sweep
+            base_seed=1,
+        )
+        report = run_crashtest(config)
+        assert report.ok(), "\n".join(str(f) for f in report.failures)
+        # A sweep must exercise far more crash points than sampling.
+        assert report.crashes > report.operations
+
+    def test_interrupted_snapshot_never_loses_good_generation(self):
+        # Force a snapshot-save interruption on (almost) every minidb
+        # checkpoint; recovery must always land on a good generation.
+        config = CrashTestConfig(
+            seeds=2,
+            ops=3,
+            encodings=("global",),
+            backends=("minidb",),
+            crashes_per_op=1,
+            snapshot_fault_rate=1.0,
+            base_seed=2,
+        )
+        report = run_crashtest(config)
+        assert report.ok(), "\n".join(str(f) for f in report.failures)
+
+
+class TestReporting:
+    def test_failure_repro_command_pins_the_cell(self):
+        failure = CrashFailure(
+            seed=9, gap=2, backend="minidb", encoding="ordpath",
+            op_index=4, crash_at=17, op="insert(...)",
+            kind="atomicity", detail="neither pre nor post state",
+        )
+        command = failure.repro_command()
+        assert "--base-seed 9" in command
+        assert "--gaps 2" in command
+        assert "--backends minidb" in command
+        assert "--encodings ordpath" in command
+        assert "--sweep" in command
+        text = str(failure)
+        assert "atomicity" in text
+        assert "crash at statement 17" in text
+        assert "reproduce:" in text
+
+    def test_config_cells_cross_product(self):
+        config = CrashTestConfig(
+            seeds=2, encodings=("dewey", "local"),
+            backends=("sqlite",), gaps=(1, 4), base_seed=5,
+        )
+        cells = config.cells()
+        assert len(cells) == 2 * 2 * 1 * 2
+        assert (5, 1, "sqlite", "dewey") in cells
+        assert (6, 4, "sqlite", "local") in cells

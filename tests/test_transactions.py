@@ -1,9 +1,12 @@
 """Transaction tests: atomicity on both engines, plus failure injection
 showing that a crashed multi-statement update leaves no partial state."""
 
+import threading
+
 import pytest
 
 from repro.backends import make_backend
+from repro.backends.base import split_sql_script
 from repro.errors import ExecutionError, UpdateError
 from repro.minidb import MiniDb
 from repro.store import XmlStore
@@ -159,3 +162,120 @@ class TestFailureInjection:
         report = store.updates.insert(doc, root, 0, "<i n='new'/>")
         assert report.inserted == 1
         assert store.query_values("/list/i[1]/@n", doc) == ["new"]
+
+
+class TestSplitSqlScript:
+    """Quote-aware script splitting (regression: naive ';'.split)."""
+
+    def test_plain_statements(self):
+        assert split_sql_script("SELECT 1; SELECT 2;") == [
+            "SELECT 1",
+            "SELECT 2",
+        ]
+
+    def test_semicolon_inside_single_quotes(self):
+        script = "INSERT INTO t VALUES ('a; b'); SELECT 1"
+        assert split_sql_script(script) == [
+            "INSERT INTO t VALUES ('a; b')",
+            "SELECT 1",
+        ]
+
+    def test_doubled_quote_escape(self):
+        script = "INSERT INTO t VALUES ('it''s; fine'); SELECT 1"
+        assert split_sql_script(script) == [
+            "INSERT INTO t VALUES ('it''s; fine')",
+            "SELECT 1",
+        ]
+
+    def test_semicolon_inside_double_quotes(self):
+        script = 'UPDATE t SET v = 1 WHERE c = "x; y"; SELECT 1'
+        assert split_sql_script(script) == [
+            'UPDATE t SET v = 1 WHERE c = "x; y"',
+            "SELECT 1",
+        ]
+
+    def test_semicolon_inside_line_comment(self):
+        script = "SELECT 1 -- no; split here\n; SELECT 2"
+        assert split_sql_script(script) == [
+            "SELECT 1 -- no; split here",
+            "SELECT 2",
+        ]
+
+    def test_blank_statements_dropped(self):
+        assert split_sql_script(" ; ;SELECT 1; ;") == ["SELECT 1"]
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+class TestExecutescript:
+    def test_literals_with_semicolons_survive(self, name):
+        backend = make_backend(name)
+        backend.executescript(
+            "CREATE TABLE s (v TEXT);"
+            "INSERT INTO s VALUES ('a; b');"
+            "INSERT INTO s VALUES ('it''s; fine')"
+        )
+        rows = backend.execute("SELECT v FROM s ORDER BY v").rows
+        assert rows == [("a; b",), ("it's; fine",)]
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+class TestRollbackFailurePropagation:
+    """The original error must survive a rollback that itself raises."""
+
+    def test_original_exception_not_masked(self, name):
+        backend = make_backend(name)
+        backend.execute("CREATE TABLE t (a INTEGER)")
+
+        def exploding_rollback():
+            raise ExecutionError("rollback exploded too")
+
+        backend.rollback = exploding_rollback
+        with pytest.raises(RuntimeError, match="boom") as excinfo:
+            with backend.transaction():
+                backend.execute("INSERT INTO t VALUES (1)")
+                raise RuntimeError("boom")
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any("rollback also failed" in note for note in notes)
+        # The scope bookkeeping is reset, so the backend is not stuck
+        # in a phantom open transaction.
+        assert backend._tx_depth == 0
+
+
+class TestConcurrentSqliteInserts:
+    """Two threads updating one lock-guarded sqlite connection."""
+
+    INSERTS_PER_THREAD = 12
+
+    def test_interleaved_inserts_commit_atomically(self):
+        store = XmlStore(backend="sqlite", encoding="dewey")
+        doc = store.load("<root><a/><b/></root>")
+        # Preorder surrogate ids: root=1, <a>=2, <b>=3.
+        parents = {0: 2, 1: 3}
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def worker(slot):
+            try:
+                barrier.wait(timeout=10)
+                for n in range(self.INSERTS_PER_THREAD):
+                    store.updates.insert(
+                        doc, parents[slot], 0, f"<x n='{slot}.{n}'/>"
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in parents
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        # Every insert from both threads committed, under its parent.
+        for slot, parent in parents.items():
+            children = store.fetch_children(doc, parent)
+            assert len(children) == self.INSERTS_PER_THREAD
+        assert store.node_count(doc) == 3 + 2 * self.INSERTS_PER_THREAD
+        # The autouse audit fixture re-checks every invariant on exit.

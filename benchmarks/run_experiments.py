@@ -1,10 +1,13 @@
-"""Regenerate EXPERIMENTS.md from the experiment suite E1-E10.
+"""Regenerate EXPERIMENTS.md from the experiment suite E1-E14.
 
 Usage:
     python benchmarks/run_experiments.py [--fast] [--output PATH]
+        [--json PATH]
 
 ``--fast`` uses reduced sizes (seconds instead of minutes); the committed
-EXPERIMENTS.md records a full run.
+EXPERIMENTS.md records a full run.  ``--json`` additionally writes the
+machine-readable ``BENCH_results.json`` (same payload ``repro bench``
+emits).
 """
 
 from __future__ import annotations
@@ -16,117 +19,12 @@ import time
 from pathlib import Path
 
 from repro.bench.experiments import run_all
-
-EXPECTED_SHAPES = {
-    "E1": "Global stores two 4-byte integers per node, Local one; Dewey "
-          "keys are variable-length but stay near Local's size under the "
-          "binary codec (dotted text would roughly double them).",
-    "E2": "Loading is comparable across encodings; Dewey pays a little "
-          "extra for key construction.",
-    "E3": "Global and Dewey answer every ordered query in comparable "
-          "time; Local is an order of magnitude slower on the "
-          "document-order axes Q7/Q8 (depth-expansion joins plus the "
-          "client-side order-resolution pass).",
-    "E4": "All three encodings are comparable when order plays no role.",
-    "E5": "Front/middle inserts: Global relabels the document tail, "
-          "Local only the following siblings, Dewey the following "
-          "siblings' subtrees.  Appending is cheap for everyone.  At "
-          "nested insertion points Dewey's locality beats Global by "
-          "orders of magnitude.",
-    "E6": "Subtree inserts follow the E5 ordering; deletes never "
-          "relabel under any encoding.",
-    "E7": "The headline crossover: Global/Dewey win read-only "
-          "workloads, Local wins write-only, Dewey is best or near-best "
-          "across the middle.",
-    "E8": "Full reconstruction is one ordered scan for everyone; "
-          "Local's level-by-level subtree fetch is the slow outlier as "
-          "subtree size grows.",
-    "E9": "Static SQL complexity: identical for unordered paths; Local "
-          "needs depth-expansion arms for transitive and document-order "
-          "axes, growing with document depth.",
-    "E10": "Gaps absorb insertion bursts: relabeled rows collapse as "
-           "the gap grows, at the cost of order-value space.",
-    "E11": "(Extension beyond the paper.)  ORDPATH careting removes "
-           "relabeling entirely — zero rows touched on any insert — "
-           "paying with longer keys; query latency stays comparable to "
-           "Dewey.",
-    "E12": "(Extension beyond the paper.)  Query latency grows with "
-           "document/result size for every encoding; Local's "
-           "document-order queries degrade fastest.",
-}
-
-
-def _cell(row, index):
-    value = row[index]
-    return float(value) if not isinstance(value, str) else None
-
-
-def compute_verdicts(tables) -> list[str]:
-    """Check each experiment's headline shape claim against its rows."""
-    by_id = {t.id: t for t in tables}
-    verdicts = []
-
-    def record(eid: str, claim: str, ok: bool) -> None:
-        verdicts.append(f"{'PASS' if ok else 'FAIL'}  {eid}: {claim}")
-
-    t = by_id["E1"]
-    dewey = [r for r in t.rows if r[1] == "dewey"]
-    record("E1", "Dewey labels compact (4-8 bytes/node, binary codec)",
-           all(4.0 < r[3] < 8.0 for r in dewey))
-
-    t = by_id["E3"]
-    doc_order = [r for r in t.rows if r[0] in ("Q7", "Q8")]
-    record(
-        "E3", "Local slowest on document-order axes",
-        all(r[4] > r[3] and r[4] > r[5] for r in doc_order),
-    )
-
-    t = by_id["E4"]
-    spreads = [
-        max(r[3], r[4], r[5]) / max(min(r[3], r[4], r[5]), 1e-9)
-        for r in t.rows
-    ]
-    # "Comparable" = same order of magnitude (sub-ms timings are noisy;
-    # Local also pays its client-side ordering pass here), in contrast
-    # to the 10-1000x separations on the ordered axes.
-    record("E4", "Encodings within an order of magnitude (unordered)",
-           all(s < 8 for s in spreads))
-
-    t = by_id["E5"]
-    nested = [r for r in t.rows if r[1] == "nested" and r[2] != "last"]
-    by_enc = {}
-    for r in nested:
-        by_enc.setdefault(r[0], 0)
-        by_enc[r[0]] += r[4]
-    record("E5", "Nested inserts: Dewey locality beats Global",
-           by_enc.get("dewey", 0) * 3 < by_enc.get("global", 1))
-
-    t = by_id["E7"]
-    first, last = t.rows[0], t.rows[-1]
-    record(
-        "E7", "Crossover: Global/Dewey win read-only, Local write-only",
-        first[-1] in ("global", "dewey") and last[-1] == "local",
-    )
-
-    t = by_id["E10"]
-    for encoding in ("global", "dewey"):
-        rows = [r for r in t.rows if r[0] == encoding]
-        record(
-            "E10", f"gaps shrink {encoding} relabeling",
-            rows[0][3] > rows[-1][3],
-        )
-
-    t = by_id["E11"]
-    ordpath = next(r for r in t.rows if r[0] == "ordpath")
-    dewey_row = next(r for r in t.rows if r[0] == "dewey")
-    record("E11", "ORDPATH never relabels; Dewey does",
-           ordpath[2] == 0 and dewey_row[2] > 0)
-
-    t = by_id["E13"]
-    q7 = next(r for r in t.rows if r[0] == "Q7")
-    record("E13", "Local logical I/O blows up on following::",
-           q7[3] > 3 * q7[2] and q7[3] > 3 * q7[4])
-    return verdicts
+from repro.bench.report import (
+    EXPECTED_SHAPES,
+    compute_verdicts,
+    render_verdicts,
+    write_results_json,
+)
 
 
 def main() -> None:
@@ -137,6 +35,10 @@ def main() -> None:
         "--output",
         default=str(Path(__file__).resolve().parent.parent
                     / "EXPERIMENTS.md"),
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write machine-readable results (BENCH_results.json)",
     )
     args = parser.parse_args()
 
@@ -165,7 +67,7 @@ def main() -> None:
     lines.append("## Shape verdicts (computed from this run)")
     lines.append("")
     lines.append("```")
-    lines.extend(verdicts)
+    lines.extend(render_verdicts(verdicts))
     lines.append("```")
     lines.append("")
     for table in tables:
@@ -182,6 +84,11 @@ def main() -> None:
     output.write_text("\n".join(lines))
     print(f"wrote {output} ({len(tables)} experiments, "
           f"{elapsed:.1f}s)")
+    if args.json:
+        written = write_results_json(
+            args.json, tables, verdicts, elapsed_seconds=elapsed
+        )
+        print(f"wrote {written}")
     for table in tables:
         print()
         print(table.render())

@@ -82,6 +82,13 @@ class Backend(ABC):
     #: already-exists errors from plain CREATE statements.
     supports_if_not_exists: bool = False
 
+    #: Whether worker threads get independent connections (statements
+    #: from different threads run concurrently and transaction state is
+    #: per-thread).  Non-pooled backends serialize instead; callers
+    #: that fan work out across threads can check this to pick a
+    #: strategy (e.g. the serve-bench driver, the write queue).
+    pooled: bool = False
+
     @abstractmethod
     def execute(
         self, sql: str, params: Sequence = ()

@@ -27,6 +27,47 @@ from repro.core.ordpath import (
 )
 
 
+def connect_sqlite(
+    path: Optional[str], busy_timeout_ms: int = 5000
+) -> sqlite3.Connection:
+    """Open a fully configured sqlite connection for this store.
+
+    Shared by the single-connection backend and every connection a
+    :class:`~repro.concurrent.pool.ConnectionPool` creates, so pooled
+    connections are interchangeable: same pragmas, same busy timeout,
+    same Dewey/ORDPATH scalar functions.
+
+    Autocommit mode: transactions are controlled explicitly by the
+    Backend.transaction protocol (python's implicit-BEGIN legacy mode
+    would collide with our explicit BEGIN).
+    """
+    conn = sqlite3.connect(path or ":memory:",
+                           isolation_level=None,
+                           check_same_thread=False)
+    if path is not None:
+        # Crash safety for file-backed stores: WAL survives abrupt
+        # process death (uncommitted tail discarded on reopen) and
+        # lets readers proceed during a write.  synchronous=NORMAL
+        # is WAL's durable-at-checkpoint setting.
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+    # Wait instead of failing immediately when another connection
+    # holds a conflicting lock (sqlite raises BUSY past the timeout;
+    # the RetryPolicy layer classifies that as transient).
+    conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
+    for fn_name, fn, arity in (
+        ("dewey_parent", dewey_parent_bytes, 1),
+        ("dewey_successor", dewey_successor_bytes, 1),
+        ("dewey_local", dewey_local_bytes, 1),
+        ("dewey_depth", dewey_depth_bytes, 1),
+        ("ordpath_parent", ordpath_parent_bytes, 1),
+        ("ordpath_successor", ordpath_successor_bytes, 1),
+        ("ordpath_depth", ordpath_depth_bytes, 1),
+    ):
+        conn.create_function(fn_name, arity, fn, deterministic=True)
+    return conn
+
+
 class SqliteBackend(Backend):
     """In-memory (default) or file-backed sqlite3 storage."""
 
@@ -38,44 +79,16 @@ class SqliteBackend(Backend):
         path: Optional[str] = None,
         busy_timeout_ms: int = 5000,
     ) -> None:
-        # Autocommit mode: transactions are controlled explicitly by the
-        # Backend.transaction protocol (python's implicit-BEGIN legacy
-        # mode would collide with our explicit BEGIN).
-        #
         # sqlite3 connections are thread-bound by default; an RLock plus
         # check_same_thread=False makes statements safe to issue from
         # any thread, and begin() holds the lock until commit/rollback
-        # so whole transactions serialize too.  True concurrency needs
-        # a per-thread connection pool — a ROADMAP item.
+        # so whole transactions serialize too.  For true concurrency
+        # use PooledSqliteBackend (one connection per worker thread).
         self._lock = threading.RLock()
         self.path = path
-        self._conn = sqlite3.connect(path or ":memory:",
-                                     isolation_level=None,
-                                     check_same_thread=False)
+        self._conn = connect_sqlite(path, busy_timeout_ms)
         self._rows_written = 0
-        if path is not None:
-            # Crash safety for file-backed stores: WAL survives abrupt
-            # process death (uncommitted tail discarded on reopen) and
-            # lets readers proceed during a write.  synchronous=NORMAL
-            # is WAL's durable-at-checkpoint setting.
-            self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.execute("PRAGMA synchronous=NORMAL")
-        # Wait instead of failing immediately when another connection
-        # holds a conflicting lock (sqlite raises BUSY past the timeout;
-        # the RetryPolicy layer classifies that as transient).
-        self._conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
-        for fn_name, fn, arity in (
-            ("dewey_parent", dewey_parent_bytes, 1),
-            ("dewey_successor", dewey_successor_bytes, 1),
-            ("dewey_local", dewey_local_bytes, 1),
-            ("dewey_depth", dewey_depth_bytes, 1),
-            ("ordpath_parent", ordpath_parent_bytes, 1),
-            ("ordpath_successor", ordpath_successor_bytes, 1),
-            ("ordpath_depth", ordpath_depth_bytes, 1),
-        ):
-            self._conn.create_function(
-                fn_name, arity, fn, deterministic=True
-            )
+        self._closed = False
 
     def execute(self, sql: str, params: Sequence = ()) -> BackendResult:
         with self._lock:
@@ -139,5 +152,22 @@ class SqliteBackend(Backend):
             self._conn.commit()
 
     def close(self) -> None:
+        """Checkpoint the WAL back into the main file and close.
+
+        Without the TRUNCATE checkpoint a file store's final state can
+        sit entirely in ``store.db-wal`` at shutdown; compacting on
+        close leaves a single self-contained database file behind.
+        Idempotent: a second close is a no-op.
+        """
         with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self.path is not None:
+                try:
+                    self._conn.execute(
+                        "PRAGMA wal_checkpoint(TRUNCATE)"
+                    )
+                except sqlite3.Error:
+                    pass  # e.g. another connection holds the WAL busy
             self._conn.close()

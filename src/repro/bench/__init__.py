@@ -1,4 +1,4 @@
-"""Benchmark harness and the reconstructed experiment suite E1-E10."""
+"""Benchmark harness and the reconstructed experiment suite E1-E14."""
 
 from repro.bench.harness import (
     ENCODING_NAMES,
@@ -8,12 +8,26 @@ from repro.bench.harness import (
     timed,
 )
 from repro.bench.experiments import run_all
+from repro.bench.report import (
+    EXPECTED_SHAPES,
+    Verdict,
+    compute_verdicts,
+    render_verdicts,
+    results_payload,
+    write_results_json,
+)
 
 __all__ = [
     "ENCODING_NAMES",
+    "EXPECTED_SHAPES",
     "ExperimentTable",
+    "Verdict",
     "build_store",
+    "compute_verdicts",
+    "render_verdicts",
+    "results_payload",
     "run_all",
     "speedup",
     "timed",
+    "write_results_json",
 ]

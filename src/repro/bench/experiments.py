@@ -1,4 +1,4 @@
-"""The reconstructed evaluation: experiments E1-E10.
+"""The reconstructed evaluation: experiments E1-E14.
 
 Each ``run_eN_*`` function executes one experiment and returns an
 :class:`~repro.bench.harness.ExperimentTable`.  ``run_all`` executes the
@@ -571,6 +571,101 @@ def run_e13_logical_io(articles: int = 10) -> ExperimentTable:
 
 
 # ---------------------------------------------------------------------------
+# E14: concurrent serving (pooled connections vs serialized sharing)
+# ---------------------------------------------------------------------------
+
+
+def run_e14_concurrency(
+    articles: int = 60,
+    reader_counts: Sequence[int] = (1, 2, 4, 8),
+    seconds: float = 0.4,
+    encoding: str = "global",
+) -> ExperimentTable:
+    """Reader throughput with one writer active: pooled vs serialized.
+
+    Both modes run the byte-identical pre-translated statement stream
+    against the same file-backed sqlite database.  *serialized* is the
+    legacy shared connection, whose lock is held from BEGIN to COMMIT
+    of every update transaction — readers stall whenever the writer is
+    in one.  *pooled* gives each reader thread its own WAL connection
+    and funnels the writer through the single-writer group-commit
+    queue, so reads proceed during writes.
+
+    The writer front-inserts under the Global encoding, the paper's
+    relabeling worst case: every insert shifts the whole document tail
+    in bulk UPDATE statements, so each write transaction holds the
+    serialized lock for a long engine-side window.  That makes the
+    separation lock-hold time, not core count — it shows up even on a
+    single-CPU host.  Every run is followed by a full invariant audit.
+    """
+    import tempfile
+
+    from repro.backends.pooled_sqlite import PooledSqliteBackend
+    from repro.backends.sqlite_backend import SqliteBackend
+    from repro.check import audit_store
+    from repro.workload.mixer import ConcurrentWorkload
+
+    document = article_corpus(articles=articles)
+    table = ExperimentTable(
+        "E14",
+        "Concurrent serving: reader ops/s with one writer active",
+        ("mode", "readers", "read ops/s", "write ops/s",
+         "vs serialized", "violations"),
+    )
+    baseline: dict[int, float] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-e14-") as tmp:
+        for mode in ("serialized", "pooled"):
+            if mode == "pooled":
+                backend: object = PooledSqliteBackend(
+                    f"{tmp}/pooled.db",
+                    capacity=max(reader_counts) + 2,
+                )
+            else:
+                backend = SqliteBackend(f"{tmp}/serialized.db")
+            store = XmlStore(backend=backend, encoding=encoding)
+            try:
+                doc = store.load(document)
+                if mode == "pooled":
+                    store.enable_write_queue()
+                workload = ConcurrentWorkload(
+                    store, doc,
+                    ORDERED_QUERIES + UNORDERED_QUERIES,
+                    insert_parent_xpath="/journal",
+                    writer_position="front",
+                )
+                for readers in reader_counts:
+                    result = workload.run(readers, seconds, writer=True)
+                    if result.read_errors or result.write_error:
+                        raise RuntimeError(
+                            f"E14 {mode}/{readers} worker failure: "
+                            f"{result.read_errors or result.write_error}"
+                        )
+                    violations = len(audit_store(store))
+                    if mode == "serialized":
+                        baseline[readers] = result.read_ops_per_second
+                        ratio = 1.0
+                    else:
+                        ratio = result.read_ops_per_second / max(
+                            baseline.get(readers, 0.0), 1e-9
+                        )
+                    table.add_row(
+                        mode, readers,
+                        round(result.read_ops_per_second, 1),
+                        round(result.write_ops_per_second, 1),
+                        round(ratio, 2),
+                        violations,
+                    )
+            finally:
+                store.close()
+    table.add_note(
+        "writer front-inserts fragments (Global's relabeling worst "
+        "case) throughout; 'vs serialized' compares read throughput "
+        "at equal reader count against the shared-connection baseline"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
 
 
 def run_all(fast: bool = False) -> list[ExperimentTable]:
@@ -592,6 +687,9 @@ def run_all(fast: bool = False) -> list[ExperimentTable]:
             run_e11_ordpath(articles=6, inserts=10),
             run_e12_scaling(sizes=(300, 1000), repeat=1),
             run_e13_logical_io(articles=4),
+            run_e14_concurrency(
+                reader_counts=(1, 8), seconds=0.25
+            ),
         ]
     return [
         run_e1_storage(),
@@ -607,4 +705,5 @@ def run_all(fast: bool = False) -> list[ExperimentTable]:
         run_e11_ordpath(),
         run_e12_scaling(),
         run_e13_logical_io(),
+        run_e14_concurrency(),
     ]

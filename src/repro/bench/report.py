@@ -1,0 +1,232 @@
+"""Bench reporting: shape verdicts and the machine-readable results file.
+
+The experiment suite's value is the *shapes* — who wins, by roughly
+what factor, where the crossovers fall — not the absolute numbers.
+:func:`compute_verdicts` checks each experiment's headline claim
+against its measured rows; :func:`results_payload` /
+:func:`write_results_json` serialize the whole run (tables, notes,
+verdicts, platform) as ``BENCH_results.json`` so CI and downstream
+tooling can diff runs without scraping markdown.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.bench.harness import ExperimentTable
+
+#: The comparative claim each experiment reproduces (rendered into
+#: EXPERIMENTS.md next to the measured table).
+EXPECTED_SHAPES = {
+    "E1": "Global stores two 4-byte integers per node, Local one; Dewey "
+          "keys are variable-length but stay near Local's size under the "
+          "binary codec (dotted text would roughly double them).",
+    "E2": "Loading is comparable across encodings; Dewey pays a little "
+          "extra for key construction.",
+    "E3": "Global and Dewey answer every ordered query in comparable "
+          "time; Local is an order of magnitude slower on the "
+          "document-order axes Q7/Q8 (depth-expansion joins plus the "
+          "client-side order-resolution pass).",
+    "E4": "All three encodings are comparable when order plays no role.",
+    "E5": "Front/middle inserts: Global relabels the document tail, "
+          "Local only the following siblings, Dewey the following "
+          "siblings' subtrees.  Appending is cheap for everyone.  At "
+          "nested insertion points Dewey's locality beats Global by "
+          "orders of magnitude.",
+    "E6": "Subtree inserts follow the E5 ordering; deletes never "
+          "relabel under any encoding.",
+    "E7": "The headline crossover: Global/Dewey win read-only "
+          "workloads, Local wins write-only, Dewey is best or near-best "
+          "across the middle.",
+    "E8": "Full reconstruction is one ordered scan for everyone; "
+          "Local's level-by-level subtree fetch is the slow outlier as "
+          "subtree size grows.",
+    "E9": "Static SQL complexity: identical for unordered paths; Local "
+          "needs depth-expansion arms for transitive and document-order "
+          "axes, growing with document depth.",
+    "E10": "Gaps absorb insertion bursts: relabeled rows collapse as "
+           "the gap grows, at the cost of order-value space.",
+    "E11": "(Extension beyond the paper.)  ORDPATH careting removes "
+           "relabeling entirely — zero rows touched on any insert — "
+           "paying with longer keys; query latency stays comparable to "
+           "Dewey.",
+    "E12": "(Extension beyond the paper.)  Query latency grows with "
+           "document/result size for every encoding; Local's "
+           "document-order queries degrade fastest.",
+    "E14": "(Extension beyond the paper.)  With one writer active, "
+           "pooled WAL connections keep readers running during write "
+           "transactions; the serialized shared connection stalls them "
+           "for each transaction's whole lock-hold window.",
+}
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One checked shape claim."""
+
+    experiment: str
+    claim: str
+    ok: bool
+
+    def render(self) -> str:
+        return f"{'PASS' if self.ok else 'FAIL'}  {self.experiment}: " \
+               f"{self.claim}"
+
+
+def compute_verdicts(
+    tables: Sequence[ExperimentTable],
+) -> list[Verdict]:
+    """Check each experiment's headline shape claim against its rows.
+
+    Experiments absent from *tables* (partial runs) are skipped rather
+    than failed, so the checker works on any subset of the suite.
+    """
+    by_id = {t.id: t for t in tables}
+    verdicts: list[Verdict] = []
+
+    def record(eid: str, claim: str, ok: bool) -> None:
+        verdicts.append(Verdict(eid, claim, ok))
+
+    t = by_id.get("E1")
+    if t is not None:
+        dewey = [r for r in t.rows if r[1] == "dewey"]
+        record("E1",
+               "Dewey labels compact (4-8 bytes/node, binary codec)",
+               all(4.0 < r[3] < 8.0 for r in dewey))
+
+    t = by_id.get("E3")
+    if t is not None:
+        doc_order = [r for r in t.rows if r[0] in ("Q7", "Q8")]
+        record(
+            "E3", "Local slowest on document-order axes",
+            all(r[4] > r[3] and r[4] > r[5] for r in doc_order),
+        )
+
+    t = by_id.get("E4")
+    if t is not None:
+        spreads = [
+            max(r[3], r[4], r[5]) / max(min(r[3], r[4], r[5]), 1e-9)
+            for r in t.rows
+        ]
+        # "Comparable" = same order of magnitude (sub-ms timings are
+        # noisy; Local also pays its client-side ordering pass here),
+        # in contrast to the 10-1000x separations on the ordered axes.
+        record("E4",
+               "Encodings within an order of magnitude (unordered)",
+               all(s < 8 for s in spreads))
+
+    t = by_id.get("E5")
+    if t is not None:
+        nested = [
+            r for r in t.rows if r[1] == "nested" and r[2] != "last"
+        ]
+        by_enc: dict[str, float] = {}
+        for r in nested:
+            by_enc.setdefault(r[0], 0)
+            by_enc[r[0]] += r[4]
+        record("E5", "Nested inserts: Dewey locality beats Global",
+               by_enc.get("dewey", 0) * 3 < by_enc.get("global", 1))
+
+    t = by_id.get("E7")
+    if t is not None:
+        first, last = t.rows[0], t.rows[-1]
+        record(
+            "E7",
+            "Crossover: Global/Dewey win read-only, Local write-only",
+            first[-1] in ("global", "dewey") and last[-1] == "local",
+        )
+
+    t = by_id.get("E10")
+    if t is not None:
+        for encoding in ("global", "dewey"):
+            rows = [r for r in t.rows if r[0] == encoding]
+            record(
+                "E10", f"gaps shrink {encoding} relabeling",
+                rows[0][3] > rows[-1][3],
+            )
+
+    t = by_id.get("E11")
+    if t is not None:
+        ordpath = next(r for r in t.rows if r[0] == "ordpath")
+        dewey_row = next(r for r in t.rows if r[0] == "dewey")
+        record("E11", "ORDPATH never relabels; Dewey does",
+               ordpath[2] == 0 and dewey_row[2] > 0)
+
+    t = by_id.get("E13")
+    if t is not None:
+        q7 = next(r for r in t.rows if r[0] == "Q7")
+        record("E13", "Local logical I/O blows up on following::",
+               q7[3] > 3 * q7[2] and q7[3] > 3 * q7[4])
+
+    t = by_id.get("E14")
+    if t is not None:
+        pooled = [r for r in t.rows if r[0] == "pooled"]
+        top = max(pooled, key=lambda r: r[1])  # highest reader count
+        record(
+            "E14",
+            "Pooled readers >= 2x serialized at max reader count, "
+            "clean audits",
+            top[4] >= 2.0 and all(r[5] == 0 for r in t.rows),
+        )
+
+    return verdicts
+
+
+def render_verdicts(verdicts: Sequence[Verdict]) -> list[str]:
+    return [v.render() for v in verdicts]
+
+
+def results_payload(
+    tables: Sequence[ExperimentTable],
+    verdicts: Optional[Sequence[Verdict]] = None,
+    elapsed_seconds: Optional[float] = None,
+) -> dict:
+    """The JSON-serializable record of one bench run."""
+    if verdicts is None:
+        verdicts = compute_verdicts(tables)
+    return {
+        "schema": "repro-bench-results/1",
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "elapsed_seconds": elapsed_seconds,
+        "experiments": [
+            {
+                "id": table.id,
+                "title": table.title,
+                "expected_shape": EXPECTED_SHAPES.get(table.id),
+                "columns": list(table.columns),
+                "rows": [list(row) for row in table.rows],
+                "notes": list(table.notes),
+            }
+            for table in tables
+        ],
+        "verdicts": [
+            {
+                "experiment": v.experiment,
+                "claim": v.claim,
+                "ok": v.ok,
+            }
+            for v in verdicts
+        ],
+        "all_shapes_hold": all(v.ok for v in verdicts),
+    }
+
+
+def write_results_json(
+    path: Union[str, Path],
+    tables: Sequence[ExperimentTable],
+    verdicts: Optional[Sequence[Verdict]] = None,
+    elapsed_seconds: Optional[float] = None,
+) -> Path:
+    """Write ``BENCH_results.json``; returns the path written."""
+    path = Path(path)
+    payload = results_payload(tables, verdicts, elapsed_seconds)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

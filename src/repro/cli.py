@@ -13,6 +13,8 @@ invocations::
     python -m repro info --db bib.db
     python -m repro sql 'SELECT COUNT(*) FROM node_dewey' --db bib.db
     python -m repro experiments --fast
+    python -m repro bench --fast --output BENCH_results.json
+    python -m repro serve-bench --db bib.db --readers 8 --duration 2
 
 The store's encoding and gap are recorded in a ``repro_meta`` table on
 first load, so later commands need no flags.
@@ -25,6 +27,7 @@ import sys
 from pathlib import Path
 from typing import Optional
 
+from repro.backends.base import Backend
 from repro.backends.sqlite_backend import SqliteBackend
 from repro.core.encodings import ENCODINGS
 from repro.errors import ReproError
@@ -32,11 +35,20 @@ from repro.store import XmlStore
 from repro.xmldom import parse_fragment, serialize
 
 
-def _open_backend(db: str) -> SqliteBackend:
+def _open_backend(db: str, pooled: bool = False) -> Backend:
+    if pooled:
+        if db == ":memory:":
+            raise ReproError(
+                "pooled mode needs a file-backed --db (connections in "
+                "a pool must share one database file)"
+            )
+        from repro.backends.pooled_sqlite import PooledSqliteBackend
+
+        return PooledSqliteBackend(db)
     return SqliteBackend(db if db != ":memory:" else None)
 
 
-def _read_meta(backend: SqliteBackend) -> Optional[dict[str, str]]:
+def _read_meta(backend: Backend) -> Optional[dict[str, str]]:
     try:
         rows = backend.execute(
             "SELECT key, value FROM repro_meta"
@@ -46,7 +58,7 @@ def _read_meta(backend: SqliteBackend) -> Optional[dict[str, str]]:
     return {key: value for key, value in rows}
 
 
-def _write_meta(backend: SqliteBackend, encoding: str, gap: int) -> None:
+def _write_meta(backend: Backend, encoding: str, gap: int) -> None:
     backend.execute(
         "CREATE TABLE IF NOT EXISTS repro_meta (key TEXT, value TEXT)"
     )
@@ -59,10 +71,18 @@ def _write_meta(backend: SqliteBackend, encoding: str, gap: int) -> None:
 
 
 def open_store(
-    db: str, encoding: Optional[str] = None, gap: Optional[int] = None
+    db: str,
+    encoding: Optional[str] = None,
+    gap: Optional[int] = None,
+    pooled: bool = False,
 ) -> XmlStore:
-    """Open (or initialise) the store in SQLite file *db*."""
-    backend = _open_backend(db)
+    """Open (or initialise) the store in SQLite file *db*.
+
+    ``pooled`` opens it through a :class:`~repro.backends.
+    pooled_sqlite.PooledSqliteBackend` (one WAL connection per worker
+    thread) instead of the single shared connection.
+    """
+    backend = _open_backend(db, pooled)
     meta = _read_meta(backend)
     if meta is not None:
         if encoding is not None and encoding != meta.get("encoding"):
@@ -95,6 +115,7 @@ def _commit(store: XmlStore) -> None:
     backend = store.backend
     if isinstance(backend, SqliteBackend):
         backend.commit()
+    # Pooled backends run autocommit (explicit BEGIN only); no-op.
 
 
 # -- commands ---------------------------------------------------------------
@@ -297,21 +318,40 @@ def _parse_matrix(args) -> tuple[tuple[str, ...], tuple[str, ...],
 
 
 def cmd_crashtest(args: argparse.Namespace) -> int:
-    from repro.robust.crashtest import CrashTestConfig, run_crashtest
+    from repro.robust.crashtest import (
+        CrashTestConfig,
+        CrashTestReport,
+        run_crashtest,
+        run_writer_crashtest,
+    )
 
     encodings, backends, gaps = _parse_matrix(args)
-    config = CrashTestConfig(
-        seeds=args.seeds,
-        ops=args.ops,
-        encodings=encodings,
-        backends=backends,
-        gaps=gaps,
-        base_seed=args.base_seed,
-        crashes_per_op=0 if args.sweep else args.crashes_per_op,
-        transient_rate=args.transient_rate,
-        snapshot_fault_rate=args.snapshot_fault_rate,
-    )
-    report = run_crashtest(config)
+    report = CrashTestReport()
+    if args.ops > 0:
+        config = CrashTestConfig(
+            seeds=args.seeds,
+            ops=args.ops,
+            encodings=encodings,
+            backends=backends,
+            gaps=gaps,
+            base_seed=args.base_seed,
+            crashes_per_op=0 if args.sweep else args.crashes_per_op,
+            transient_rate=args.transient_rate,
+            snapshot_fault_rate=args.snapshot_fault_rate,
+        )
+        report.merge(run_crashtest(config))
+    if args.writer_batches > 0 and "sqlite" in backends:
+        report.merge(
+            run_writer_crashtest(
+                seeds=args.seeds,
+                batches=args.writer_batches,
+                encodings=encodings,
+                crashes_per_batch=(
+                    0 if args.sweep else args.crashes_per_op
+                ),
+                base_seed=args.base_seed,
+            )
+        )
     for failure in report.failures:
         print(failure)
         print()
@@ -326,6 +366,100 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         print(table.render())
         print()
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.bench.experiments import run_all
+    from repro.bench.report import (
+        compute_verdicts,
+        render_verdicts,
+        write_results_json,
+    )
+
+    started = time.time()
+    tables = run_all(fast=args.fast)
+    elapsed = time.time() - started
+    for table in tables:
+        print(table.render())
+        print()
+    verdicts = compute_verdicts(tables)
+    for line in render_verdicts(verdicts):
+        print(line)
+    written = write_results_json(
+        args.output, tables, verdicts, elapsed_seconds=elapsed
+    )
+    print(f"wrote {written} ({len(tables)} experiments, {elapsed:.1f}s)")
+    if args.strict and not all(v.ok for v in verdicts):
+        return 1
+    return 0
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.check import audit_store
+    from repro.workload import (
+        ORDERED_QUERIES,
+        UNORDERED_QUERIES,
+        article_corpus,
+    )
+    from repro.workload.mixer import ConcurrentWorkload
+
+    pooled = args.mode == "pooled"
+    store = open_store(args.db, args.encoding, None, pooled=pooled)
+    try:
+        documents = store.documents()
+        if documents:
+            doc = documents[-1].doc
+        else:
+            doc = store.load(
+                article_corpus(articles=args.articles),
+                name="serve-corpus",
+            )
+            _commit(store)
+        if pooled:
+            store.enable_write_queue(max_batch=args.max_batch)
+        workload = ConcurrentWorkload(
+            store, doc, ORDERED_QUERIES + UNORDERED_QUERIES
+        )
+        result = workload.run(
+            args.readers, args.duration, writer=not args.no_writer
+        )
+        print(
+            f"mode={args.mode} readers={result.readers} "
+            f"writer={'on' if result.writer else 'off'} "
+            f"duration={result.duration_seconds:.2f}s"
+        )
+        print(f"read throughput:  {result.read_ops_per_second:,.1f} ops/s "
+              f"({result.read_operations} ops)")
+        print(f"write throughput: {result.write_ops_per_second:,.1f} ops/s "
+              f"({result.write_operations} ops)")
+        queue = store.write_queue
+        if queue is not None:
+            print(
+                f"group commit: {queue.operations} op(s) in "
+                f"{queue.batches} batch(es), "
+                f"{queue.grouped_operations} grouped"
+            )
+        failed = False
+        for error in result.read_errors:
+            print(f"reader error: {error}", file=sys.stderr)
+            failed = True
+        if result.write_error:
+            print(f"writer error: {result.write_error}", file=sys.stderr)
+            failed = True
+        violations = audit_store(store)
+        if violations:
+            for violation in violations:
+                print(violation, file=sys.stderr)
+            print(f"-- {len(violations)} invariant violation(s)",
+                  file=sys.stderr)
+            failed = True
+        else:
+            print("audit: clean")
+        return 1 if failed else 0
+    finally:
+        store.close()
 
 
 # -- parser -------------------------------------------------------------------
@@ -459,12 +593,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--snapshot-fault-rate", type=float, default=0.25,
                    help="fraction of minidb checkpoints interrupted "
                         "mid-save (default 0.25)")
+    p.add_argument("--writer-batches", type=int, default=2,
+                   help="also crash the group-commit writer mid-batch "
+                        "this many times per cell on the pooled sqlite "
+                        "backend (0 disables; default 2)")
     p.set_defaults(func=cmd_crashtest)
 
     p = sub.add_parser("experiments",
-                       help="run the E1-E11 experiment suite")
+                       help="run the E1-E14 experiment suite")
     p.add_argument("--fast", action="store_true")
     p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the experiment suite and write machine-readable "
+             "results (tables + shape verdicts) as JSON",
+    )
+    p.add_argument("--fast", action="store_true",
+                   help="reduced sizes (quick smoke run)")
+    p.add_argument("--output", default="BENCH_results.json",
+                   help="results file (default BENCH_results.json)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 when any shape verdict fails")
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="concurrent-serving throughput: N reader threads plus one "
+             "writer against a file-backed store",
+    )
+    p.add_argument("--db", required=True,
+                   help="SQLite store file (created and seeded with an "
+                        "article corpus when empty)")
+    p.add_argument("--mode", choices=("pooled", "serialized"),
+                   default="pooled",
+                   help="pooled WAL connections + write queue, or the "
+                        "serialized shared connection (default pooled)")
+    p.add_argument("--readers", type=int, default=4,
+                   help="reader threads (default 4)")
+    p.add_argument("--duration", type=float, default=1.0,
+                   help="seconds to run (default 1.0)")
+    p.add_argument("--articles", type=int, default=12,
+                   help="corpus size when seeding an empty store "
+                        "(default 12)")
+    p.add_argument("--encoding", choices=sorted(ENCODINGS), default=None,
+                   help="order encoding when seeding an empty store")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="group-commit batch cap (default 16)")
+    p.add_argument("--no-writer", action="store_true",
+                   help="readers only, no background writer")
+    p.set_defaults(func=cmd_serve_bench)
 
     return parser
 

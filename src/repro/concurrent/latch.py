@@ -1,0 +1,115 @@
+"""A readers-writer latch for the minidb engine.
+
+Many readers may hold the latch simultaneously; a writer holds it
+exclusively.  The latch is *writer-preferring* (a waiting writer blocks
+new readers, so a steady read stream cannot starve the single writer)
+and *writer-reentrant*: the thread that holds the write latch may
+acquire either side again without deadlocking, which lets a transaction
+(write latch held from BEGIN to COMMIT/ROLLBACK) freely run the SELECTs
+its own statements need.
+
+Read acquisitions are deliberately *not* reentrant across a waiting
+writer (a reader re-entering while a writer queues would deadlock);
+engine read paths take the latch exactly once per statement.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+
+class RWLatch:
+    """A writer-preferring, writer-reentrant readers-writer latch."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: Optional[int] = None
+        self._writer_depth = 0
+        self._waiting_writers = 0
+
+    # -- shared (read) side ------------------------------------------------
+
+    def acquire_read(self) -> None:
+        ident = threading.get_ident()
+        with self._cond:
+            if self._writer == ident:
+                # The write owner reads under its own exclusive hold.
+                self._writer_depth += 1
+                return
+            while self._writer is not None or self._waiting_writers:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        ident = threading.get_ident()
+        with self._cond:
+            if self._writer == ident:
+                self._writer_depth -= 1
+                return
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- exclusive (write) side --------------------------------------------
+
+    def acquire_write(self) -> None:
+        ident = threading.get_ident()
+        with self._cond:
+            if self._writer == ident:
+                self._writer_depth += 1
+                return
+            self._waiting_writers += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer = ident
+            self._writer_depth = 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            if self._writer != threading.get_ident():
+                raise RuntimeError(
+                    "release_write() by a thread that does not hold "
+                    "the write latch"
+                )
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    # -- introspection -----------------------------------------------------
+
+    def held_exclusively_by_me(self) -> bool:
+        """Cheap check (no lock) that this thread holds the write side.
+
+        Used as a mutation-path assertion in the heap tables; reading
+        one attribute is atomic enough for a sanity check.
+        """
+        return self._writer == threading.get_ident()
+
+    @property
+    def active_readers(self) -> int:
+        return self._readers
+
+    # -- context managers --------------------------------------------------
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

@@ -1,0 +1,209 @@
+"""A bounded connection pool for per-thread database connections.
+
+The pool hands out connections produced by a caller-supplied factory
+(which is where sqlite pragmas, the busy timeout, and the Dewey/ORDPATH
+scalar functions are configured — every pooled connection is
+interchangeable).  Two checkout modes exist:
+
+* :meth:`connection` — a per-statement scoped checkout: take an idle
+  connection (or create one, up to ``capacity``), run one statement,
+  return it.  Under load each thread effectively keeps reusing the same
+  connection without ever pinning it.
+* :meth:`pin` / :meth:`unpin` — a transaction pins one connection to
+  the calling thread from BEGIN to COMMIT/ROLLBACK, so every statement
+  of the transaction runs on the same connection; :meth:`connection`
+  calls from the pinning thread return the pinned connection.
+
+When every connection is checked out, further checkouts block up to
+``acquire_timeout`` seconds and then raise
+:class:`~repro.errors.PoolExhaustedError`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Generic, Iterator, Optional, TypeVar
+
+from repro.errors import ConcurrencyError, PoolExhaustedError
+
+C = TypeVar("C")
+
+
+class ConnectionPool(Generic[C]):
+    """A bounded pool of connections created by *factory*."""
+
+    def __init__(
+        self,
+        factory: Callable[[], C],
+        capacity: int = 8,
+        acquire_timeout: float = 30.0,
+        closer: Optional[Callable[[C], None]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._factory = factory
+        self._closer = closer or _default_closer
+        self.capacity = capacity
+        self.acquire_timeout = acquire_timeout
+        self._cond = threading.Condition()
+        self._idle: list[C] = []
+        self._all: list[C] = []
+        self._pinned: dict[int, C] = {}
+        self._total = 0
+        self._closed = False
+        #: Checkout statistics (for tests and the serve-bench report).
+        self.created = 0
+        self.reused = 0
+
+    # -- checkout / checkin ------------------------------------------------
+
+    def _checkout(self) -> C:
+        deadline: Optional[float] = None
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise ConcurrencyError("connection pool is closed")
+                if self._idle:
+                    self.reused += 1
+                    return self._idle.pop()
+                if self._total < self.capacity:
+                    self._total += 1
+                    break
+                if deadline is None:
+                    deadline = (
+                        threading.TIMEOUT_MAX
+                        if self.acquire_timeout is None
+                        else _now() + self.acquire_timeout
+                    )
+                remaining = deadline - _now()
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    raise PoolExhaustedError(
+                        f"no connection free after "
+                        f"{self.acquire_timeout}s (capacity "
+                        f"{self.capacity}, all checked out)"
+                    )
+        try:
+            connection = self._factory()
+        except BaseException:
+            with self._cond:
+                self._total -= 1
+                self._cond.notify()
+            raise
+        with self._cond:
+            self._all.append(connection)
+            self.created += 1
+        return connection
+
+    def _checkin(self, connection: C) -> None:
+        with self._cond:
+            if self._closed:
+                self._discard(connection)
+                return
+            self._idle.append(connection)
+            self._cond.notify()
+
+    def _discard(self, connection: C) -> None:
+        # Caller holds self._cond.
+        self._total -= 1
+        if connection in self._all:
+            self._all.remove(connection)
+        try:
+            self._closer(connection)
+        except Exception:
+            pass
+        self._cond.notify()
+
+    # -- public API --------------------------------------------------------
+
+    @contextmanager
+    def connection(self) -> Iterator[C]:
+        """Scoped checkout; the pinning thread gets its pinned one."""
+        pinned = self._pinned.get(threading.get_ident())
+        if pinned is not None:
+            yield pinned
+            return
+        connection = self._checkout()
+        try:
+            yield connection
+        finally:
+            self._checkin(connection)
+
+    def pin(self) -> C:
+        """Pin a connection to the calling thread (transaction start)."""
+        ident = threading.get_ident()
+        if ident in self._pinned:
+            raise ConcurrencyError(
+                "thread already has a pinned connection"
+            )
+        connection = self._checkout()
+        self._pinned[ident] = connection
+        return connection
+
+    def pinned(self) -> Optional[C]:
+        """The calling thread's pinned connection, if any."""
+        return self._pinned.get(threading.get_ident())
+
+    def unpin(self) -> None:
+        """Release the calling thread's pinned connection to the pool."""
+        connection = self._pinned.pop(threading.get_ident(), None)
+        if connection is not None:
+            self._checkin(connection)
+
+    @property
+    def size(self) -> int:
+        """Connections currently alive (idle + checked out)."""
+        with self._cond:
+            return self._total
+
+    @property
+    def idle(self) -> int:
+        with self._cond:
+            return len(self._idle)
+
+    def close(self) -> None:
+        """Drain and close every idle connection; later checkins close
+        their connection too, and further checkouts fail."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            idle, self._idle = self._idle, []
+            for connection in idle:
+                self._total -= 1
+                if connection in self._all:
+                    self._all.remove(connection)
+            self._cond.notify_all()
+        for connection in idle:
+            try:
+                self._closer(connection)
+            except Exception:
+                pass
+
+    def abandon(self) -> None:
+        """Abruptly close *every* connection, pinned or checked out —
+        the process-death simulation used by the fault injector."""
+        with self._cond:
+            self._closed = True
+            all_connections, self._all = self._all, []
+            self._idle = []
+            self._pinned = {}
+            self._total = 0
+            self._cond.notify_all()
+        for connection in all_connections:
+            try:
+                self._closer(connection)
+            except Exception:
+                pass
+
+
+def _default_closer(connection) -> None:
+    close = getattr(connection, "close", None)
+    if close is not None:
+        close()
+
+
+def _now() -> float:
+    import time
+
+    return time.monotonic()

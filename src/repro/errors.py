@@ -98,6 +98,21 @@ class TransientStorageError(StorageError):
         super().__init__(message)
 
 
+class ConcurrencyError(StorageError):
+    """Base class for errors in the concurrent-serving layer
+    (:mod:`repro.concurrent`): pools, write queues, latches."""
+
+
+class PoolExhaustedError(ConcurrencyError):
+    """No pooled connection became available within the acquire
+    timeout (every connection is checked out or pinned)."""
+
+
+class WriteQueueClosedError(ConcurrencyError):
+    """An update was submitted to a write queue that is closed, or
+    whose writer thread died (e.g. the backend crashed mid-batch)."""
+
+
 class EncodingError(StorageError):
     """Invalid order-encoding operation (e.g. exhausted key space)."""
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional, Sequence, Union
 
+from repro.concurrent.latch import RWLatch
 from repro.core.dewey import (
     dewey_depth_bytes,
     dewey_local_bytes,
@@ -45,7 +46,12 @@ class MiniDb:
     """One in-memory minidb database instance."""
 
     def __init__(self) -> None:
-        self.catalog = Catalog()
+        #: Readers-writer latch: SELECTs run concurrently under the
+        #: shared side; DML/DDL (and whole transactions, BEGIN through
+        #: COMMIT/ROLLBACK) hold the exclusive side.  Heap tables carry
+        #: a reference so unlatched mutations fail loudly.
+        self.latch = RWLatch()
+        self.catalog = Catalog(latch=self.latch)
         self.stats = Stats()
         self.functions: dict[str, Callable] = dict(BUILTIN_SCALARS)
         self._ast_cache: dict[str, Statement] = {}
@@ -102,18 +108,27 @@ class MiniDb:
                 return Result()
         statement = self._parse(sql) if isinstance(sql, str) else sql
         params = tuple(params)
-        if isinstance(statement, (Select, Union_)) and isinstance(sql, str):
-            key = (sql, self.catalog.version)
-            plan = self._plan_cache.get(key)
-            if plan is None:
-                plan = self._runner.compiler().compile_select(statement)
-                if len(self._plan_cache) < 4096:
-                    self._plan_cache[key] = plan
-            self.stats.statements += 1
-            state = ExecState(params=params, stats=self.stats)
-            rows = list(plan.rows({}, state))
-            return Result(plan.columns, rows, -1)
-        return self._runner.run(statement, params)
+        if isinstance(statement, (Select, Union_)):
+            with self.latch.read():
+                if isinstance(sql, str):
+                    key = (sql, self.catalog.version)
+                    plan = self._plan_cache.get(key)
+                    if plan is None:
+                        plan = self._runner.compiler().compile_select(
+                            statement
+                        )
+                        if len(self._plan_cache) < 4096:
+                            self._plan_cache[key] = plan
+                else:
+                    plan = self._runner.compiler().compile_select(
+                        statement
+                    )
+                self.stats.statements += 1
+                state = ExecState(params=params, stats=self.stats)
+                rows = list(plan.rows({}, state))
+                return Result(plan.columns, rows, -1)
+        with self.latch.write():
+            return self._runner.run(statement, params)
 
     def executemany(
         self, sql: str, param_rows: Iterable[Sequence]
@@ -123,10 +138,11 @@ class MiniDb:
         if isinstance(statement, (Select, Union_)):
             raise ExecutionError("executemany() does not accept SELECT")
         total = 0
-        for params in param_rows:
-            result = self._runner.run(statement, tuple(params))
-            if result.rowcount > 0:
-                total += result.rowcount
+        with self.latch.write():
+            for params in param_rows:
+                result = self._runner.run(statement, tuple(params))
+                if result.rowcount > 0:
+                    total += result.rowcount
         return Result(rowcount=total)
 
     def executescript(self, script: str) -> None:
@@ -152,8 +168,16 @@ class MiniDb:
     # -- transactions ---------------------------------------------------------
 
     def begin(self) -> None:
-        """Start a transaction: row mutations are journalled for undo."""
+        """Start a transaction: row mutations are journalled for undo.
+
+        Acquires the write latch, held until :meth:`commit` or
+        :meth:`rollback` — a second writer blocks here, and readers
+        wait for the commit instead of observing a half-applied
+        transaction.
+        """
+        self.latch.acquire_write()
         if self._runner.journal is not None:
+            self.latch.release_write()
             raise ExecutionError("transaction already in progress")
         self._runner.journal = []
 
@@ -162,6 +186,7 @@ class MiniDb:
         if self._runner.journal is None:
             raise ExecutionError("no transaction in progress")
         self._runner.journal = None
+        self.latch.release_write()
 
     def rollback(self) -> None:
         """Undo every row mutation made since :meth:`begin`."""
@@ -169,17 +194,20 @@ class MiniDb:
         if journal is None:
             raise ExecutionError("no transaction in progress")
         self._runner.journal = None
-        for kind, table, rowid, old_row in reversed(journal):
-            if kind == "insert":
-                table.delete(rowid)
-            elif kind == "delete":
-                # Restore the tombstoned slot and its index entries.
-                table.rows[rowid] = old_row
-                table.live_count += 1
-                for index in table.indexes:
-                    index.insert(old_row, rowid)
-            else:  # update
-                table.update(rowid, old_row)
+        try:
+            for kind, table, rowid, old_row in reversed(journal):
+                if kind == "insert":
+                    table.delete(rowid)
+                elif kind == "delete":
+                    # Restore the tombstoned slot and its index entries.
+                    table.rows[rowid] = old_row
+                    table.live_count += 1
+                    for index in table.indexes:
+                        index.insert(old_row, rowid)
+                else:  # update
+                    table.update(rowid, old_row)
+        finally:
+            self.latch.release_write()
 
     @property
     def in_transaction(self) -> bool:
@@ -190,11 +218,14 @@ class MiniDb:
     def save(self, path) -> None:
         """Write a snapshot of this database to *path*.
 
-        See :mod:`repro.minidb.persist` for the format.
+        Takes the read latch so the snapshot is a consistent cut even
+        while writer threads are active.  See
+        :mod:`repro.minidb.persist` for the format.
         """
         from repro.minidb import persist
 
-        persist.save(self, path)
+        with self.latch.read():
+            persist.save(self, path)
 
     @classmethod
     def open(cls, path) -> "MiniDb":

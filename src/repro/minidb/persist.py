@@ -229,6 +229,11 @@ def verify_snapshot(path: Union[str, Path]) -> bytes:
 def _load_verified(path: Union[str, Path]) -> MiniDb:
     body = verify_snapshot(path)
     db = MiniDb()
+    with db.latch.write():
+        return _populate(db, body)
+
+
+def _populate(db: MiniDb, body: bytes) -> MiniDb:
     src = io.BytesIO(body)
     _read_exact(src, 4)  # magic, already verified
     (table_count,) = struct.unpack(">I", _read_exact(src, 4))

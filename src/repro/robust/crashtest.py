@@ -28,8 +28,16 @@ through a store wired with a :class:`~repro.robust.retry.RetryPolicy`
 while the backend injects transient BUSY-style faults: the stream must
 complete with no caller-visible errors and a clean final audit.
 
-``repro crashtest`` exposes the harness on the command line; failures
-carry a replaying command line just like fuzz failures.
+:func:`run_writer_crashtest` extends the harness to the concurrent
+write path: a pooled store with a single-writer group-commit queue
+stages a whole batch of insert operations, the backend is armed to
+crash at a sampled statement inside the batch transaction, and after
+the simulated process death the file is reopened and must audit clean
+at **exactly** the pre-batch state (the group transaction rolled back
+wholly) — never a partially applied batch.
+
+``repro crashtest`` exposes both harnesses on the command line;
+failures carry a replaying command line just like fuzz failures.
 """
 
 from __future__ import annotations
@@ -120,9 +128,17 @@ class CrashFailure:
     #: invariant | atomicity | determinism | replay | transient | crash
     kind: str
     detail: str
+    #: "ops" = per-operation harness, "writer" = writer-crash harness.
+    mode: str = "ops"
 
     def repro_command(self) -> str:
         """A CLI line that replays exactly this cell."""
+        if self.mode == "writer":
+            return (
+                f"repro crashtest --seeds 1 --base-seed {self.seed} "
+                f"--ops 0 --writer-batches {self.op_index or 1} "
+                f"--encodings {self.encoding} --backends sqlite"
+            )
         return (
             f"repro crashtest --seeds 1 --base-seed {self.seed} "
             f"--ops {self.op_index or 1} --gaps {self.gap} "
@@ -150,10 +166,20 @@ class CrashTestReport:
     crashes: int = 0
     recoveries: int = 0
     transient_streams: int = 0
+    writer_batches: int = 0
     failures: list[CrashFailure] = field(default_factory=list)
 
     def ok(self) -> bool:
         return not self.failures
+
+    def merge(self, other: "CrashTestReport") -> None:
+        self.cells += other.cells
+        self.operations += other.operations
+        self.crashes += other.crashes
+        self.recoveries += other.recoveries
+        self.transient_streams += other.transient_streams
+        self.writer_batches += other.writer_batches
+        self.failures.extend(other.failures)
 
     def summary(self) -> str:
         status = "OK" if self.ok() else f"{len(self.failures)} FAILURE(S)"
@@ -161,7 +187,8 @@ class CrashTestReport:
             f"crashtest: {self.cells} cell(s), {self.operations} "
             f"operation(s), {self.crashes} injected crash(es), "
             f"{self.recoveries} recovery check(s), "
-            f"{self.transient_streams} transient stream(s): {status}"
+            f"{self.transient_streams} transient stream(s), "
+            f"{self.writer_batches} writer batch(es): {status}"
         )
 
 
@@ -526,3 +553,262 @@ def run_crashtest(
             if stream_failure is not None:
                 report.failures.append(stream_failure)
     return report
+
+
+# -- writer-crash harness (group-commit atomicity) -----------------------
+
+
+def _open_pooled(
+    path: Path, encoding: str
+) -> tuple[XmlStore, FaultInjectingBackend]:
+    """A pooled file store behind a fault injector (counter reset)."""
+    from repro.backends.pooled_sqlite import PooledSqliteBackend
+
+    backend = FaultInjectingBackend(PooledSqliteBackend(str(path)))
+    store = XmlStore(backend=backend, encoding=encoding)
+    backend.arm(None)  # schema bootstrap must not consume the plan
+    return store, backend
+
+
+def _clone_db(path: Path, clone: Path) -> None:
+    for suffix in ("", "-wal", "-shm"):
+        target = Path(str(clone) + suffix)
+        target.unlink(missing_ok=True)
+        source = Path(str(path) + suffix)
+        if source.exists():
+            shutil.copyfile(source, target)
+
+
+def _run_writer_batch(
+    store: XmlStore,
+    backend: FaultInjectingBackend,
+    doc: int,
+    root_id: int,
+    start_index: int,
+    batch_size: int,
+    plan: Optional[FaultPlan],
+) -> tuple[list, int]:
+    """Stage *batch_size* inserts, drain them as ONE group commit.
+
+    ``autostart=False`` queues every operation before the writer thread
+    exists, so the drain is guaranteed to group them into a single
+    ``BEGIN ... COMMIT``.  Returns ``(exceptions, statements)`` — the
+    exception each future raised (empty on success) and the statement
+    count the batch executed.
+    """
+    from repro.workload.update_ops import make_fragment
+
+    queue = store.enable_write_queue(
+        max_batch=batch_size, autostart=False
+    )
+    futures = []
+    for i in range(batch_size):
+
+        def operation(i: int = i):
+            fragment = make_fragment("wc", payload_nodes=2)
+            return store.updates.insert(
+                doc, root_id, start_index + i, fragment
+            )
+
+        futures.append(queue.submit(operation))
+    backend.arm(plan)
+    queue.start()
+    errors = []
+    for future in futures:
+        try:
+            future.result(timeout=60)
+        except BaseException as exc:
+            errors.append(exc)
+    return errors, backend.statements_executed
+
+
+def run_writer_crashtest(
+    seeds: int = 1,
+    batches: int = 2,
+    batch_size: int = 4,
+    encodings: Sequence[str] = ("global", "dewey"),
+    crashes_per_batch: int = 3,
+    base_seed: int = 0,
+    max_depth: int = 3,
+    max_children: int = 3,
+    workdir: Optional[Union[str, Path]] = None,
+) -> CrashTestReport:
+    """Crash the single writer mid-group-commit; reopen; audit.
+
+    Each cell is a pooled file-backed sqlite store with the write
+    queue.  Per batch round: a whole batch of deterministic inserts is
+    staged, its statement count measured on a scratch clone, then for
+    sampled crash points the real store's writer is killed inside the
+    batch transaction.  The reopened file must audit clean at exactly
+    the pre-batch state — group commit makes the whole batch one unit
+    of atomicity, so no partially applied batch may ever survive.
+    """
+    report = CrashTestReport()
+    for cell_index in range(seeds):
+        seed = base_seed + cell_index
+        for encoding in encodings:
+            report.cells += 1
+            failure = None
+            with tempfile.TemporaryDirectory(
+                dir=None if workdir is None else str(workdir),
+                prefix="writer-crash-",
+            ) as cell_dir:
+                failure = _run_writer_cell(
+                    seed, encoding, batches, batch_size,
+                    crashes_per_batch, max_depth, max_children,
+                    Path(cell_dir), report,
+                )
+            if failure is not None:
+                report.failures.append(failure)
+    return report
+
+
+def _run_writer_cell(
+    seed: int,
+    encoding: str,
+    batches: int,
+    batch_size: int,
+    crashes_per_batch: int,
+    max_depth: int,
+    max_children: int,
+    workdir: Path,
+    report: CrashTestReport,
+) -> Optional[CrashFailure]:
+    path = workdir / "store.db"
+    clone = workdir / "scratch.db"
+
+    def failure(batch_index, crash_at, kind, detail) -> CrashFailure:
+        return CrashFailure(
+            seed=seed, gap=1, backend="sqlite", encoding=encoding,
+            op_index=batch_index, crash_at=crash_at,
+            op=f"writer batch of {batch_size} insert(s)", kind=kind,
+            detail=detail, mode="writer",
+        )
+
+    document = random_document(
+        seed, max_depth=max_depth, max_children=max_children
+    )
+    store, _ = _open_pooled(path, encoding)
+    doc = store.load(document)
+    root_rows = [
+        row for row in store.fetch_children(doc, 0)
+        if row["kind"] == "elem"
+    ]
+    root_id = root_rows[0]["id"]
+    start_index = len(store.fetch_children(doc, root_id))
+    store.close()
+
+    crash_rng = random.Random(seed * 104729 + 17)
+
+    for batch_index in range(1, batches + 1):
+        report.writer_batches += 1
+        report.operations += batch_size
+
+        # Pre-batch state, from the durable file.
+        store, _ = _open_pooled(path, encoding)
+        pre = _state(store, doc)
+        store.close()
+
+        # Measure the batch on a scratch clone: statements + post state.
+        _clone_db(path, clone)
+        scratch, counter = _open_pooled(clone, encoding)
+        errors, statements = _run_writer_batch(
+            scratch, counter, doc, root_id, start_index,
+            batch_size, plan=None,
+        )
+        if errors:
+            scratch.close()
+            return failure(
+                batch_index, 0, "replay",
+                f"clean batch raised on the clone: {errors[0]!r}",
+            )
+        post = _state(scratch, doc)
+        scratch.close()
+
+        # Crash trials inside the batch transaction.
+        if crashes_per_batch <= 0 or crashes_per_batch >= statements:
+            points = list(range(1, statements + 1))
+        else:
+            points = sorted(
+                crash_rng.sample(
+                    range(1, statements + 1), crashes_per_batch
+                )
+            )
+        for crash_at in points:
+            store, injector = _open_pooled(path, encoding)
+            errors, _ = _run_writer_batch(
+                store, injector, doc, root_id, start_index, batch_size,
+                plan=FaultPlan(crash_at_statement=crash_at),
+            )
+            report.crashes += 1
+            crashed = bool(errors) and all(
+                isinstance(e, SimulatedCrash) for e in errors
+            )
+            store.close()
+            if not crashed:
+                return failure(
+                    batch_index, crash_at, "determinism",
+                    f"crash point {crash_at} <= measured statement "
+                    f"count {statements} but the batch completed "
+                    f"({len(errors)} error(s))",
+                )
+            if len(errors) != batch_size:
+                return failure(
+                    batch_index, crash_at, "crash",
+                    f"only {len(errors)} of {batch_size} futures saw "
+                    "the crash — some submitter would hang",
+                )
+
+            # Recover: reopen the file; the batch must have vanished
+            # wholly (the group transaction never committed).
+            recovered, _ = _open_pooled(path, encoding)
+            detail = _audit_detail(recovered, doc)
+            if detail is not None:
+                recovered.close()
+                return failure(
+                    batch_index, crash_at, "invariant", detail
+                )
+            state = _state(recovered, doc)
+            recovered.close()
+            report.recoveries += 1
+            if state != pre:
+                detail = (
+                    "recovered state matches the post-batch document "
+                    "although the group transaction never committed"
+                    if state == post
+                    else "recovered state equals neither the "
+                         "pre-batch nor the post-batch document"
+                )
+                return failure(
+                    batch_index, crash_at, "atomicity", detail
+                )
+
+        # Apply the batch for real and verify the clean replay.
+        store, backend = _open_pooled(path, encoding)
+        errors, _ = _run_writer_batch(
+            store, backend, doc, root_id, start_index, batch_size,
+            plan=None,
+        )
+        if errors:
+            store.close()
+            return failure(
+                batch_index, 0, "replay",
+                f"clean batch raised: {errors[0]!r}",
+            )
+        queue = store.write_queue
+        if queue is not None and queue.batches != 1:
+            store.close()
+            return failure(
+                batch_index, 0, "determinism",
+                f"expected one group commit, writer used "
+                f"{queue.batches} batch(es)",
+            )
+        state = _state(store, doc)
+        store.close()
+        if state != post:
+            return failure(
+                batch_index, 0, "replay",
+                "clean replay diverged from the measured post state",
+            )
+        start_index += batch_size
+    return None

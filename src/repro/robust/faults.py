@@ -118,6 +118,7 @@ class FaultInjectingBackend(Backend):
         self.plan = plan
         self.name = inner.name
         self.supports_if_not_exists = inner.supports_if_not_exists
+        self.pooled = getattr(inner, "pooled", False)
         self.statements_executed = 0
         self.crashed = False
 
@@ -144,8 +145,15 @@ class FaultInjectingBackend(Backend):
         self.crashed = True
         # Discard the in-memory engine the way a process death would:
         # sqlite's connection closes abruptly (its open transaction is
-        # lost; the journal/WAL recovers on reopen) and the minidb
-        # engine object is dropped on the floor.
+        # lost; the journal/WAL recovers on reopen), a pooled backend
+        # abandons every connection at once, and the minidb engine
+        # object is dropped on the floor.
+        abandon = getattr(self.inner, "abandon", None)
+        if abandon is not None:
+            try:
+                abandon()
+            except Exception:
+                pass
         conn = getattr(self.inner, "_conn", None)
         if conn is not None:
             try:

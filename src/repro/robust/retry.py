@@ -50,7 +50,11 @@ class RetryPolicy:
     ``attempts`` counts every try including the first; delays grow as
     ``base_delay * multiplier**(attempt-1)`` capped at ``max_delay``,
     each scaled by a random factor in ``[1-jitter, 1]`` so contending
-    workers decorrelate.  ``sleep`` is injectable for tests.
+    workers decorrelate.  ``sleep`` is injectable for tests, and so is
+    the jitter source: pass ``rng`` to share one RNG across policies,
+    or ``seed`` for a private seeded one — either way the backoff
+    schedule is reproducible, never drawn from module-level
+    ``random``.
     """
 
     attempts: int = 5
@@ -59,6 +63,7 @@ class RetryPolicy:
     multiplier: float = 2.0
     jitter: float = 0.5
     seed: Optional[int] = None
+    rng: Optional[random.Random] = None
     sleep: Callable[[float], None] = time.sleep
     classify: Callable[[BaseException], bool] = field(
         default=is_transient_error
@@ -67,7 +72,8 @@ class RetryPolicy:
     def __post_init__(self) -> None:
         if self.attempts < 1:
             raise ValueError(f"attempts must be >= 1, got {self.attempts}")
-        self._rng = random.Random(self.seed)
+        self._rng = self.rng if self.rng is not None \
+            else random.Random(self.seed)
 
     def backoff_delay(self, attempt: int) -> float:
         """The jittered delay after failed attempt number *attempt*."""

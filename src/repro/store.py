@@ -40,6 +40,7 @@ from repro.errors import StorageError
 from repro.xmldom import Document, parse
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.concurrent.writequeue import WriteQueue
     from repro.robust.retry import RetryPolicy
 
 #: How many ids one ``IN (...)`` batch may carry during order resolution.
@@ -121,6 +122,8 @@ class XmlStore:
         if gap < 1:
             raise StorageError(f"gap must be >= 1, got {gap}")
         self.retry = retry
+        #: Optional single-writer queue; see :meth:`enable_write_queue`.
+        self.write_queue: Optional["WriteQueue"] = None
         self.backend = (
             make_backend(backend) if isinstance(backend, str) else backend
         )
@@ -177,8 +180,23 @@ class XmlStore:
         *whole* transaction — but only from outside the outermost
         scope, where the rollback has already undone every partial
         effect.  Nested calls just join the enclosing transaction.
+
+        With a :meth:`write queue <enable_write_queue>` attached, the
+        operation is shipped to the single writer thread instead (the
+        caller blocks for the result), where adjacent operations group
+        into one commit; calls already on the writer thread, or nested
+        inside this thread's own transaction, run locally and join it.
         """
         backend = self.backend
+
+        queue = self.write_queue
+        if (
+            queue is not None
+            and queue.accepting()
+            and not queue.on_writer_thread()
+            and not self._in_own_transaction()
+        ):
+            return queue.call(operation)
 
         def attempt() -> _T:
             with backend.transaction():
@@ -193,6 +211,40 @@ class XmlStore:
             self.backend._tx_depth > 0
             and self.backend._tx_owner == threading.get_ident()
         )
+
+    # -- concurrent serving ------------------------------------------------
+
+    def enable_write_queue(
+        self, max_batch: int = 16, autostart: bool = True
+    ) -> "WriteQueue":
+        """Funnel this store's update transactions through one writer.
+
+        Afterwards every top-level :meth:`transactionally` call —
+        loads, inserts, deletes, value updates — is executed on a
+        dedicated writer thread, with adjacent operations group-
+        committed in one ``BEGIN ... COMMIT``.  Reads are unaffected:
+        on a pooled backend they keep running concurrently on the
+        calling threads.  Returns the queue (idempotent).
+        """
+        if self.write_queue is None:
+            from repro.concurrent.writequeue import WriteQueue
+
+            self.write_queue = WriteQueue(
+                self, max_batch=max_batch, autostart=autostart
+            )
+        return self.write_queue
+
+    def close(self) -> None:
+        """Drain the write queue (if any) and close the backend."""
+        if self.write_queue is not None:
+            self.write_queue.close()
+        self.backend.close()
+
+    def __enter__(self) -> "XmlStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     @property
     def node_table(self) -> str:

@@ -7,7 +7,12 @@ from repro.workload.docgen import (
     random_document,
     sized_article_corpus,
 )
-from repro.workload.mixer import MixedWorkload, MixedWorkloadResult
+from repro.workload.mixer import (
+    ConcurrentRunResult,
+    ConcurrentWorkload,
+    MixedWorkload,
+    MixedWorkloadResult,
+)
 from repro.workload.queries import (
     ALL_QUERIES,
     CATALOG_QUERIES,
@@ -24,6 +29,8 @@ from repro.workload.update_ops import (
 __all__ = [
     "ALL_QUERIES",
     "CATALOG_QUERIES",
+    "ConcurrentRunResult",
+    "ConcurrentWorkload",
     "MixedWorkload",
     "MixedWorkloadResult",
     "ORDERED_QUERIES",

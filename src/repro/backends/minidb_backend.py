@@ -6,6 +6,7 @@ from typing import Iterable, Sequence
 
 from repro.backends.base import Backend, BackendResult
 from repro.minidb import MiniDb
+from repro.obs import METRICS
 
 
 class MiniDbBackend(Backend):
@@ -18,12 +19,19 @@ class MiniDbBackend(Backend):
 
     def execute(self, sql: str, params: Sequence = ()) -> BackendResult:
         result = self.db.execute(sql, tuple(params))
+        METRICS.inc("backend.statements")
+        METRICS.inc("backend.rows_read", len(result.rows))
+        if result.rowcount > 0 and not result.rows:
+            METRICS.inc("backend.rows_written", result.rowcount)
         return BackendResult(rows=result.rows, rowcount=result.rowcount)
 
     def executemany(
         self, sql: str, param_rows: Iterable[Sequence]
     ) -> BackendResult:
         result = self.db.executemany(sql, param_rows)
+        METRICS.inc("backend.statements")
+        if result.rowcount > 0:
+            METRICS.inc("backend.rows_written", result.rowcount)
         return BackendResult(rowcount=result.rowcount)
 
     def rows_written(self) -> int:

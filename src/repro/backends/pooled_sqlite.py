@@ -26,6 +26,7 @@ from repro.backends.base import Backend, BackendResult
 from repro.backends.sqlite_backend import connect_sqlite
 from repro.concurrent.pool import ConnectionPool
 from repro.errors import StorageError
+from repro.obs import METRICS
 
 
 class PooledSqliteBackend(Backend):
@@ -98,6 +99,9 @@ class PooledSqliteBackend(Backend):
             if rowcount > 0 and not rows:
                 with self._written_lock:
                     self._rows_written += rowcount
+                METRICS.inc("backend.rows_written", rowcount)
+            METRICS.inc("backend.statements")
+            METRICS.inc("backend.rows_read", len(rows))
             return BackendResult(rows=[tuple(r) for r in rows],
                                  rowcount=rowcount)
 
@@ -111,6 +115,8 @@ class PooledSqliteBackend(Backend):
             if cursor.rowcount > 0:
                 with self._written_lock:
                     self._rows_written += cursor.rowcount
+                METRICS.inc("backend.rows_written", cursor.rowcount)
+            METRICS.inc("backend.statements")
             return BackendResult(rowcount=cursor.rowcount)
 
     def rows_written(self) -> int:

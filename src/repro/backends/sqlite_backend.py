@@ -25,6 +25,7 @@ from repro.core.ordpath import (
     ordpath_parent_bytes,
     ordpath_successor_bytes,
 )
+from repro.obs import METRICS
 
 
 def connect_sqlite(
@@ -97,6 +98,9 @@ class SqliteBackend(Backend):
             rowcount = cursor.rowcount
             if rowcount > 0 and not rows:
                 self._rows_written += rowcount
+                METRICS.inc("backend.rows_written", rowcount)
+            METRICS.inc("backend.statements")
+            METRICS.inc("backend.rows_read", len(rows))
             return BackendResult(rows=[tuple(r) for r in rows],
                                  rowcount=rowcount)
 
@@ -109,6 +113,8 @@ class SqliteBackend(Backend):
             )
             if cursor.rowcount > 0:
                 self._rows_written += cursor.rowcount
+                METRICS.inc("backend.rows_written", cursor.rowcount)
+            METRICS.inc("backend.statements")
             return BackendResult(rowcount=cursor.rowcount)
 
     def rows_written(self) -> int:

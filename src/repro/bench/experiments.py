@@ -668,42 +668,75 @@ def run_e14_concurrency(
 # ---------------------------------------------------------------------------
 
 
+def _observed(run) -> ExperimentTable:
+    """Run one experiment with metrics enabled; attach the snapshot.
+
+    Every experiment runs with the metrics registry on and freshly
+    reset, so its table carries the wall-clock time, the per-phase span
+    totals (``span.*`` histograms, in ms), and the full counter
+    snapshot — the raw material for the per-phase breakdown in
+    ``BENCH_results.json``.
+    """
+    from repro.obs import METRICS
+
+    was_enabled = METRICS.enabled
+    METRICS.reset()
+    METRICS.enabled = True
+    started = time.perf_counter()
+    try:
+        table = run()
+    finally:
+        METRICS.enabled = was_enabled
+    table.elapsed_seconds = time.perf_counter() - started
+    snapshot = METRICS.snapshot()
+    METRICS.reset()
+    table.metrics = snapshot
+    table.phase_ms = {
+        name[len("span."):]: round(hist["total"] * 1000.0, 3)
+        for name, hist in snapshot["histograms"].items()
+        if name.startswith("span.")
+    }
+    return table
+
+
 def run_all(fast: bool = False) -> list[ExperimentTable]:
     """Run the full experiment suite (smaller sizes when *fast*)."""
     if fast:
-        return [
-            run_e1_storage(sizes=(500, 2000)),
-            run_e2_loading(sizes=(500,), repeat=1),
-            run_e3_ordered_queries(articles=8, repeat=1),
-            run_e4_unordered_queries(articles=8, repeat=1),
-            run_e5_insert_position(articles=10, inserts=5),
-            run_e6_subtree_updates(articles=10, operations=4),
-            run_e7_mixed_workload(
+        runs = [
+            lambda: run_e1_storage(sizes=(500, 2000)),
+            lambda: run_e2_loading(sizes=(500,), repeat=1),
+            lambda: run_e3_ordered_queries(articles=8, repeat=1),
+            lambda: run_e4_unordered_queries(articles=8, repeat=1),
+            lambda: run_e5_insert_position(articles=10, inserts=5),
+            lambda: run_e6_subtree_updates(articles=10, operations=4),
+            lambda: run_e7_mixed_workload(
                 articles=8, operations=30, fractions=(0.0, 0.5, 1.0)
             ),
-            run_e8_reconstruction(articles=10, repeat=1),
-            run_e9_translation(),
-            run_e10_sparse_numbering(articles=8, inserts=10),
-            run_e11_ordpath(articles=6, inserts=10),
-            run_e12_scaling(sizes=(300, 1000), repeat=1),
-            run_e13_logical_io(articles=4),
-            run_e14_concurrency(
+            lambda: run_e8_reconstruction(articles=10, repeat=1),
+            lambda: run_e9_translation(),
+            lambda: run_e10_sparse_numbering(articles=8, inserts=10),
+            lambda: run_e11_ordpath(articles=6, inserts=10),
+            lambda: run_e12_scaling(sizes=(300, 1000), repeat=1),
+            lambda: run_e13_logical_io(articles=4),
+            lambda: run_e14_concurrency(
                 reader_counts=(1, 8), seconds=0.25
             ),
         ]
-    return [
-        run_e1_storage(),
-        run_e2_loading(),
-        run_e3_ordered_queries(),
-        run_e4_unordered_queries(),
-        run_e5_insert_position(),
-        run_e6_subtree_updates(),
-        run_e7_mixed_workload(),
-        run_e8_reconstruction(),
-        run_e9_translation(),
-        run_e10_sparse_numbering(),
-        run_e11_ordpath(),
-        run_e12_scaling(),
-        run_e13_logical_io(),
-        run_e14_concurrency(),
-    ]
+    else:
+        runs = [
+            run_e1_storage,
+            run_e2_loading,
+            run_e3_ordered_queries,
+            run_e4_unordered_queries,
+            run_e5_insert_position,
+            run_e6_subtree_updates,
+            run_e7_mixed_workload,
+            run_e8_reconstruction,
+            run_e9_translation,
+            run_e10_sparse_numbering,
+            run_e11_ordpath,
+            run_e12_scaling,
+            run_e13_logical_io,
+            run_e14_concurrency,
+        ]
+    return [_observed(run) for run in runs]

@@ -44,6 +44,12 @@ class ExperimentTable:
     columns: tuple[str, ...]
     rows: list[tuple] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: Filled by ``run_all``: wall-clock seconds for the experiment,
+    #: per-phase span totals (ms), and the metrics snapshot taken while
+    #: it ran.  Empty when the experiment function is called directly.
+    elapsed_seconds: Optional[float] = None
+    phase_ms: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
 
     def add_row(self, *values: object) -> None:
         if len(values) != len(self.columns):

@@ -204,6 +204,11 @@ def results_payload(
                 "columns": list(table.columns),
                 "rows": [list(row) for row in table.rows],
                 "notes": list(table.notes),
+                "elapsed_seconds": getattr(
+                    table, "elapsed_seconds", None
+                ),
+                "phase_ms": dict(getattr(table, "phase_ms", {})),
+                "metrics": dict(getattr(table, "metrics", {})),
             }
             for table in tables
         ],

@@ -375,22 +375,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.report import (
         compute_verdicts,
         render_verdicts,
+        results_payload,
         write_results_json,
     )
 
     started = time.time()
     tables = run_all(fast=args.fast)
     elapsed = time.time() - started
-    for table in tables:
-        print(table.render())
-        print()
     verdicts = compute_verdicts(tables)
-    for line in render_verdicts(verdicts):
-        print(line)
+    if args.json:
+        import json as json_module
+
+        payload = results_payload(
+            tables, verdicts, elapsed_seconds=elapsed
+        )
+        print(json_module.dumps(payload, indent=2))
+    else:
+        for table in tables:
+            print(table.render())
+            print()
+        for line in render_verdicts(verdicts):
+            print(line)
     written = write_results_json(
         args.output, tables, verdicts, elapsed_seconds=elapsed
     )
-    print(f"wrote {written} ({len(tables)} experiments, {elapsed:.1f}s)")
+    if not args.json:
+        print(f"wrote {written} ({len(tables)} experiments, "
+              f"{elapsed:.1f}s)")
     if args.strict and not all(v.ok for v in verdicts):
         return 1
     return 0
@@ -398,6 +409,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.check import audit_store
+    from repro.obs import METRICS
     from repro.workload import (
         ORDERED_QUERIES,
         UNORDERED_QUERIES,
@@ -407,6 +419,9 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
 
     pooled = args.mode == "pooled"
     store = open_store(args.db, args.encoding, None, pooled=pooled)
+    was_enabled = METRICS.enabled
+    METRICS.reset()
+    METRICS.enabled = True
     try:
         documents = store.documents()
         if documents:
@@ -441,6 +456,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                 f"{queue.batches} batch(es), "
                 f"{queue.grouped_operations} grouped"
             )
+        METRICS.enabled = was_enabled
+        _print_metrics_snapshot(METRICS.snapshot())
         failed = False
         for error in result.read_errors:
             print(f"reader error: {error}", file=sys.stderr)
@@ -459,7 +476,133 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             print("audit: clean")
         return 1 if failed else 0
     finally:
+        METRICS.enabled = was_enabled
         store.close()
+
+
+def _seed_demo_document(store: XmlStore) -> int:
+    """Load a small <items> document so trace/stats work on a fresh db."""
+    parts = ["<items>"]
+    for i in range(1, 101):
+        parts.append(
+            f"<item><name>item-{i}</name><qty>{i % 7 + 1}</qty>"
+            f"<price>{i}.50</price></item>"
+        )
+    parts.append("</items>")
+    doc = store.load("".join(parts), name="demo")
+    _commit(store)
+    print("(empty store: seeded a 100-item demo document)",
+          file=sys.stderr)
+    return doc
+
+
+def _trace_doc(store: XmlStore, requested: Optional[int]) -> int:
+    if store.documents():
+        return _resolve_doc(store, requested)
+    return _seed_demo_document(store)
+
+
+def _print_span_tree(span, depth: int = 0) -> None:
+    pad = "  " * depth
+    attrs = "".join(
+        f" {key}={value!r}" for key, value in span.attrs.items()
+    )
+    marker = "" if span.status == "ok" else f" [{span.status}]"
+    print(f"{pad}{span.name:<{24 - len(pad)}} "
+          f"{span.duration_ms:9.3f} ms{marker}{attrs}")
+    for child in span.children:
+        _print_span_tree(child, depth + 1)
+
+
+def _print_metrics_snapshot(snapshot: dict) -> None:
+    counters = snapshot.get("counters", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        print("counters:")
+        for name, value in counters.items():
+            print(f"  {name:<32} {value}")
+    if histograms:
+        print("histograms:")
+        for name, hist in histograms.items():
+            print(
+                f"  {name:<32} count={hist['count']} "
+                f"mean={hist['mean']:.6f} min={hist['min']:.6f} "
+                f"max={hist['max']:.6f}"
+            )
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import METRICS, Tracer, tracing
+
+    store = open_store(args.db, args.encoding, None)
+    doc = _trace_doc(store, args.doc)
+    if not args.cold:
+        # A warm-up run keeps one-time costs (sqlite statement
+        # preparation, page cache) out of the traced timings.
+        store.query(args.xpath, doc)
+    was_enabled = METRICS.enabled
+    METRICS.reset()
+    METRICS.enabled = True
+    tracer = Tracer()
+    try:
+        with tracing(tracer):
+            items = store.query(args.xpath, doc)
+    finally:
+        METRICS.enabled = was_enabled
+    if args.json:
+        print(tracer.to_json())
+    else:
+        for root in tracer.roots:
+            _print_span_tree(root)
+        total = tracer.total_ms()
+        leaf = sum(
+            s.duration_ms
+            for root in tracer.roots
+            for s in root.leaves()
+        )
+        if total > 0:
+            print(f"-- total {total:.3f} ms, leaf spans cover "
+                  f"{leaf:.3f} ms ({100.0 * leaf / total:.1f}%)")
+        _print_metrics_snapshot(METRICS.snapshot())
+    print(f"-- {len(items)} result(s)", file=sys.stderr)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.obs import METRICS, disable_slow_log, enable_slow_log
+
+    store = open_store(args.db, args.encoding, None)
+    doc = _trace_doc(store, args.doc)
+    xpaths = args.xpath or ["/*", "//*"]
+    was_enabled = METRICS.enabled
+    METRICS.reset()
+    METRICS.enabled = True
+    log = enable_slow_log(threshold_ms=args.slow_ms)
+    try:
+        for _ in range(args.repeat):
+            for xpath in xpaths:
+                store.query(xpath, doc)
+    finally:
+        METRICS.enabled = was_enabled
+        disable_slow_log()
+    snapshot = METRICS.snapshot()
+    if args.json:
+        print(json_module.dumps(snapshot, indent=2))
+    else:
+        print(f"ran {args.repeat} round(s) of {len(xpaths)} "
+              f"quer{'y' if len(xpaths) == 1 else 'ies'} against "
+              f"document {doc}")
+        _print_metrics_snapshot(snapshot)
+        entries = log.entries()
+        if entries:
+            print(f"slow queries (>= {log.threshold_ms:g} ms):")
+            for entry in entries:
+                print(entry.render())
+        else:
+            print(f"slow queries (>= {log.threshold_ms:g} ms): none")
+    return 0
 
 
 # -- parser -------------------------------------------------------------------
@@ -615,6 +758,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="results file (default BENCH_results.json)")
     p.add_argument("--strict", action="store_true",
                    help="exit 1 when any shape verdict fails")
+    p.add_argument("--json", action="store_true",
+                   help="print the results JSON to stdout instead of "
+                        "the rendered tables")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -643,6 +789,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-writer", action="store_true",
                    help="readers only, no background writer")
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one query under the tracer and print its span tree",
+    )
+    p.add_argument("xpath")
+    add_db(p)
+    p.add_argument("--doc", type=int, default=None)
+    p.add_argument("--encoding", choices=sorted(ENCODINGS), default=None,
+                   help="order encoding when seeding an empty store")
+    p.add_argument("--cold", action="store_true",
+                   help="skip the warm-up run (trace first execution)")
+    p.add_argument("--json", action="store_true",
+                   help="print the span tree as JSON")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "stats",
+        help="run queries with metrics + slow-query log enabled and "
+             "print the counter/histogram snapshot",
+    )
+    p.add_argument("xpath", nargs="*",
+                   help="XPath queries to run (default: /* and //*)")
+    add_db(p)
+    p.add_argument("--doc", type=int, default=None)
+    p.add_argument("--encoding", choices=sorted(ENCODINGS), default=None,
+                   help="order encoding when seeding an empty store")
+    p.add_argument("--repeat", type=int, default=5,
+                   help="rounds over the query list (default 5)")
+    p.add_argument("--slow-ms", type=float, default=1.0,
+                   help="slow-query threshold in ms (default 1.0)")
+    p.add_argument("--json", action="store_true",
+                   help="print the metrics snapshot as JSON")
+    p.set_defaults(func=cmd_stats)
 
     return parser
 

@@ -17,7 +17,10 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from time import perf_counter
 from typing import Iterator, Optional
+
+from repro.obs import METRICS
 
 
 class RWLatch:
@@ -29,6 +32,7 @@ class RWLatch:
         self._writer: Optional[int] = None
         self._writer_depth = 0
         self._waiting_writers = 0
+        self._write_acquired_at: Optional[float] = None
 
     # -- shared (read) side ------------------------------------------------
 
@@ -42,6 +46,7 @@ class RWLatch:
             while self._writer is not None or self._waiting_writers:
                 self._cond.wait()
             self._readers += 1
+            METRICS.inc("latch.read_acquires")
 
     def release_read(self) -> None:
         ident = threading.get_ident()
@@ -69,6 +74,9 @@ class RWLatch:
                 self._waiting_writers -= 1
             self._writer = ident
             self._writer_depth = 1
+            METRICS.inc("latch.write_acquires")
+            if METRICS.enabled:
+                self._write_acquired_at = perf_counter()
 
     def release_write(self) -> None:
         with self._cond:
@@ -80,6 +88,12 @@ class RWLatch:
             self._writer_depth -= 1
             if self._writer_depth == 0:
                 self._writer = None
+                if self._write_acquired_at is not None:
+                    METRICS.observe(
+                        "latch.write_hold_seconds",
+                        perf_counter() - self._write_acquired_at,
+                    )
+                    self._write_acquired_at = None
                 self._cond.notify_all()
 
     # -- introspection -----------------------------------------------------

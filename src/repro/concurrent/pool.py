@@ -26,6 +26,7 @@ from contextlib import contextmanager
 from typing import Callable, Generic, Iterator, Optional, TypeVar
 
 from repro.errors import ConcurrencyError, PoolExhaustedError
+from repro.obs import METRICS
 
 C = TypeVar("C")
 
@@ -60,15 +61,19 @@ class ConnectionPool(Generic[C]):
 
     def _checkout(self) -> C:
         deadline: Optional[float] = None
+        wait_started: Optional[float] = None
         with self._cond:
             while True:
                 if self._closed:
                     raise ConcurrencyError("connection pool is closed")
                 if self._idle:
                     self.reused += 1
+                    METRICS.inc("pool.reused")
+                    self._note_wait(wait_started)
                     return self._idle.pop()
                 if self._total < self.capacity:
                     self._total += 1
+                    self._note_wait(wait_started)
                     break
                 if deadline is None:
                     deadline = (
@@ -76,8 +81,11 @@ class ConnectionPool(Generic[C]):
                         if self.acquire_timeout is None
                         else _now() + self.acquire_timeout
                     )
+                if wait_started is None:
+                    wait_started = _now()
                 remaining = deadline - _now()
                 if remaining <= 0 or not self._cond.wait(remaining):
+                    METRICS.inc("pool.exhausted")
                     raise PoolExhaustedError(
                         f"no connection free after "
                         f"{self.acquire_timeout}s (capacity "
@@ -93,7 +101,15 @@ class ConnectionPool(Generic[C]):
         with self._cond:
             self._all.append(connection)
             self.created += 1
+        METRICS.inc("pool.created")
         return connection
+
+    @staticmethod
+    def _note_wait(wait_started: Optional[float]) -> None:
+        """Record that a checkout had to block before succeeding."""
+        if wait_started is not None:
+            METRICS.inc("pool.waits")
+            METRICS.observe("pool.wait_seconds", _now() - wait_started)
 
     def _checkin(self, connection: C) -> None:
         with self._cond:

@@ -33,6 +33,7 @@ from concurrent.futures import Future
 from typing import TYPE_CHECKING, Any, Callable, Optional, TypeVar
 
 from repro.errors import WriteQueueClosedError
+from repro.obs import METRICS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.store import XmlStore
@@ -172,6 +173,9 @@ class WriteQueue:
         self.operations += len(batch)
         if len(batch) > 1:
             self.grouped_operations += len(batch)
+        METRICS.inc("writequeue.batches")
+        METRICS.inc("writequeue.operations", len(batch))
+        METRICS.observe("writequeue.batch_size", len(batch))
         return True
 
     def _replay_individually(self, batch: list) -> bool:
@@ -202,6 +206,9 @@ class WriteQueue:
                 future.set_result(result)
                 self.batches += 1
                 self.operations += 1
+                METRICS.inc("writequeue.batches")
+                METRICS.inc("writequeue.operations")
+                METRICS.observe("writequeue.batch_size", 1)
         return True
 
     def _die(self, in_flight: list, death: BaseException) -> None:

@@ -56,6 +56,7 @@ from repro.core.sqlgen import (
     sql_string_literal,
 )
 from repro.errors import TranslationError, UnsupportedXPathError
+from repro.obs import METRICS
 from repro.xpath.ast import (
     BinaryOp,
     Expr,
@@ -280,10 +281,19 @@ class SqlTranslator(ABC):
         from repro.xpath.ast import UnionPath
 
         if isinstance(path, UnionPath):
-            return self._translate_union(path, doc, context_id)
-        return self._translate_arm(
-            path, doc, with_order_by=True, context_id=context_id
+            translated = self._translate_union(path, doc, context_id)
+        else:
+            translated = self._translate_arm(
+                path, doc, with_order_by=True, context_id=context_id
+            )
+        METRICS.inc("translate.queries")
+        METRICS.inc("translate.joins", translated.stats.joins)
+        METRICS.inc(
+            "translate.subqueries",
+            translated.stats.exists_subqueries
+            + translated.stats.count_subqueries,
         )
+        return translated
 
     def _translate_union(
         self, union: "UnionPath", doc: int,

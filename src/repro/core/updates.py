@@ -33,6 +33,7 @@ from repro.core.dewey import DeweyKey
 from repro.core.schema import KIND_ELEMENT, KIND_TEXT
 from repro.core.shredder import ShreddedDocument, ShreddedNode, shred
 from repro.errors import UpdateError, XmlSyntaxError
+from repro.obs import METRICS, span
 from repro.xmldom.dom import Document, Node, Text
 from repro.xmldom.parser import parse_fragment
 
@@ -65,6 +66,17 @@ class UpdateManager:
     def __init__(self, store: "XmlStore") -> None:
         self.store = store
 
+    def _record(self, op: str, report: UpdateReport) -> UpdateReport:
+        """Account one finished operation in the metrics registry."""
+        METRICS.inc(f"updates.{op}")
+        METRICS.inc("updates.rows_touched", report.rows_touched())
+        if report.relabeled:
+            # A renumber happened: some encoding/gap combination had to
+            # shift existing order values to make room.
+            METRICS.inc("updates.renumber_ops")
+            METRICS.inc("updates.relabeled", report.relabeled)
+        return report
+
     # -- public operations -------------------------------------------------
 
     def insert(
@@ -89,12 +101,14 @@ class UpdateManager:
                 raise UpdateError(
                     f"cannot parse insert fragment: {exc}"
                 ) from exc
-        shredded = self._shred_fragment(fragment)
-        return self.store.transactionally(
-            lambda: self._insert_in_transaction(
-                doc, parent_id, index, shredded
+        with span("update.insert"):
+            shredded = self._shred_fragment(fragment)
+            report = self.store.transactionally(
+                lambda: self._insert_in_transaction(
+                    doc, parent_id, index, shredded
+                )
             )
-        )
+        return self._record("inserts", report)
 
     def _insert_in_transaction(
         self, doc: int, parent_id: int, index: int,
@@ -188,7 +202,9 @@ class UpdateManager:
             report.value_updates += insert_report.value_updates
             return report
 
-        return self.store.transactionally(set_text_in_transaction)
+        with span("update.set_text"):
+            report = self.store.transactionally(set_text_in_transaction)
+        return self._record("set_texts", report)
 
     def rename(self, doc: int, element_id: int, tag: str) -> UpdateReport:
         """Rename an element.  Touches exactly one row, no order values."""
@@ -197,14 +213,15 @@ class UpdateManager:
             raise UpdateError(f"no node {element_id} in document {doc}")
         if row["kind"] != KIND_ELEMENT:
             raise UpdateError(f"node {element_id} is not an element")
-        self.store.transactionally(
-            lambda: self.store.backend.execute(
-                f"UPDATE {self.store.node_table} SET tag = ? "
-                f"WHERE doc = ? AND id = ?",
-                (tag, doc, element_id),
+        with span("update.rename"):
+            self.store.transactionally(
+                lambda: self.store.backend.execute(
+                    f"UPDATE {self.store.node_table} SET tag = ? "
+                    f"WHERE doc = ? AND id = ?",
+                    (tag, doc, element_id),
+                )
             )
-        )
-        return UpdateReport(value_updates=1)
+        return self._record("renames", UpdateReport(value_updates=1))
 
     def set_attribute(
         self, doc: int, element_id: int, name: str, value: Optional[str]
@@ -238,7 +255,11 @@ class UpdateManager:
                 report.inserted += 1
             return report
 
-        return self.store.transactionally(set_attribute_in_transaction)
+        with span("update.set_attribute"):
+            report = self.store.transactionally(
+                set_attribute_in_transaction
+            )
+        return self._record("set_attributes", report)
 
     def delete(self, doc: int, node_id: int) -> UpdateReport:
         """Delete the subtree rooted at *node_id*."""
@@ -264,7 +285,9 @@ class UpdateManager:
             self.store.update_document_info(info)
             return report
 
-        return self.store.transactionally(delete_in_transaction)
+        with span("update.delete"):
+            report = self.store.transactionally(delete_in_transaction)
+        return self._record("deletes", report)
 
     def rebalance(self, doc: int) -> UpdateReport:
         """Relabel the whole document with fresh, evenly-gapped values.
@@ -276,6 +299,11 @@ class UpdateManager:
         Structure, ids, and attributes are untouched; only order values
         change.
         """
+        with span("update.rebalance"):
+            report = self._rebalance(doc)
+        return self._record("rebalances", report)
+
+    def _rebalance(self, doc: int) -> UpdateReport:
         columns = self.store.encoding.node_columns()
         result = self.store.backend.execute(
             f"SELECT {', '.join(columns)} FROM {self.store.node_table} "

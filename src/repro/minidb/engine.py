@@ -40,6 +40,7 @@ from repro.minidb.executor import (
 from repro.minidb.expressions import BUILTIN_SCALARS
 from repro.minidb.sql_ast import Select, Statement, Union_
 from repro.minidb.sql_parser import parse_sql
+from repro.obs import METRICS
 
 
 class MiniDb:
@@ -126,8 +127,11 @@ class MiniDb:
                 self.stats.statements += 1
                 state = ExecState(params=params, stats=self.stats)
                 rows = list(plan.rows({}, state))
+                METRICS.inc("minidb.selects")
+                METRICS.inc("minidb.rows_returned", len(rows))
                 return Result(plan.columns, rows, -1)
         with self.latch.write():
+            METRICS.inc("minidb.dml")
             return self._runner.run(statement, params)
 
     def executemany(

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, TypeVar
 
 from repro.errors import TransientStorageError
+from repro.obs import METRICS
 from repro.robust.faults import TransientInjectedError
 
 T = TypeVar("T")
@@ -89,17 +90,30 @@ class RetryPolicy:
         Raises :class:`TransientStorageError` (with the last fault
         chained) when every attempt failed transiently; non-transient
         exceptions propagate from the failing attempt untouched.
+
+        Metrics (when :mod:`repro.obs` is enabled): every classified
+        transient fault bumps ``retry.transient_faults``, every
+        re-attempt bumps ``retry.retries``, a success on attempt > 1
+        bumps ``retry.recoveries``, and a spent budget bumps
+        ``retry.exhausted``.
         """
         last_error: Optional[Exception] = None
         for attempt in range(1, self.attempts + 1):
             try:
-                return operation()
+                result = operation()
             except Exception as exc:
                 if not self.classify(exc):
                     raise
+                METRICS.inc("retry.transient_faults")
                 last_error = exc
                 if attempt < self.attempts:
+                    METRICS.inc("retry.retries")
                     self.sleep(self.backoff_delay(attempt))
+            else:
+                if attempt > 1:
+                    METRICS.inc("retry.recoveries")
+                return result
+        METRICS.inc("retry.exhausted")
         raise TransientStorageError(
             f"transient storage fault persisted across "
             f"{self.attempts} attempt(s): {last_error}",

@@ -32,6 +32,7 @@ from typing import (
 
 from repro.backends import Backend, make_backend
 from repro.core.dewey import DeweyKey
+from repro.obs import METRICS, slow_log, span
 from repro.core.encodings import OrderEncoding, get_encoding
 from repro.core.schema import documents_table
 from repro.core.shredder import ShreddedDocument, shred
@@ -263,27 +264,36 @@ class XmlStore:
         strip_whitespace: bool = False,
     ) -> int:
         """Shred *document* and bulk-load it; returns the new doc id."""
-        if isinstance(document, str):
-            document = parse(document, strip_whitespace=strip_whitespace)
-        shredded = shred(document)
+        with span("load"):
+            if isinstance(document, str):
+                with span("parse"):
+                    document = parse(
+                        document, strip_whitespace=strip_whitespace
+                    )
+            with span("shred"):
+                shredded = shred(document)
 
-        def load_in_transaction() -> int:
-            doc_id = self._next_doc_id()
-            self._bulk_insert(doc_id, shredded)
-            self.backend.execute(
-                "INSERT INTO documents VALUES (?, ?, ?, ?, ?)",
-                (
-                    doc_id,
-                    name,
-                    shredded.node_count(),
-                    shredded.max_depth,
-                    shredded.node_count() + 1,
-                ),
-            )
-            return doc_id
+            def load_in_transaction() -> int:
+                doc_id = self._next_doc_id()
+                self._bulk_insert(doc_id, shredded)
+                self.backend.execute(
+                    "INSERT INTO documents VALUES (?, ?, ?, ?, ?)",
+                    (
+                        doc_id,
+                        name,
+                        shredded.node_count(),
+                        shredded.max_depth,
+                        shredded.node_count() + 1,
+                    ),
+                )
+                return doc_id
 
-        doc_id = self.transactionally(load_in_transaction)
-        self.backend.analyze()
+            with span("bulk_insert"):
+                doc_id = self.transactionally(load_in_transaction)
+            with span("analyze"):
+                self.backend.analyze()
+            METRICS.inc("load.documents")
+            METRICS.inc("load.nodes", shredded.node_count())
         return doc_id
 
     def _next_doc_id(self) -> int:
@@ -375,22 +385,70 @@ class XmlStore:
         self, xpath: str, doc: int, context_id: Optional[int] = None
     ) -> list[ResultItem]:
         """Run *xpath* via SQL; results arrive in document order."""
-        translated = self.translate(xpath, doc, context_id=context_id)
-        result = self._execute(translated.sql, translated.params)
-        rows = result.rows
-        if translated.result_kind == "attribute":
-            items, owner_ids = self._attribute_items(rows)
-            if translated.needs_client_order:
-                items = self._client_sort_attributes(doc, items, owner_ids)
+        log = slow_log()
+        if log is None:
+            with span("query", xpath=xpath):
+                _translated, items = self._run_query(
+                    xpath, doc, context_id, None
+                )
             return items
-        if translated.needs_client_order:
-            rows = self._client_sort_nodes(doc, rows)
-        return [
-            ResultItem(
-                kind=row[2], node_id=row[0], label=row[3], value=row[4]
+        from time import perf_counter
+
+        started = perf_counter()
+        phases: dict[str, float] = {}
+        with span("query", xpath=xpath):
+            translated, items = self._run_query(
+                xpath, doc, context_id, phases
             )
-            for row in rows
-        ]
+        log.maybe_record(
+            xpath=xpath,
+            sql=translated.sql,
+            params=translated.params,
+            elapsed_ms=(perf_counter() - started) * 1000.0,
+            breakdown_ms={
+                name: seconds * 1000.0
+                for name, seconds in phases.items()
+            },
+        )
+        return items
+
+    def _run_query(
+        self,
+        xpath: str,
+        doc: int,
+        context_id: Optional[int],
+        collect: Optional[dict],
+    ) -> tuple[TranslatedQuery, list[ResultItem]]:
+        with span("translate", collect):
+            translated = self.translate(xpath, doc, context_id=context_id)
+        METRICS.inc("query.executed")
+        with span("execute", collect):
+            result = self._execute(translated.sql, translated.params)
+        rows = result.rows
+        METRICS.inc("query.rows", len(rows))
+        if translated.result_kind == "attribute":
+            with span("materialize", collect):
+                items, owner_ids = self._attribute_items(rows)
+            if translated.needs_client_order:
+                METRICS.inc("query.client_order_sorts")
+                with span("client_order", collect):
+                    items = self._client_sort_attributes(
+                        doc, items, owner_ids
+                    )
+            return translated, items
+        if translated.needs_client_order:
+            METRICS.inc("query.client_order_sorts")
+            with span("client_order", collect):
+                rows = self._client_sort_nodes(doc, rows)
+        with span("materialize", collect):
+            items = [
+                ResultItem(
+                    kind=row[2], node_id=row[0], label=row[3],
+                    value=row[4],
+                )
+                for row in rows
+            ]
+        return translated, items
 
     def query_values(self, xpath: str, doc: int) -> list[Optional[str]]:
         """Shorthand: the stored value of each result item."""

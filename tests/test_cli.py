@@ -175,7 +175,63 @@ class TestDrop:
         assert run(["drop", "9", "--db", db]) == 1
 
 
+class TestObservabilityCommands:
+    def test_trace_prints_span_tree(self, bib_file, db, capsys):
+        run(["load", bib_file, "--db", db])
+        assert run(["trace", "//book/title", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "query" in out
+        assert "translate" in out
+        assert "execute" in out
+        assert "leaf spans cover" in out
+        assert "query.executed" in out
+
+    def test_trace_seeds_empty_store(self, db, capsys):
+        assert run(["trace", "//item[2]/name", "--db", db]) == 0
+        captured = capsys.readouterr()
+        assert "seeded a 100-item demo document" in captured.err
+        assert "1 result(s)" in captured.err
+
+    def test_trace_json(self, bib_file, db, capsys):
+        import json
+
+        run(["load", bib_file, "--db", db])
+        capsys.readouterr()
+        assert run(["trace", "//author", "--db", db, "--json"]) == 0
+        out = capsys.readouterr().out
+        tree = json.loads(out)
+        assert tree["spans"][0]["name"] == "query"
+
+    def test_stats_prints_counters_and_slow_log(self, bib_file, db,
+                                                capsys):
+        run(["load", bib_file, "--db", db])
+        assert run(["stats", "//book/title", "--db", db,
+                    "--repeat", "2", "--slow-ms", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "query.executed" in out
+        assert "slow query" in out
+
+    def test_stats_json(self, db, capsys):
+        import json
+
+        assert run(["stats", "--db", db, "--repeat", "1",
+                    "--json"]) == 0
+        out = capsys.readouterr().out
+        snapshot = json.loads(out)
+        assert snapshot["counters"]["query.executed"] == 2
+
+    def test_observability_is_off_afterwards(self, db):
+        from repro.obs import METRICS, slow_log
+
+        run(["trace", "//item/name", "--db", db])
+        run(["stats", "--db", db, "--repeat", "1"])
+        assert not METRICS.enabled
+        assert slow_log() is None
+
+
 class TestExperimentsCommand:
+    @pytest.mark.slow
     def test_fast_suite_prints_tables(self, capsys):
         assert run(["experiments", "--fast"]) == 0
         out = capsys.readouterr().out

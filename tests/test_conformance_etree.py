@@ -1,0 +1,211 @@
+"""Differential XPath conformance against ``xml.etree.ElementTree``.
+
+The rest of the suite cross-checks the store against our own native
+evaluator — which shares the DOM and parser with the shredder, so a
+systematic misunderstanding of XPath semantics could hide in both
+sides.  This suite uses the standard library's ElementTree as a fully
+independent oracle: the same serialized XML is parsed by ET, queries
+from the supported subset (no position predicates) are evaluated over
+the ET tree by a small standalone matcher, and the matched elements are
+compared with the store's results by surrogate id.
+
+The comparison exploits one invariant: the shredder assigns surrogate
+ids in document (preorder) order, so the expected result of any
+node-set query is exactly the *sorted* list of matched ids.  Comparing
+against that sorted list therefore checks membership, deduplication,
+and document-order sorting in one assertion, without depending on the
+order ET happens to yield matches in.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from tests.conftest import ALL_ENCODINGS, BACKENDS, node_ids
+from repro.store import XmlStore
+from repro.workload import article_corpus, catalog_corpus
+from repro.workload.docgen import random_document
+from repro.xmldom import serialize
+from repro.xmldom.dom import Element
+
+# -- a tiny, independent XPath matcher over ElementTree ---------------------
+
+_STEP_RE = re.compile(
+    r"^(?P<tag>\*|[A-Za-z_][\w.-]*)"
+    r"(?:\[(?P<pred>[^\]]+)\])?$"
+)
+
+
+def _parse_steps(xpath: str) -> list[tuple[str, str, str | None]]:
+    """Split an XPath into ``(axis, tag, predicate)`` steps.
+
+    ``axis`` is ``child`` or ``desc`` (descendant-or-self::node()/child).
+    Only the subset this suite exercises is accepted; anything else is
+    a test bug, so parsing is strict.
+    """
+    if not xpath.startswith("/"):
+        raise ValueError(f"only absolute paths supported: {xpath!r}")
+    marked = xpath.replace("//", "/\0")
+    steps = []
+    for raw in marked.split("/")[1:]:
+        axis = "child"
+        if raw.startswith("\0"):
+            axis = "desc"
+            raw = raw[1:]
+        match = _STEP_RE.match(raw)
+        if match is None:
+            raise ValueError(f"unsupported step {raw!r} in {xpath!r}")
+        pred = match.group("pred")
+        if pred is not None and not re.match(
+            r"^(@[\w.-]+(\s*=\s*'[^']*')?|[A-Za-z_][\w.-]*)$", pred
+        ):
+            raise ValueError(
+                f"unsupported predicate {pred!r} in {xpath!r}"
+            )
+        steps.append((axis, match.group("tag"), pred))
+    return steps
+
+
+def _test(element: ET.Element, tag: str, pred: str | None) -> bool:
+    if tag != "*" and element.tag != tag:
+        return False
+    if pred is None:
+        return True
+    if pred.startswith("@"):
+        if "=" in pred:
+            name, _, value = pred.partition("=")
+            return element.get(name[1:].strip()) == value.strip("'\"")
+        return element.get(pred[1:]) is not None
+    # Existential child-element predicate: [child-tag].
+    return element.find(pred) is not None
+
+
+def et_matches(root: ET.Element, xpath: str) -> list[ET.Element]:
+    """All elements the query selects, evaluated over the ET tree."""
+    steps = _parse_steps(xpath)
+    axis, tag, pred = steps[0]
+    if axis == "desc":
+        # From the document node, descendant-or-self includes the root.
+        current = [e for e in root.iter() if _test(e, tag, pred)]
+    else:
+        current = [root] if _test(root, tag, pred) else []
+    for axis, tag, pred in steps[1:]:
+        if axis == "desc":
+            nxt = [
+                d
+                for n in current
+                for d in n.iter()
+                if d is not n and _test(d, tag, pred)
+            ]
+        else:
+            nxt = [c for n in current for c in n if _test(c, tag, pred)]
+        # XPath node-sets are sets: drop duplicates introduced by
+        # overlapping descendant contexts.
+        seen: set[int] = set()
+        current = []
+        for element in nxt:
+            if id(element) not in seen:
+                seen.add(id(element))
+                current.append(element)
+    return current
+
+
+# -- corpus ------------------------------------------------------------------
+
+# ElementTree drops comments and processing instructions when parsing,
+# which would break the preorder pairing below — generated documents
+# must therefore stay comment-free.
+DOCUMENTS = {
+    "articles": lambda: article_corpus(articles=5, sections=3,
+                                       paragraphs=3),
+    "catalog": lambda: catalog_corpus(products=12),
+    "random-1": lambda: random_document(seed=101, allow_comments=False),
+    "random-2": lambda: random_document(seed=202, allow_comments=False),
+    "random-3": lambda: random_document(seed=303, allow_comments=False),
+}
+
+#: Queries per document family: the supported subset without position
+#: predicates.  Wildcards, descendant steps, attribute existence and
+#: equality predicates, and existential child predicates.
+QUERIES = {
+    "articles": (
+        "/journal/article/title",
+        "//para",
+        "//section/para",
+        "//article[@year]/title",
+        "//section[para]/title",
+        "//article//para",
+        "/journal/*",
+        "//*",
+    ),
+    "catalog": (
+        "/catalog/product/name",
+        "//review/comment",
+        "//product[@sku]/price",
+        "//product[review]/name",
+        "//product/*",
+        "//*",
+    ),
+    "random": (
+        "//a",
+        "//b",
+        "//a/b",
+        "//b//c",
+        "//d[@id]",
+        "//a[b]",
+        "/*",
+        "//*",
+    ),
+}
+
+
+def _queries_for(name: str) -> tuple[str, ...]:
+    return QUERIES.get(name.split("-")[0], QUERIES["random"])
+
+
+@pytest.mark.parametrize("doc_name", sorted(DOCUMENTS))
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+def test_store_matches_elementtree(doc_name, encoding, backend):
+    document = DOCUMENTS[doc_name]()
+    xml = serialize(document.root)
+    et_root = ET.fromstring(xml)
+
+    # Pair our DOM elements with ET elements by preorder position.
+    ours = [
+        node for node in document.iter_preorder()
+        if isinstance(node, Element)
+    ]
+    theirs = list(et_root.iter())
+    assert len(ours) == len(theirs), (
+        f"{doc_name}: element count diverged between parsers "
+        f"({len(ours)} vs {len(theirs)})"
+    )
+    ids = node_ids(document)
+    surrogate = {
+        id(et_element): ids[id(our_element)]
+        for our_element, et_element in zip(ours, theirs)
+    }
+
+    store = XmlStore(backend=backend, encoding=encoding)
+    doc = store.load(document)
+    for xpath in _queries_for(doc_name):
+        expected = sorted(
+            surrogate[id(e)] for e in et_matches(et_root, xpath)
+        )
+        got = [item.node_id for item in store.query(xpath, doc)]
+        assert got == expected, (
+            f"{doc_name} {encoding}/{backend} {xpath!r}: "
+            f"got {got}, want {expected}"
+        )
+
+
+def test_et_matcher_rejects_unsupported():
+    root = ET.fromstring("<a><b/></a>")
+    with pytest.raises(ValueError):
+        et_matches(root, "b")  # relative paths are out of scope
+    with pytest.raises(ValueError):
+        et_matches(root, "/a/b[1]")  # position predicates are excluded

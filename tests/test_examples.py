@@ -8,6 +8,9 @@ import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
+# Each example is a subprocess running a full workload — seconds each.
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.parametrize(
     "script,args",

@@ -20,6 +20,8 @@ from repro.xpath import Evaluator
 from tests.conftest import ALL_ENCODINGS, oracle_identities, \
     store_identities
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def corpus():

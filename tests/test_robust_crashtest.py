@@ -17,6 +17,8 @@ from repro.robust.crashtest import (
 
 ALL_ENCODINGS = ("global", "local", "dewey", "ordpath")
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.skip_audit  # the harness audits internally, on reopened stores
 class TestCrashRecoveryMatrix:

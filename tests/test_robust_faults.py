@@ -6,6 +6,7 @@ import pytest
 
 from repro.backends import make_backend
 from repro.errors import TransientStorageError
+from repro.obs import METRICS
 from repro.robust import (
     FaultInjectingBackend,
     FaultPlan,
@@ -24,6 +25,17 @@ def _counting_store(backend_name, plan=None, retry=None):
     store = XmlStore(backend=injected, encoding="dewey", retry=retry)
     injected.arm(plan)
     return store, injected
+
+
+@pytest.fixture
+def metrics():
+    """The process metrics registry, enabled and zeroed for one test."""
+    was_enabled = METRICS.enabled
+    METRICS.reset()
+    METRICS.enabled = True
+    yield METRICS
+    METRICS.enabled = was_enabled
+    METRICS.reset()
 
 
 class TestFaultPlan:
@@ -113,7 +125,7 @@ class TestRetryPolicy:
             sqlite3.OperationalError("no such table: t")
         )
 
-    def test_retries_until_success(self):
+    def test_retries_until_success(self, metrics):
         sleeps = []
         policy = RetryPolicy(attempts=5, base_delay=0.01, seed=0,
                              sleep=sleeps.append)
@@ -129,8 +141,15 @@ class TestRetryPolicy:
         assert calls["n"] == 3
         assert len(sleeps) == 2
         assert sleeps[1] > sleeps[0] * 0.5  # backoff grows (with jitter)
+        # Two faults were classified transient, both were retried, and
+        # the third attempt recovered.
+        counters = metrics.snapshot()["counters"]
+        assert counters.get("retry.transient_faults") == 2
+        assert counters.get("retry.retries") == 2
+        assert counters.get("retry.recoveries") == 1
+        assert "retry.exhausted" not in counters
 
-    def test_exhaustion_raises_typed_error(self):
+    def test_exhaustion_raises_typed_error(self, metrics):
         policy = RetryPolicy(attempts=3, sleep=lambda _d: None)
 
         def always_busy():
@@ -143,6 +162,13 @@ class TestRetryPolicy:
                           TransientInjectedError)
         assert isinstance(excinfo.value.__cause__,
                           TransientInjectedError)
+        # Three faults, two re-attempts after the first, no recovery,
+        # one exhausted budget.
+        counters = metrics.snapshot()["counters"]
+        assert counters.get("retry.transient_faults") == 3
+        assert counters.get("retry.retries") == 2
+        assert "retry.recoveries" not in counters
+        assert counters.get("retry.exhausted") == 1
 
     def test_permanent_errors_propagate_immediately(self):
         policy = RetryPolicy(attempts=5, sleep=lambda _d: None)
@@ -164,7 +190,8 @@ class TestRetryPolicy:
 
 @pytest.mark.parametrize("backend_name", BACKENDS)
 class TestRetryThroughStore:
-    def test_update_stream_survives_transients(self, backend_name):
+    def test_update_stream_survives_transients(self, backend_name,
+                                               metrics):
         retry = RetryPolicy(attempts=6, base_delay=0.0001,
                             max_delay=0.001, seed=3,
                             sleep=lambda _d: None)
@@ -179,6 +206,15 @@ class TestRetryThroughStore:
         store.updates.delete(doc, store.fetch_children(doc, root)[0]["id"])
         injected.arm(None)
         assert store.node_count(doc) >= 1
+        # The whole stream succeeded, so every injected fault was both
+        # retried and eventually recovered from: faults == retries,
+        # each faulted operation recovered, and nothing exhausted.
+        counters = metrics.snapshot()["counters"]
+        faults = counters.get("retry.transient_faults", 0)
+        assert faults >= 1  # the seeded plan injects at least one
+        assert counters.get("retry.retries", 0) == faults
+        assert 1 <= counters.get("retry.recoveries", 0) <= faults
+        assert "retry.exhausted" not in counters
 
     def test_exhausted_retry_surfaces_typed_error(self, backend_name):
         retry = RetryPolicy(attempts=2, sleep=lambda _d: None)

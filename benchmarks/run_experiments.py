@@ -1,4 +1,4 @@
-"""Regenerate EXPERIMENTS.md from the experiment suite E1-E14.
+"""Regenerate EXPERIMENTS.md from the experiment suite E1-E15.
 
 Usage:
     python benchmarks/run_experiments.py [--fast] [--output PATH]

@@ -25,6 +25,30 @@ class BackendResult:
     rowcount: int = -1
 
 
+#: Leading verbs of row-writing DML.
+_WRITE_VERBS = frozenset({"insert", "update", "delete", "replace"})
+
+
+def is_write_statement(sql: str) -> bool:
+    """True when *sql* is row-writing DML, judged by its leading verb.
+
+    The ``backend.rows_written`` accounting cannot be inferred from the
+    cursor alone: DML with a ``RETURNING`` clause produces rows, and
+    drivers report quirky ``rowcount`` values for some non-DML — so the
+    statement text is the only reliable classifier.  Leading ``--``
+    line comments are skipped before the verb is read.
+    """
+    text = sql.lstrip()
+    while text.startswith("--"):
+        newline = text.find("\n")
+        if newline == -1:
+            return False
+        text = text[newline + 1:].lstrip()
+    if not text:
+        return False
+    return text.split(None, 1)[0].lower() in _WRITE_VERBS
+
+
 def split_sql_script(script: str) -> list[str]:
     """Split a ``;``-separated SQL script into individual statements.
 

@@ -22,7 +22,7 @@ import sqlite3
 import threading
 from typing import Iterable, Optional, Sequence
 
-from repro.backends.base import Backend, BackendResult
+from repro.backends.base import Backend, BackendResult, is_write_statement
 from repro.backends.sqlite_backend import connect_sqlite
 from repro.concurrent.pool import ConnectionPool
 from repro.errors import StorageError
@@ -96,7 +96,7 @@ class PooledSqliteBackend(Backend):
             cursor = conn.execute(sql, tuple(params))
             rows = cursor.fetchall()
             rowcount = cursor.rowcount
-            if rowcount > 0 and not rows:
+            if rowcount > 0 and is_write_statement(sql):
                 with self._written_lock:
                     self._rows_written += rowcount
                 METRICS.inc("backend.rows_written", rowcount)

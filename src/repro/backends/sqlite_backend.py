@@ -13,7 +13,7 @@ import sqlite3
 import threading
 from typing import Iterable, Optional, Sequence
 
-from repro.backends.base import Backend, BackendResult
+from repro.backends.base import Backend, BackendResult, is_write_statement
 from repro.core.dewey import (
     dewey_depth_bytes,
     dewey_local_bytes,
@@ -96,7 +96,7 @@ class SqliteBackend(Backend):
             cursor = self._conn.execute(sql, tuple(params))
             rows = cursor.fetchall()
             rowcount = cursor.rowcount
-            if rowcount > 0 and not rows:
+            if rowcount > 0 and is_write_statement(sql):
                 self._rows_written += rowcount
                 METRICS.inc("backend.rows_written", rowcount)
             METRICS.inc("backend.statements")

@@ -1,4 +1,4 @@
-"""The reconstructed evaluation: experiments E1-E14.
+"""The reconstructed evaluation: experiments E1-E15.
 
 Each ``run_eN_*`` function executes one experiment and returns an
 :class:`~repro.bench.harness.ExperimentTable`.  ``run_all`` executes the
@@ -668,6 +668,108 @@ def run_e14_concurrency(
 # ---------------------------------------------------------------------------
 
 
+# ---------------------------------------------------------------------------
+# E15: plan/result caching (extension beyond the paper)
+# ---------------------------------------------------------------------------
+
+
+def run_e15_cache(
+    articles: int = 12,
+    repeat: int = 30,
+    operations: int = 24,
+    backend: str = "sqlite",
+) -> ExperimentTable:
+    """Repeated-query throughput cached vs. uncached, plus a mixed
+    update/query correctness check against the uncached store.
+
+    The throughput half re-runs the E3 ordered query mix ``repeat``
+    times against a warm cache and against a caching-off store of the
+    same corpus.  The correctness half replays a seeded E7-style
+    interleaving of updates and the full query mix on both stores
+    simultaneously and counts result mismatches (must be zero: every
+    update bumps the epoch, so the caching store may never serve a
+    pre-update plan or result).
+    """
+    import random
+
+    from repro.check.fuzz import apply_operation, plan_operation
+
+    document = article_corpus(articles=articles)
+    table = ExperimentTable(
+        "E15",
+        "Plan/result caching: repeated E3 mix, cached vs uncached",
+        ("encoding", "uncached q/s", "cached q/s", "speedup",
+         "hit rate %", "mixed mismatches"),
+    )
+
+    def run_mix(store: XmlStore, doc: int) -> int:
+        answered = 0
+        for query in ORDERED_QUERIES:
+            try:
+                store.query(query.xpath, doc)
+                answered += 1
+            except TranslationError:
+                pass
+        return answered
+
+    for name in (*ENCODING_NAMES, "ordpath"):
+        cached = XmlStore(backend=backend, encoding=name, cache=True)
+        uncached = XmlStore(backend=backend, encoding=name, cache=False)
+        doc_c = cached.load(document)
+        doc_u = uncached.load(document)
+
+        run_mix(cached, doc_c)  # steady state: warm every cache layer
+        rates = {}
+        for store, doc in ((uncached, doc_u), (cached, doc_c)):
+            answered = 0
+            started = time.perf_counter()
+            for _ in range(repeat):
+                answered += run_mix(store, doc)
+            elapsed = time.perf_counter() - started
+            rates[store] = answered / elapsed if elapsed > 0 else 0.0
+
+        mismatches = 0
+        rng = random.Random(151_515)
+        for _ in range(operations):
+            op = plan_operation(rng, cached, doc_c)
+            apply_operation(cached, doc_c, op)
+            apply_operation(uncached, doc_u, op)
+            for query in ORDERED_QUERIES:
+                try:
+                    got = [
+                        (i.kind, i.node_id, i.label, i.value)
+                        for i in cached.query(query.xpath, doc_c)
+                    ]
+                    want = [
+                        (i.kind, i.node_id, i.label, i.value)
+                        for i in uncached.query(query.xpath, doc_u)
+                    ]
+                except TranslationError:
+                    continue
+                if got != want:
+                    mismatches += 1
+
+        speedup = (
+            rates[cached] / rates[uncached] if rates[uncached] else 0.0
+        )
+        table.add_row(
+            name,
+            round(rates[uncached], 1),
+            round(rates[cached], 1),
+            round(speedup, 2),
+            round(100.0 * cached.cache.hit_rate(), 1),
+            mismatches,
+        )
+        cached.close()
+        uncached.close()
+    table.add_note(
+        f"{repeat} steady-state passes of the ordered mix; mixed check "
+        f"interleaves {operations} seeded updates with the full mix on "
+        f"both stores."
+    )
+    return table
+
+
 def _observed(run) -> ExperimentTable:
     """Run one experiment with metrics enabled; attach the snapshot.
 
@@ -721,6 +823,7 @@ def run_all(fast: bool = False) -> list[ExperimentTable]:
             lambda: run_e14_concurrency(
                 reader_counts=(1, 8), seconds=0.25
             ),
+            lambda: run_e15_cache(articles=6, repeat=12, operations=8),
         ]
     else:
         runs = [
@@ -738,5 +841,6 @@ def run_all(fast: bool = False) -> list[ExperimentTable]:
             run_e12_scaling,
             run_e13_logical_io,
             run_e14_concurrency,
+            run_e15_cache,
         ]
     return [_observed(run) for run in runs]

@@ -61,6 +61,11 @@ EXPECTED_SHAPES = {
            "pooled WAL connections keep readers running during write "
            "transactions; the serialized shared connection stalls them "
            "for each transaction's whole lock-hold window.",
+    "E15": "(Extension beyond the paper.)  Epoch-invalidated plan/"
+           "result caching answers the repeated ordered mix at least "
+           "2x faster at steady state on every encoding, and an "
+           "interleaved update/query workload produces zero result "
+           "mismatches against a caching-off store.",
 }
 
 
@@ -171,6 +176,15 @@ def compute_verdicts(
             "Pooled readers >= 2x serialized at max reader count, "
             "clean audits",
             top[4] >= 2.0 and all(r[5] == 0 for r in t.rows),
+        )
+
+    t = by_id.get("E15")
+    if t is not None:
+        record(
+            "E15",
+            "Caching >= 2x on the repeated ordered mix, zero mixed-"
+            "workload mismatches",
+            all(r[3] >= 2.0 and r[5] == 0 for r in t.rows),
         )
 
     return verdicts

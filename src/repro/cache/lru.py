@@ -1,0 +1,217 @@
+"""Epoch-invalidated LRU caching for one :class:`~repro.store.XmlStore`.
+
+A :class:`StoreCache` holds three independent LRU layers:
+
+* **plan** — :class:`~repro.core.translator.TranslatedQuery` objects,
+  keyed on ``(encoding, xpath, doc, context-kind, max_depth)``.  The
+  depth is part of the key because Local's depth-bounded ``//`` and
+  ``following::`` expansion is exactly tight: a plan compiled for a
+  shallower document silently drops nodes once an insert deepens it.
+* **catalog** — :class:`~repro.store.DocumentInfo` rows, keyed on the
+  doc id, so translation stops issuing a catalogue SELECT per query.
+* **result** — materialized query results, keyed on
+  ``(doc, xpath, context_id)``.
+
+All three are invalidated together by one per-store **update epoch**:
+
+1. A reader calls :meth:`current_epoch` *before* touching any backend
+   state, computes its value, then calls ``put_*`` with that observed
+   epoch.
+2. Every committed write bumps the epoch (:meth:`bump`), which clears
+   all layers.
+3. A ``put_*`` whose observed epoch no longer matches is refused, so a
+   value computed from pre-commit state can never outlive the writer's
+   bump — the classic read-during-write race stores nothing instead of
+   storing a stale entry.
+
+Pool semantics: the epoch is one integer behind one lock, shared by
+every thread of the store, while
+:class:`~repro.backends.pooled_sqlite.PooledSqliteBackend` readers run
+on per-thread WAL connections.  Invalidation is prompt but not atomic
+with COMMIT — for the instant between a writer's COMMIT and its bump, a
+concurrent reader may still serve the just-superseded result.  That is
+the same staleness an uncached reader's in-flight WAL snapshot already
+permits, so caching adds no new anomaly; it only must never *retain*
+such a value, which rules 2 and 3 guarantee.
+
+Threads inside their own transaction bypass the cache entirely (the
+store checks ``_in_own_transaction()`` before every lookup/insert), so
+uncommitted state is never cached and update-internal catalogue reads
+stay fresh.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+from repro.obs import METRICS
+
+#: Values of ``REPRO_CACHE`` that disable caching store-wide.
+_OFF_VALUES = frozenset({"off", "0", "false", "no", "disabled"})
+
+
+def cache_enabled_from_env() -> bool:
+    """True unless ``REPRO_CACHE`` is set to an off value.
+
+    The escape hatch for debugging and for A/B measurement (CI runs the
+    tier-1 matrix both ways; the fuzzer's twin mode forces it off for
+    the reference store explicitly instead of via the environment).
+    """
+    value = os.environ.get("REPRO_CACHE", "on")
+    return value.strip().lower() not in _OFF_VALUES
+
+
+class _LruLayer:
+    """One LRU layer.  Not self-locking: StoreCache holds the lock."""
+
+    __slots__ = ("name", "capacity", "entries", "hits", "misses",
+                 "evictions", "invalidations")
+
+    def __init__(self, name: str, capacity: int) -> None:
+        self.name = name
+        self.capacity = capacity
+        self.entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+
+class StoreCache:
+    """Plan/catalog/result caches of one store, epoch-invalidated."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        plan_capacity: int = 256,
+        catalog_capacity: int = 64,
+        result_capacity: int = 512,
+    ) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._epoch = 0
+        self._plan = _LruLayer("plan", plan_capacity)
+        self._catalog = _LruLayer("catalog", catalog_capacity)
+        self._result = _LruLayer("result", result_capacity)
+        self._layers = (self._plan, self._catalog, self._result)
+
+    # -- epoch protocol ---------------------------------------------------
+
+    def current_epoch(self) -> int:
+        """The epoch a reader must capture before reading backend state."""
+        with self._lock:
+            return self._epoch
+
+    def bump(self) -> None:
+        """A write committed: advance the epoch and drop every entry."""
+        if not self.enabled:
+            return
+        cleared: list[tuple[str, int]] = []
+        with self._lock:
+            self._epoch += 1
+            for layer in self._layers:
+                if layer.entries:
+                    count = len(layer.entries)
+                    layer.entries.clear()
+                    layer.invalidations += count
+                    cleared.append((layer.name, count))
+        for name, count in cleared:
+            METRICS.inc("cache.invalidate", count)
+            METRICS.inc(f"cache.{name}.invalidate", count)
+
+    # -- generic get/put --------------------------------------------------
+
+    def _get(self, layer: _LruLayer, key: Hashable) -> Optional[Any]:
+        with self._lock:
+            if key in layer.entries:
+                layer.entries.move_to_end(key)
+                layer.hits += 1
+                value = layer.entries[key]
+                hit = True
+            else:
+                layer.misses += 1
+                value = None
+                hit = False
+        if hit:
+            METRICS.inc("cache.hit")
+            METRICS.inc(f"cache.{layer.name}.hit")
+        else:
+            METRICS.inc("cache.miss")
+            METRICS.inc(f"cache.{layer.name}.miss")
+        return value
+
+    def _put(
+        self, layer: _LruLayer, key: Hashable, value: Any,
+        observed_epoch: int,
+    ) -> bool:
+        evicted = 0
+        with self._lock:
+            if observed_epoch != self._epoch:
+                # The value was computed from state a writer has since
+                # superseded (or raced past): refuse it.
+                return False
+            layer.entries[key] = value
+            layer.entries.move_to_end(key)
+            while len(layer.entries) > layer.capacity:
+                layer.entries.popitem(last=False)
+                layer.evictions += 1
+                evicted += 1
+        if evicted:
+            METRICS.inc("cache.evict", evicted)
+            METRICS.inc(f"cache.{layer.name}.evict", evicted)
+        return True
+
+    # -- per-layer fronts -------------------------------------------------
+
+    def get_plan(self, key: Hashable) -> Optional[Any]:
+        return self._get(self._plan, key)
+
+    def put_plan(self, key: Hashable, value: Any, observed_epoch: int
+                 ) -> bool:
+        return self._put(self._plan, key, value, observed_epoch)
+
+    def get_catalog(self, key: Hashable) -> Optional[Any]:
+        return self._get(self._catalog, key)
+
+    def put_catalog(self, key: Hashable, value: Any, observed_epoch: int
+                    ) -> bool:
+        return self._put(self._catalog, key, value, observed_epoch)
+
+    def get_result(self, key: Hashable) -> Optional[Any]:
+        return self._get(self._result, key)
+
+    def put_result(self, key: Hashable, value: Any, observed_epoch: int
+                   ) -> bool:
+        return self._put(self._result, key, value, observed_epoch)
+
+    # -- introspection ----------------------------------------------------
+
+    def stats(self) -> dict:
+        """A JSON-serializable snapshot (for ``repro stats`` and E15)."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "epoch": self._epoch,
+                "layers": {
+                    layer.name: {
+                        "size": len(layer.entries),
+                        "capacity": layer.capacity,
+                        "hits": layer.hits,
+                        "misses": layer.misses,
+                        "evictions": layer.evictions,
+                        "invalidations": layer.invalidations,
+                    }
+                    for layer in self._layers
+                },
+            }
+
+    def hit_rate(self) -> float:
+        """Aggregate hit fraction across all layers (0.0 when unused)."""
+        with self._lock:
+            hits = sum(layer.hits for layer in self._layers)
+            misses = sum(layer.misses for layer in self._layers)
+        total = hits + misses
+        return hits / total if total else 0.0

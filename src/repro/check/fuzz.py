@@ -79,6 +79,13 @@ class FuzzConfig:
     #: Shape of the generated documents.
     max_depth: int = 4
     max_children: int = 3
+    #: Differential cache checking: pair every store (caching forced
+    #: on) with a caching-off twin, interleave a fixed per-cell pool of
+    #: cache-warming queries with the update stream, and require
+    #: byte-identical results from both after every check round.  The
+    #: fixed pool is what makes the warming real: the same plan/result
+    #: keys recur across updates, so every invalidation path is hit.
+    cache_twin: bool = False
 
     def cells(self) -> list[tuple[int, int]]:
         return [
@@ -101,17 +108,19 @@ class FuzzFailure:
     op_index: int
     #: Human-readable description of that operation.
     op: str
-    #: invariant | oracle | roundtrip | cross-store | cost-mismatch | crash
+    #: invariant | oracle | roundtrip | cross-store | cost-mismatch |
+    #: cache-twin | crash
     kind: str
     detail: str
 
     def repro_command(self) -> str:
         """A CLI line that replays exactly this cell, checking every op."""
+        flags = " --cache-twin" if self.kind == "cache-twin" else ""
         return (
             f"repro fuzz --seeds 1 --base-seed {self.seed} "
             f"--ops {self.op_index} --gaps {self.gap} "
             f"--encodings {self.encoding} --backends {self.backend} "
-            f"--check-every 1"
+            f"--check-every 1" + flags
         )
 
     def __str__(self) -> str:
@@ -388,6 +397,40 @@ def _check_store(
     return None, tree
 
 
+def _twin_mismatch(
+    store: XmlStore, doc: int,
+    twin: XmlStore, twin_doc: int,
+    queries: list[str],
+) -> Optional[str]:
+    """Compare the caching store against its caching-off twin.
+
+    Each query runs twice on the caching store — the first pass may
+    fill the plan/result caches, the second must serve from them — and
+    both passes must match the twin byte for byte (kind, id, label,
+    and value, not just identity).
+    """
+    for xpath in queries:
+        try:
+            want = [
+                (i.kind, i.node_id, i.label, i.value)
+                for i in twin.query(xpath, twin_doc)
+            ]
+        except (TranslationError, UnsupportedXPathError):
+            continue
+        for attempt in ("cold", "cached"):
+            got = [
+                (i.kind, i.node_id, i.label, i.value)
+                for i in store.query(xpath, doc)
+            ]
+            if got != want:
+                return (
+                    f"query {xpath!r} ({attempt} pass): caching store "
+                    f"returned {got}, REPRO_CACHE=off twin returned "
+                    f"{want}"
+                )
+    return None
+
+
 # -- the driver ---------------------------------------------------------
 
 
@@ -405,11 +448,35 @@ def _run_cell(
         max_children=config.max_children,
     )
     stores: list[tuple[str, str, XmlStore, int]] = []
+    twins: list[Optional[tuple[XmlStore, int]]] = []
     for backend in config.backends:
         for encoding in config.encodings:
-            store = XmlStore(backend=backend, encoding=encoding, gap=gap)
+            store = XmlStore(
+                backend=backend, encoding=encoding, gap=gap,
+                # Twin mode measures caching against no-caching, so the
+                # primary forces caching on regardless of REPRO_CACHE.
+                cache=True if config.cache_twin else None,
+            )
             doc = store.load(document)
             stores.append((backend, encoding, store, doc))
+            if config.cache_twin:
+                twin = XmlStore(
+                    backend=backend, encoding=encoding, gap=gap,
+                    cache=False,
+                )
+                twins.append((twin, twin.load(document)))
+            else:
+                twins.append(None)
+
+    # The cache-warming pool is fixed for the whole cell so the same
+    # plan/result keys recur before and after every update.
+    warm_queries: list[str] = []
+    if config.cache_twin:
+        wrng = random.Random(seed * 424243 + gap * 31)
+        warm_queries = [
+            random_xpath(wrng)
+            for _ in range(max(4, config.queries_per_check))
+        ]
 
     rng = random.Random(seed * 7919 + gap)
     reference = stores[0]
@@ -421,7 +488,7 @@ def _run_cell(
             random_xpath(qrng) for _ in range(config.queries_per_check)
         ]
         reference_tree: Optional[Document] = None
-        for backend, encoding, store, doc in stores:
+        for index, (backend, encoding, store, doc) in enumerate(stores):
             report.checks += 1
             problem, tree = _check_store(
                 store, doc, queries, reference_tree
@@ -433,6 +500,19 @@ def _run_cell(
                     encoding=encoding, op_index=op_index,
                     op=op_describe, kind=kind, detail=detail,
                 )
+            twin_entry = twins[index]
+            if twin_entry is not None:
+                twin, twin_doc = twin_entry
+                detail = _twin_mismatch(
+                    store, doc, twin, twin_doc, warm_queries
+                )
+                if detail is not None:
+                    return FuzzFailure(
+                        seed=seed, gap=gap, backend=backend,
+                        encoding=encoding, op_index=op_index,
+                        op=op_describe, kind="cache-twin",
+                        detail=detail,
+                    )
             if reference_tree is None:
                 reference_tree = tree
         return None
@@ -446,9 +526,12 @@ def _run_cell(
         op = plan_operation(rng, reference[2], reference[3])
         last_describe = op["describe"]
         costs: list[tuple[int, int]] = []
-        for backend, encoding, store, doc in stores:
+        for index, (backend, encoding, store, doc) in enumerate(stores):
             try:
                 result = apply_operation(store, doc, op)
+                twin_entry = twins[index]
+                if twin_entry is not None:
+                    apply_operation(twin_entry[0], twin_entry[1], op)
             except Exception as exc:
                 return FuzzFailure(
                     seed=seed, gap=gap, backend=backend,

@@ -216,7 +216,10 @@ def _catalog_violations(store, info, view: AuditView):
 
 def audit_document(store, doc: int) -> list[Violation]:
     """Audit one document; returns all violations found (empty = clean)."""
-    info = store.document_info(doc)
+    # fresh=True: the auditor verifies the stored catalogue row itself,
+    # so it must not read through the store's catalog cache (which can
+    # legitimately lag when another store object writes the same file).
+    info = store.document_info(doc, fresh=True)
     rows = _fetch_rows(store, doc)
     view = _build_view(store, rows)
     violations = list(_structural_violations(store, doc, view))

@@ -282,6 +282,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         base_seed=args.base_seed,
         check_every=args.check_every,
         queries_per_check=args.queries_per_check,
+        cache_twin=args.cache_twin,
     )
     report = run_fuzz(config)
     for failure in report.failures:
@@ -531,10 +532,28 @@ def _print_metrics_snapshot(snapshot: dict) -> None:
             )
 
 
+def _print_cache_stats(cache: dict) -> None:
+    state = "on" if cache["enabled"] else "off (REPRO_CACHE)"
+    print(f"cache: {state}, epoch {cache['epoch']}")
+    for name, layer in cache["layers"].items():
+        total = layer["hits"] + layer["misses"]
+        rate = 100.0 * layer["hits"] / total if total else 0.0
+        print(
+            f"  {name:<8} size={layer['size']}/{layer['capacity']} "
+            f"hits={layer['hits']} misses={layer['misses']} "
+            f"evictions={layer['evictions']} "
+            f"invalidations={layer['invalidations']} "
+            f"hit-rate={rate:.1f}%"
+        )
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import METRICS, Tracer, tracing
 
     store = open_store(args.db, args.encoding, None)
+    # Tracing documents the translate/execute/materialize pipeline; a
+    # result-cache hit would short-circuit it into a single empty span.
+    store.cache.enabled = False
     doc = _trace_doc(store, args.doc)
     if not args.cold:
         # A warm-up run keeps one-time costs (sqlite statement
@@ -588,6 +607,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
         METRICS.enabled = was_enabled
         disable_slow_log()
     snapshot = METRICS.snapshot()
+    snapshot["cache"] = store.cache.stats()
     if args.json:
         print(json_module.dumps(snapshot, indent=2))
     else:
@@ -595,6 +615,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
               f"quer{'y' if len(xpaths) == 1 else 'ies'} against "
               f"document {doc}")
         _print_metrics_snapshot(snapshot)
+        _print_cache_stats(snapshot["cache"])
         entries = log.entries()
         if entries:
             print(f"slow queries (>= {log.threshold_ms:g} ms):")
@@ -706,6 +727,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the check battery every N ops (default 1)")
     p.add_argument("--queries-per-check", type=int, default=5,
                    help="oracle queries per store per check (default 5)")
+    p.add_argument("--cache-twin", action="store_true",
+                   help="pair every store with a caching-off twin and "
+                        "require byte-identical query results")
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(

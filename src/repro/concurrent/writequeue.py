@@ -167,6 +167,11 @@ class WriteQueue:
         except BaseException as death:  # SimulatedCrash, KeyboardInterrupt
             self._die(batch, death)
             return False
+        # The group commit just published every operation in the batch:
+        # invalidate the store's caches before any submitter's future
+        # resolves, so a submitter that queries right after its
+        # ``call()`` returns can never see a pre-batch plan or result.
+        store.cache.bump()
         for (_operation, future), result in zip(batch, results):
             future.set_result(result)
         self.batches += 1
@@ -203,6 +208,7 @@ class WriteQueue:
                 self._die(remaining, death)
                 return False
             else:
+                store.cache.bump()  # per-op commit: same rule as above
                 future.set_result(result)
                 self.batches += 1
                 self.operations += 1

@@ -68,6 +68,12 @@ class UpdateManager:
 
     def _record(self, op: str, report: UpdateReport) -> UpdateReport:
         """Account one finished operation in the metrics registry."""
+        # The operation's transaction has committed (transactionally
+        # already bumped); bump again so any write path wired around
+        # the store facade still invalidates plans/results — a
+        # deepening insert especially, whose new max_depth obsoletes
+        # Local's depth-bounded plans.
+        self.store.cache.bump()
         METRICS.inc(f"updates.{op}")
         METRICS.inc("updates.rows_touched", report.rows_touched())
         if report.relabeled:

@@ -20,6 +20,9 @@ Naming convention (the counter glossary lives in DESIGN.md):
 * ``translate.*``  — XPath->SQL compilations and their join/subquery cost
 * ``query.*`` / ``load.*`` / ``updates.*`` — store-level operations
 * ``retry.*``      — RetryPolicy transient faults, retries, recoveries
+* ``cache.*``      — store cache hits/misses/evictions/invalidations
+  (aggregate, plus ``cache.plan.*`` / ``cache.catalog.*`` /
+  ``cache.result.*`` per layer; see :mod:`repro.cache`)
 * ``pool.*``       — connection pool checkouts and waits
 * ``writequeue.*`` — group-commit batches
 * ``latch.*``      — RWLatch acquisitions and write hold times

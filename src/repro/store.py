@@ -25,12 +25,14 @@ Example
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from time import perf_counter
 from typing import (
     TYPE_CHECKING, Callable, Iterable, Optional, Sequence, TypeVar, Union,
 )
 
 from repro.backends import Backend, make_backend
+from repro.cache import StoreCache, cache_enabled_from_env
 from repro.core.dewey import DeweyKey
 from repro.obs import METRICS, slow_log, span
 from repro.core.encodings import OrderEncoding, get_encoding
@@ -98,6 +100,7 @@ class XmlStore:
         encoding: Union[str, OrderEncoding] = "dewey",
         gap: int = 1,
         retry: Optional["RetryPolicy"] = None,
+        cache: Optional[bool] = None,
     ) -> None:
         """Create a store.
 
@@ -119,6 +122,11 @@ class XmlStore:
             statement for reads, per whole transaction for updates —
             surfacing :class:`repro.errors.TransientStorageError` only
             after the budget is exhausted.
+        cache:
+            Plan/catalog/result caching (see :mod:`repro.cache`).
+            ``None`` (the default) follows the ``REPRO_CACHE``
+            environment variable (on unless set to ``off``); ``True``
+            / ``False`` override it explicitly.
         """
         if gap < 1:
             raise StorageError(f"gap must be >= 1, got {gap}")
@@ -132,6 +140,12 @@ class XmlStore:
             get_encoding(encoding) if isinstance(encoding, str) else encoding
         )
         self.gap = gap
+        #: Epoch-invalidated plan/catalog/result caches.  Every
+        #: committed write bumps the epoch (see :meth:`transactionally`
+        #: and the write queue), which drops all three layers at once.
+        self.cache = StoreCache(
+            enabled=cache_enabled_from_env() if cache is None else bool(cache)
+        )
         self._docs_table = documents_table()
         self._create_schema()
         from repro.core.updates import UpdateManager
@@ -187,6 +201,12 @@ class XmlStore:
         caller blocks for the result), where adjacent operations group
         into one commit; calls already on the writer thread, or nested
         inside this thread's own transaction, run locally and join it.
+
+        Every successful top-level call bumps the cache epoch: all
+        writers (loads, deletes, update operations) funnel through
+        here, so a commit can never leave a stale plan, catalogue row,
+        or cached result behind.  Nested calls leave the bump to the
+        outermost scope, whose commit actually publishes the change.
         """
         backend = self.backend
 
@@ -197,15 +217,22 @@ class XmlStore:
             and not queue.on_writer_thread()
             and not self._in_own_transaction()
         ):
-            return queue.call(operation)
+            # The writer thread bumps right after each group commit
+            # (other submitters' operations publish there too); this
+            # caller-side bump is belt and braces for its own op.
+            result = queue.call(operation)
+            self.cache.bump()
+            return result
 
         def attempt() -> _T:
             with backend.transaction():
                 return operation()
 
-        if self.retry is None or self._in_own_transaction():
+        if self._in_own_transaction():
             return attempt()
-        return self.retry.run(attempt)
+        result = attempt() if self.retry is None else self.retry.run(attempt)
+        self.cache.bump()
+        return result
 
     def _in_own_transaction(self) -> bool:
         return (
@@ -322,7 +349,24 @@ class XmlStore:
 
     # -- catalogue ---------------------------------------------------------------
 
-    def document_info(self, doc: int) -> DocumentInfo:
+    def document_info(self, doc: int, fresh: bool = False) -> DocumentInfo:
+        """The catalogue entry of *doc* (cached; ``fresh=True`` forces
+        a read from the backend — auditors and any caller that shares
+        the database file with other writers should use it)."""
+        cache = self.cache
+        if fresh or not cache.enabled or self._in_own_transaction():
+            # Inside a transaction the catalogue may hold uncommitted
+            # state (updates read-modify-write it); always go direct.
+            return self._document_info_uncached(doc)
+        epoch = cache.current_epoch()
+        cached = cache.get_catalog(doc)
+        if cached is not None:
+            return replace(cached)  # callers may mutate their copy
+        info = self._document_info_uncached(doc)
+        cache.put_catalog(doc, replace(info), epoch)
+        return info
+
+    def _document_info_uncached(self, doc: int) -> DocumentInfo:
         result = self._execute(
             "SELECT doc, name, node_count, max_depth, next_id "
             "FROM documents WHERE doc = ?",
@@ -374,7 +418,34 @@ class XmlStore:
 
         Relative paths navigate from *context_id* (a node's surrogate
         id); absolute paths start at the document.
+
+        Plans are cached per ``(encoding, xpath, doc, context, depth)``.
+        The depth bound is part of the key (not just the epoch): Local's
+        ``//``/``following::`` expansion is exactly as deep as
+        ``max_depth``, so a plan compiled before a deepening insert
+        would silently drop the new nodes if it were ever reused.
         """
+        cache = self.cache
+        if not cache.enabled or self._in_own_transaction():
+            return self._translate_uncached(xpath, doc, context_id)
+        epoch = cache.current_epoch()
+        info = self.document_info(doc)
+        depth = max(info.max_depth, 2)
+        key = (
+            self.encoding.name, xpath, doc,
+            "abs" if context_id is None else ("ctx", context_id),
+            depth,
+        )
+        plan = cache.get_plan(key)
+        if plan is None:
+            translator = make_translator(self.encoding.name, max_depth=depth)
+            plan = translator.translate(xpath, doc, context_id=context_id)
+            cache.put_plan(key, plan, epoch)
+        return plan
+
+    def _translate_uncached(
+        self, xpath: str, doc: int, context_id: Optional[int] = None
+    ) -> TranslatedQuery:
         info = self.document_info(doc)
         translator = make_translator(
             self.encoding.name, max_depth=max(info.max_depth, 2)
@@ -385,31 +456,45 @@ class XmlStore:
         self, xpath: str, doc: int, context_id: Optional[int] = None
     ) -> list[ResultItem]:
         """Run *xpath* via SQL; results arrive in document order."""
+        cache = self.cache
+        use_cache = cache.enabled and not self._in_own_transaction()
+        if use_cache:
+            result_key = (doc, xpath, context_id)
+            epoch = cache.current_epoch()
+            cached = cache.get_result(result_key)
+            if cached is not None:
+                return list(cached)
         log = slow_log()
         if log is None:
             with span("query", xpath=xpath):
                 _translated, items = self._run_query(
                     xpath, doc, context_id, None
                 )
-            return items
-        from time import perf_counter
-
-        started = perf_counter()
-        phases: dict[str, float] = {}
-        with span("query", xpath=xpath):
-            translated, items = self._run_query(
-                xpath, doc, context_id, phases
-            )
-        log.maybe_record(
-            xpath=xpath,
-            sql=translated.sql,
-            params=translated.params,
-            elapsed_ms=(perf_counter() - started) * 1000.0,
-            breakdown_ms={
-                name: seconds * 1000.0
-                for name, seconds in phases.items()
-            },
-        )
+        else:
+            started = perf_counter()
+            phases: dict[str, float] = {}
+            with span("query", xpath=xpath):
+                translated, items = self._run_query(
+                    xpath, doc, context_id, phases
+                )
+            elapsed_ms = (perf_counter() - started) * 1000.0
+            # Short-circuit below the threshold: dropped records pay
+            # neither the per-phase dict conversion nor the log call.
+            if elapsed_ms >= log.threshold_ms:
+                log.maybe_record(
+                    xpath=xpath,
+                    sql=translated.sql,
+                    params=translated.params,
+                    elapsed_ms=elapsed_ms,
+                    breakdown_ms={
+                        name: seconds * 1000.0
+                        for name, seconds in phases.items()
+                    },
+                )
+        if use_cache:
+            # Stored as a tuple of frozen ResultItems; every hit hands
+            # out a fresh list, so callers may mutate what they get.
+            cache.put_result(result_key, tuple(items), epoch)
         return items
 
     def _run_query(

@@ -1,0 +1,368 @@
+"""Plan/catalog/result caching: epoch invalidation and satellites.
+
+Covers the :mod:`repro.cache` layer itself (LRU mechanics, the
+refuse-stale-put race rule), its wiring through :class:`XmlStore` and
+the write queue, the deepening-insert regression (a warmed plan whose
+``max_depth`` bound went stale must never drop nodes), the statement-
+verb ``rows_written`` classification, the slow-log short-circuit, and
+the cache-twin mode of the differential fuzzer.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from tests.conftest import ALL_ENCODINGS, BACKENDS
+from repro.backends.base import is_write_statement
+from repro.backends.pooled_sqlite import PooledSqliteBackend
+from repro.backends.sqlite_backend import SqliteBackend
+from repro.cache import StoreCache, cache_enabled_from_env
+from repro.store import XmlStore
+
+SHALLOW = "<r><a><b>x</b></a><a><b>y</b></a></r>"
+DEEP_FRAGMENT = "<c><d><e><f>deep</f></e></d></c>"
+
+
+# -- the cache object itself ---------------------------------------------
+
+
+def test_lru_eviction_and_counters():
+    cache = StoreCache(plan_capacity=2)
+    epoch = cache.current_epoch()
+    cache.put_plan("a", 1, epoch)
+    cache.put_plan("b", 2, epoch)
+    cache.put_plan("c", 3, epoch)  # evicts "a"
+    assert cache.get_plan("a") is None
+    assert cache.get_plan("b") == 2
+    assert cache.get_plan("c") == 3
+    stats = cache.stats()["layers"]["plan"]
+    assert stats["evictions"] == 1
+    assert stats["size"] == 2
+    assert stats["hits"] == 2 and stats["misses"] == 1
+
+
+def test_bump_clears_every_layer_and_advances_epoch():
+    cache = StoreCache()
+    epoch = cache.current_epoch()
+    cache.put_plan("p", 1, epoch)
+    cache.put_catalog("c", 2, epoch)
+    cache.put_result("r", 3, epoch)
+    cache.bump()
+    assert cache.current_epoch() == epoch + 1
+    assert cache.get_plan("p") is None
+    assert cache.get_catalog("c") is None
+    assert cache.get_result("r") is None
+    layers = cache.stats()["layers"]
+    assert all(v["invalidations"] == 1 for v in layers.values())
+
+
+def test_put_with_stale_epoch_is_refused():
+    """The read-during-write race: a value computed from pre-commit
+    state arrives after the writer's bump and must not be stored."""
+    cache = StoreCache()
+    epoch = cache.current_epoch()
+    cache.bump()  # the "writer" commits and invalidates
+    assert cache.put_plan("p", "stale", epoch) is False
+    assert cache.get_plan("p") is None
+    # A put with the fresh epoch is accepted.
+    assert cache.put_plan("p", "fresh", cache.current_epoch()) is True
+    assert cache.get_plan("p") == "fresh"
+
+
+def test_disabled_cache_bump_is_inert():
+    cache = StoreCache(enabled=False)
+    cache.bump()
+    assert cache.current_epoch() == 0
+
+
+def test_env_escape_hatch(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    assert cache_enabled_from_env() is True
+    for value in ("off", "0", "false", "NO", " Disabled "):
+        monkeypatch.setenv("REPRO_CACHE", value)
+        assert cache_enabled_from_env() is False
+    monkeypatch.setenv("REPRO_CACHE", "on")
+    assert cache_enabled_from_env() is True
+
+
+def test_store_honors_env_and_explicit_knob(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "off")
+    assert XmlStore().cache.enabled is False
+    assert XmlStore(cache=True).cache.enabled is True
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    assert XmlStore().cache.enabled is True
+    assert XmlStore(cache=False).cache.enabled is False
+
+
+# -- store wiring ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+def test_repeated_query_hits_every_layer(encoding):
+    store = XmlStore(encoding=encoding, cache=True)
+    doc = store.load(SHALLOW)
+    first = [i.identity() for i in store.query("//b", doc)]
+    second = [i.identity() for i in store.query("//b", doc)]
+    assert first == second and len(first) == 2
+    layers = store.cache.stats()["layers"]
+    assert layers["result"]["hits"] >= 1
+    # The second query was served from the result layer; the plan and
+    # catalog layers were hit when the first query re-validated.
+    store.translate("//b", doc)
+    layers = store.cache.stats()["layers"]
+    assert layers["plan"]["hits"] >= 1
+    assert layers["catalog"]["hits"] >= 1
+
+
+@pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_deepening_insert_returns_new_nodes(encoding, backend):
+    """Regression: warm every cache layer, then insert a fragment
+    deeper than ``document_info.max_depth``.  Local's depth-bounded
+    ``//`` expansion silently drops the new nodes if the stale plan
+    (or stale catalogue row) survives the insert."""
+    store = XmlStore(backend=backend, encoding=encoding, cache=True)
+    doc = store.load(SHALLOW)
+    old_depth = store.document_info(doc).max_depth
+    # Warm: plans + results for the exact queries re-run below.
+    assert store.query("//f", doc) == []
+    assert store.query("//*", doc) != []
+    store.query("/r/a/b/text()", doc)
+
+    store.updates.insert(doc, 2, 0, DEEP_FRAGMENT)
+
+    info = store.document_info(doc)
+    assert info.max_depth > old_depth
+    got = [i.value for i in store.query("//f", doc)]
+    assert got == ["deep"], (
+        f"{encoding}/{backend}: stale depth-bounded plan dropped the "
+        f"deepened nodes: {got}"
+    )
+    # Byte-identical to a caching-off store replaying the same ops.
+    twin = XmlStore(backend=backend, encoding=encoding, cache=False)
+    twin_doc = twin.load(SHALLOW)
+    twin.updates.insert(twin_doc, 2, 0, DEEP_FRAGMENT)
+    for xpath in ("//f", "//*", "/r/a/b/text()", "//e/f/text()"):
+        got = [(i.kind, i.node_id, i.label, i.value)
+               for i in store.query(xpath, doc)]
+        want = [(i.kind, i.node_id, i.label, i.value)
+                for i in twin.query(xpath, twin_doc)]
+        assert got == want, (encoding, backend, xpath)
+
+
+def test_every_update_kind_bumps_the_epoch():
+    store = XmlStore(cache=True)
+    doc = store.load(SHALLOW)
+
+    def epoch() -> int:
+        return store.cache.current_epoch()
+
+    before = epoch()
+    store.updates.insert(doc, 1, 0, "<z/>")
+    after_insert = epoch()
+    assert after_insert > before
+    store.updates.set_text(doc, 2, "new")
+    assert epoch() > after_insert
+    before = epoch()
+    store.updates.rename(doc, 2, "aa")
+    assert epoch() > before
+    before = epoch()
+    store.updates.set_attribute(doc, 2, "k", "v")
+    assert epoch() > before
+    before = epoch()
+    store.updates.delete(doc, 2)
+    assert epoch() > before
+    before = epoch()
+    store.load("<other/>")
+    assert epoch() > before
+    before = epoch()
+    store.delete_document(doc)
+    assert epoch() > before
+
+
+def test_delete_document_invalidates_cached_results():
+    store = XmlStore(cache=True)
+    doc = store.load(SHALLOW)
+    assert len(store.query("//b", doc)) == 2
+    store.delete_document(doc)
+    from repro.errors import StorageError
+
+    with pytest.raises(StorageError):
+        store.query("//b", doc)
+
+
+def test_result_cache_hands_out_fresh_lists():
+    store = XmlStore(cache=True)
+    doc = store.load(SHALLOW)
+    first = store.query("//b", doc)
+    first.clear()  # caller-side mutation must not poison the cache
+    assert len(store.query("//b", doc)) == 2
+
+
+def test_cache_off_store_caches_nothing():
+    store = XmlStore(cache=False)
+    doc = store.load(SHALLOW)
+    store.query("//b", doc)
+    store.query("//b", doc)
+    stats = store.cache.stats()
+    assert all(
+        layer["size"] == 0 and layer["hits"] == 0
+        for layer in stats["layers"].values()
+    )
+
+
+def test_write_queue_commit_bumps_epoch():
+    store = XmlStore(cache=True)
+    doc = store.load(SHALLOW)
+    store.query("//b", doc)  # warm
+    store.enable_write_queue()
+    try:
+        before = store.cache.current_epoch()
+        store.updates.insert(doc, 1, 0, "<z>q</z>")
+        assert store.cache.current_epoch() > before
+        assert len(store.query("//z", doc)) == 1
+    finally:
+        store.close()
+
+
+def test_pooled_backend_concurrent_queries_stay_correct(tmp_path):
+    """Readers on pooled per-thread connections share one epoch; a
+    writer's inserts must become visible to every thread's queries."""
+    backend = PooledSqliteBackend(str(tmp_path / "cache.db"))
+    store = XmlStore(backend=backend, encoding="dewey", cache=True)
+    doc = store.load(SHALLOW)
+    errors: list[str] = []
+    stop = threading.Event()
+
+    def reader() -> None:
+        while not stop.is_set():
+            items = store.query("//b", doc)
+            if not 2 <= len(items) <= 10:
+                errors.append(f"saw {len(items)} <b> nodes")
+                return
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    try:
+        for _ in range(8):
+            store.updates.insert(doc, 1, 0, "<b>w</b>")
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+    assert not errors, errors
+    assert len(store.query("//b", doc)) == 10
+    store.close()
+
+
+# -- satellite: statement-verb write classification -----------------------
+
+
+def test_is_write_statement_classifies_by_verb():
+    assert is_write_statement("INSERT INTO t VALUES (1)")
+    assert is_write_statement("  update t set x = 1")
+    assert is_write_statement("DELETE FROM t")
+    assert is_write_statement("REPLACE INTO t VALUES (1)")
+    assert is_write_statement("-- comment\nINSERT INTO t VALUES (1)")
+    assert not is_write_statement("SELECT * FROM t")
+    assert not is_write_statement("CREATE TABLE t (x)")
+    assert not is_write_statement("PRAGMA journal_mode=WAL")
+    assert not is_write_statement("ANALYZE")
+    assert not is_write_statement("-- only a comment")
+    assert not is_write_statement("")
+
+
+def test_rows_written_counts_dml_not_row_returning_reads(tmp_path):
+    for backend in (
+        SqliteBackend(),
+        PooledSqliteBackend(str(tmp_path / "w.db")),
+    ):
+        backend.execute("CREATE TABLE t (x INTEGER)")
+        backend.execute("INSERT INTO t VALUES (1)")
+        backend.execute("INSERT INTO t VALUES (2)")
+        assert backend.rows_written() == 2
+        # Reads never count, however many rows they produce.
+        backend.execute("SELECT * FROM t")
+        assert backend.rows_written() == 2
+        # A row-producing write still counts (sqlite >= 3.35).
+        import sqlite3
+
+        if sqlite3.sqlite_version_info >= (3, 35):
+            result = backend.execute(
+                "UPDATE t SET x = x + 1 RETURNING x"
+            )
+            assert result.rows  # the old heuristic saw rows -> skipped
+            assert backend.rows_written() == 4
+        backend.close()
+
+
+# -- satellite: slow-log short-circuit ------------------------------------
+
+
+def test_slowlog_below_threshold_records_nothing():
+    from repro.obs import disable_slow_log, enable_slow_log
+
+    store = XmlStore(cache=False)
+    doc = store.load(SHALLOW)
+    log = enable_slow_log(threshold_ms=10_000.0)
+    try:
+        for _ in range(5):
+            store.query("//b", doc)
+        assert log.entries() == []
+    finally:
+        disable_slow_log()
+
+
+def test_slowlog_above_threshold_still_records_breakdown():
+    from repro.obs import disable_slow_log, enable_slow_log
+
+    store = XmlStore(cache=False)
+    doc = store.load(SHALLOW)
+    log = enable_slow_log(threshold_ms=0.0)
+    try:
+        store.query("//b", doc)
+        entries = log.entries()
+        assert len(entries) == 1
+        assert entries[0].xpath == "//b"
+        assert "execute" in entries[0].breakdown_ms
+    finally:
+        disable_slow_log()
+
+
+# -- the fuzzer's cache-twin mode -----------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fuzz_cache_twin_fixed_seeds(backend):
+    from repro.check import FuzzConfig, run_fuzz
+
+    report = run_fuzz(FuzzConfig(
+        seeds=2, ops=8, encodings=ALL_ENCODINGS,
+        backends=(backend,), gaps=(1,), check_every=4,
+        queries_per_check=3, cache_twin=True,
+    ))
+    assert report.ok(), "\n".join(str(f) for f in report.failures)
+
+
+@pytest.mark.skip_audit
+def test_fuzz_cache_twin_catches_missing_invalidation(monkeypatch):
+    """Sanity check that the harness actually detects stale caches: a
+    store whose epoch never advances must fail the battery."""
+    from repro.cache.lru import StoreCache
+    from repro.check import FuzzConfig, run_fuzz
+
+    monkeypatch.setattr(StoreCache, "bump", lambda self: None)
+    report = run_fuzz(FuzzConfig(
+        seeds=3, ops=12, encodings=("local",),
+        backends=("sqlite",), gaps=(1,), check_every=2,
+        queries_per_check=3, cache_twin=True,
+    ))
+    assert not report.ok()
+    kinds = {failure.kind for failure in report.failures}
+    # Stale state surfaces as a twin mismatch, an oracle divergence,
+    # or an invariant violation (the audit reads the stale catalogue
+    # row), depending on which check reaches it first.
+    assert kinds & {"cache-twin", "oracle", "invariant"}, kinds

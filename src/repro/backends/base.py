@@ -101,6 +101,11 @@ class Backend(ABC):
     #: Short backend name ("sqlite" or "minidb").
     name: str
 
+    #: Which dialect the translator should compile plans for.  The
+    #: sqlite backends execute SQL text; minidb overrides this and
+    #: accepts structured statements through :meth:`execute_plan`.
+    dialect: str = "sqlite"
+
     #: Whether the engine accepts ``CREATE ... IF NOT EXISTS`` DDL.
     #: When false, schema bootstrap falls back to tolerating (only)
     #: already-exists errors from plain CREATE statements.
@@ -124,6 +129,19 @@ class Backend(ABC):
         self, sql: str, param_rows: Iterable[Sequence]
     ) -> BackendResult:
         """Execute a DML statement once per parameter row."""
+
+    def execute_plan(
+        self,
+        sql: str,
+        params: Sequence = (),
+        statement: object = None,
+    ) -> BackendResult:
+        """Execute a compiled query plan.
+
+        ``statement`` is the dialect-specific structured form (minidb
+        statement nodes); backends that execute SQL text ignore it.
+        """
+        return self.execute(sql, params)
 
     @abstractmethod
     def rows_written(self) -> int:

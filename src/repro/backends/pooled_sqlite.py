@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import sqlite3
 import threading
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Sequence
 
 from repro.backends.base import Backend, BackendResult, is_write_statement
 from repro.backends.sqlite_backend import connect_sqlite

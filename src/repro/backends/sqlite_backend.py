@@ -42,9 +42,14 @@ def connect_sqlite(
     Backend.transaction protocol (python's implicit-BEGIN legacy mode
     would collide with our explicit BEGIN).
     """
+    # cached_statements sizes sqlite's per-connection prepared-statement
+    # cache; compiled plans have stable parameterized SQL text (literals
+    # arrive as bound parameters), so repeated query shapes skip
+    # re-preparation entirely.
     conn = sqlite3.connect(path or ":memory:",
                            isolation_level=None,
-                           check_same_thread=False)
+                           check_same_thread=False,
+                           cached_statements=512)
     if path is not None:
         # Crash safety for file-backed stores: WAL survives abrupt
         # process death (uncommitted tail discarded on reopen) and

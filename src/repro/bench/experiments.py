@@ -14,7 +14,7 @@ larger runs.
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.bench.harness import (
     ENCODING_NAMES,
@@ -23,7 +23,6 @@ from repro.bench.harness import (
     timed,
 )
 from repro.core.dewey import DeweyKey
-from repro.core.encodings import get_encoding
 from repro.core.shredder import shred
 from repro.core.translator import make_translator
 from repro.errors import TranslationError
@@ -384,6 +383,63 @@ def run_e9_translation(max_depth: int = 6) -> ExperimentTable:
     table.add_note(
         f"Local expansion arms counted at max_depth={max_depth}; they "
         "grow linearly with document depth"
+    )
+    return table
+
+
+def run_e9b_compile_cache(
+    articles: int = 8,
+    repeat: int = 20,
+    backend: str = "sqlite",
+) -> ExperimentTable:
+    """Dynamic translation cost: cold compile vs warm shape-keyed plans.
+
+    Cold runs pay parse + shape extraction + AST compilation for every
+    query; warm runs hit the epoch-checked plan cache and only bind
+    document/context/literal parameters into the compiled plan.
+    """
+    from repro.store import _parse_and_extract
+
+    document = article_corpus(articles=articles)
+    table = ExperimentTable(
+        "E9b",
+        "Translation cost: cold compile vs warm shape-keyed plan cache",
+        ("encoding", "queries", "cold ms", "warm ms", "speedup"),
+    )
+    for name in ENCODING_NAMES:
+        store = XmlStore(backend=backend, encoding=name, cache=True)
+        doc = store.load(document)
+        queries = []
+        for query in ORDERED_QUERIES + UNORDERED_QUERIES:
+            try:
+                store.translate(query.xpath, doc)
+            except TranslationError:
+                continue
+            queries.append(query.xpath)
+
+        def run_batch() -> None:
+            for xpath in queries:
+                store.translate(xpath, doc)
+
+        def run_cold() -> None:
+            # Drop the process-wide shape cache and this store's plan
+            # cache so every translation compiles from scratch.
+            _parse_and_extract.cache_clear()
+            store.cache.bump()
+            run_batch()
+
+        cold = timed(run_cold, repeat)
+        run_batch()  # ensure the plan cache is warm
+        warm = timed(run_batch, repeat)
+        table.add_row(
+            name, len(queries),
+            round(cold * 1000, 3), round(warm * 1000, 3),
+            round(cold / max(warm, 1e-9), 1),
+        )
+    table.add_note(
+        "Plans are keyed on query shape (encoding, XPath shape, context "
+        "kind, max depth) — never on document id or literal values — so "
+        "warm translations skip parsing and compilation entirely"
     )
     return table
 
@@ -816,6 +872,7 @@ def run_all(fast: bool = False) -> list[ExperimentTable]:
             ),
             lambda: run_e8_reconstruction(articles=10, repeat=1),
             lambda: run_e9_translation(),
+            lambda: run_e9b_compile_cache(articles=4, repeat=5),
             lambda: run_e10_sparse_numbering(articles=8, inserts=10),
             lambda: run_e11_ordpath(articles=6, inserts=10),
             lambda: run_e12_scaling(sizes=(300, 1000), repeat=1),
@@ -836,6 +893,7 @@ def run_all(fast: bool = False) -> list[ExperimentTable]:
             run_e7_mixed_workload,
             run_e8_reconstruction,
             run_e9_translation,
+            run_e9b_compile_cache,
             run_e10_sparse_numbering,
             run_e11_ordpath,
             run_e12_scaling,

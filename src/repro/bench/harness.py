@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence, Union
+from typing import Callable, Optional
 
 from repro.store import XmlStore
 from repro.xmldom.dom import Document
@@ -29,8 +29,16 @@ def build_store(
     backend: str = "sqlite",
     gap: int = 1,
 ) -> tuple[XmlStore, int]:
-    """Create a fresh store and load *document*; returns (store, doc)."""
-    store = XmlStore(backend=backend, encoding=encoding, gap=gap)
+    """Create a fresh store and load *document*; returns (store, doc).
+
+    Caching is off regardless of ``REPRO_CACHE``: these stores measure
+    raw per-encoding engine cost, and a result-cache hit would time the
+    cache instead of the query.  Experiments that study caching itself
+    (E9b, E15) construct their stores explicitly.
+    """
+    store = XmlStore(
+        backend=backend, encoding=encoding, gap=gap, cache=False
+    )
     doc = store.load(document)
     return store, doc
 

@@ -2,11 +2,14 @@
 
 A :class:`StoreCache` holds three independent LRU layers:
 
-* **plan** — :class:`~repro.core.translator.TranslatedQuery` objects,
-  keyed on ``(encoding, xpath, doc, context-kind, max_depth)``.  The
-  depth is part of the key because Local's depth-bounded ``//`` and
-  ``following::`` expansion is exactly tight: a plan compiled for a
-  shallower document silently drops nodes once an insert deepens it.
+* **plan** — :class:`~repro.core.relalg.CompiledPlan` objects, keyed
+  on ``(dialect, encoding, xpath-shape, max_depth)``.  The shape is
+  the XPath with predicate literals lifted into parameter slots, so
+  one plan serves every document and every literal value; the doc id,
+  context node, and literals bind per request via ``plan.bind()``.
+  The depth is part of the key because Local's depth-bounded ``//``
+  and ``following::`` expansion is exactly tight: a plan compiled for
+  a shallower document silently drops nodes once an insert deepens it.
 * **catalog** — :class:`~repro.store.DocumentInfo` rows, keyed on the
   doc id, so translation stops issuing a catalogue SELECT per query.
 * **result** — materialized query results, keyed on

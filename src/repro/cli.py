@@ -146,7 +146,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         translated = store.translate(args.xpath, doc)
         print(f"-- {translated.encoding} translation "
               f"({translated.stats.total_relational_operations()} "
-              f"relational ops)")
+              "relational ops)")
         print(translated.sql)
         print(f"-- params: {translated.params}")
         print()

@@ -87,7 +87,7 @@ class ConnectionPool(Generic[C]):
                 if remaining <= 0 or not self._cond.wait(remaining):
                     METRICS.inc("pool.exhausted")
                     raise PoolExhaustedError(
-                        f"no connection free after "
+                        "no connection free after "
                         f"{self.acquire_timeout}s (capacity "
                         f"{self.capacity}, all checked out)"
                     )

@@ -1,0 +1,627 @@
+"""Relational expression AST and per-backend dialect compilers.
+
+The XPath translators no longer emit SQL text directly.  They build a
+small relational algebra AST — tables with aliases, comparisons, AND/OR
+(including the Local encoding's depth-expansion arms), EXISTS and
+correlated COUNT subqueries — which a *dialect* then compiles:
+
+* :class:`SqlTextDialect` renders parameterized SQL with ``?``
+  placeholders (the sqlite backends reuse prepared statements through
+  the connection-level statement cache);
+* :class:`MiniDbDialect` emits the engine's own structured statement
+  nodes (:mod:`repro.minidb.sql_ast`), so minidb executes translator
+  output without re-parsing SQL text.
+
+Run-time values never appear in the compiled form.  Every value the SQL
+depends on — the document id, the context-node id, and the safe XPath
+predicate literals — compiles to a :class:`Param` carrying a *slot*, and
+:meth:`CompiledPlan.bind` turns slots into a concrete parameter tuple.
+Compiled plans are therefore keyed on query *shape* and shared across
+documents and across differing predicate literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.errors import TranslationError
+
+# ---------------------------------------------------------------------------
+# Parameter slots
+# ---------------------------------------------------------------------------
+
+
+class _DocSlot:
+    """The document id (bound per :meth:`CompiledPlan.bind` call)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "DOC"
+
+
+class _CtxSlot:
+    """The context-node surrogate id (relative paths only)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "CTX"
+
+
+#: Singleton slots: every doc/context parameter is the same object.
+DOC = _DocSlot()
+CTX = _CtxSlot()
+
+
+@dataclass(frozen=True)
+class FixedSlot:
+    """A parameter whose value is fixed at compile time.
+
+    Used for values that are part of the query shape (tag names,
+    attribute names) but are still passed as ``?`` parameters so the
+    SQL text stays stable and statement caches stay warm.
+    """
+
+    value: object
+
+
+@dataclass(frozen=True)
+class LitSlot:
+    """A parameter fed from the query's extracted literal list.
+
+    ``index`` addresses the literal (in extraction order); ``transform``
+    names how the raw literal becomes the bound value:
+
+    * ``raw``   — the literal itself;
+    * ``num``   — as int when integral, else float;
+    * ``int``   — truncated to int;
+    * ``posm1`` — ``int(v) - 1`` (positions compare against a count of
+      *preceding* axis-mates);
+    * ``len``   — ``len(v)`` (the ``starts-with`` prefix length).
+    """
+
+    index: int
+    transform: str = "raw"
+
+
+ParamSlot = Union[_DocSlot, _CtxSlot, FixedSlot, LitSlot]
+
+
+def _apply_transform(transform: str, value: object) -> object:
+    if transform == "raw":
+        return value
+    if transform == "num":
+        number = float(value)  # type: ignore[arg-type]
+        return int(number) if number == int(number) else number
+    if transform == "int":
+        return int(value)  # type: ignore[arg-type]
+    if transform == "posm1":
+        return int(value) - 1  # type: ignore[arg-type]
+    if transform == "len":
+        return len(value)  # type: ignore[arg-type]
+    raise TranslationError(f"unknown literal transform {transform!r}")
+
+
+# ---------------------------------------------------------------------------
+# Expression nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Col:
+    """A column reference through a table alias."""
+
+    alias: str
+    name: str
+
+
+@dataclass(frozen=True)
+class Const:
+    """A structural constant, inlined by every dialect."""
+
+    value: object  # int | float | str
+
+
+@dataclass(frozen=True)
+class Param:
+    """A ``?`` placeholder fed from a :data:`ParamSlot` at bind time."""
+
+    slot: ParamSlot
+
+
+@dataclass(frozen=True)
+class Bool:
+    """A constant truth value (rendered ``1 = 1`` / ``1 = 0``)."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class Cmp:
+    """A binary comparison: ``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=``."""
+
+    op: str
+    left: "RelExpr"
+    right: "RelExpr"
+
+
+@dataclass(frozen=True)
+class And:
+    items: tuple["RelExpr", ...]
+
+
+@dataclass(frozen=True)
+class Or:
+    """Disjunction; ``expansion_arms`` counts depth-expansion arms for
+    the E9 complexity statistics (Local encoding ancestor chains)."""
+
+    items: tuple["RelExpr", ...]
+    expansion_arms: int = 0
+
+
+@dataclass(frozen=True)
+class Not:
+    item: "RelExpr"
+
+
+@dataclass(frozen=True)
+class Func:
+    """A scalar function call (``INSTR``, ``SUBSTR``, ``dewey_parent``...)."""
+
+    name: str
+    args: tuple["RelExpr", ...]
+
+
+@dataclass(frozen=True)
+class CountStar:
+    """``COUNT(*)``."""
+
+
+@dataclass(frozen=True)
+class Cast:
+    item: "RelExpr"
+    type_name: str  # "REAL"
+
+
+@dataclass(frozen=True)
+class Exists:
+    """(NOT) EXISTS subquery.
+
+    ``counted`` mirrors the historical stats accounting: the Local
+    encoding's parent-pointer chain arms are not individually counted
+    as EXISTS subqueries (the whole chain counts as OR expansions).
+    """
+
+    query: "Select"
+    negated: bool = False
+    counted: bool = True
+
+
+@dataclass(frozen=True)
+class ScalarCount:
+    """A correlated ``(SELECT COUNT(*) ...)`` scalar subquery."""
+
+    query: "Select"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: "RelExpr"
+    as_name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Select:
+    """One SELECT.
+
+    ``count_joins`` mirrors the historical stats accounting: FROM items
+    beyond the first count as joins for step/exists/count selects, but
+    not for the Local encoding's internal chain subqueries.
+    """
+
+    columns: tuple[SelectItem, ...]
+    from_items: tuple[tuple[str, str], ...] = ()  # (table, alias)
+    where: tuple["RelExpr", ...] = ()
+    order_by: tuple[Col, ...] = ()
+    distinct: bool = False
+    count_joins: bool = True
+
+
+@dataclass(frozen=True)
+class UnionQuery:
+    """``SELECT .. UNION SELECT ..`` ordered by output-column names."""
+
+    selects: tuple[Select, ...]
+    order_by: tuple[str, ...] = ()
+
+
+RelExpr = Union[
+    Col, Const, Param, Bool, Cmp, And, Or, Not, Func, CountStar, Cast,
+    Exists, ScalarCount,
+]
+
+RelQuery = Union[Select, UnionQuery]
+
+
+# ---------------------------------------------------------------------------
+# Statistics (experiment E9), computed on the AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TranslationStats:
+    """Static complexity of one translated query (experiment E9)."""
+
+    joins: int = 0  # FROM items beyond the first, across all queries
+    exists_subqueries: int = 0
+    count_subqueries: int = 0
+    or_expansions: int = 0  # depth-expansion arms (Local encoding)
+
+    def total_relational_operations(self) -> int:
+        return (
+            self.joins
+            + self.exists_subqueries
+            + self.count_subqueries
+            + self.or_expansions
+        )
+
+
+def compute_stats(query: RelQuery) -> TranslationStats:
+    """Derive the E9 complexity statistics from a compiled AST."""
+    stats = TranslationStats()
+    _collect_stats(query, stats)
+    return stats
+
+
+def _collect_stats(node: object, stats: TranslationStats) -> None:
+    if isinstance(node, UnionQuery):
+        for arm in node.selects:
+            _collect_stats(arm, stats)
+    elif isinstance(node, Select):
+        if node.count_joins:
+            stats.joins += max(0, len(node.from_items) - 1)
+        for item in node.columns:
+            _collect_stats(item.expr, stats)
+        for cond in node.where:
+            _collect_stats(cond, stats)
+    elif isinstance(node, Exists):
+        if node.counted:
+            stats.exists_subqueries += 1
+        _collect_stats(node.query, stats)
+    elif isinstance(node, ScalarCount):
+        stats.count_subqueries += 1
+        _collect_stats(node.query, stats)
+    elif isinstance(node, Or):
+        stats.or_expansions += node.expansion_arms
+        for item in node.items:
+            _collect_stats(item, stats)
+    elif isinstance(node, And):
+        for item in node.items:
+            _collect_stats(item, stats)
+    elif isinstance(node, Not):
+        _collect_stats(node.item, stats)
+    elif isinstance(node, Cmp):
+        _collect_stats(node.left, stats)
+        _collect_stats(node.right, stats)
+    elif isinstance(node, Func):
+        for arg in node.args:
+            _collect_stats(arg, stats)
+    elif isinstance(node, Cast):
+        _collect_stats(node.item, stats)
+    # Col/Const/Param/Bool/CountStar are leaves.
+
+
+# ---------------------------------------------------------------------------
+# SQL text dialect
+# ---------------------------------------------------------------------------
+
+
+def sql_string_literal(text: str) -> str:
+    """Escape *text* as a single-quoted SQL literal (quotes doubled)."""
+    return "'" + text.replace("'", "''") + "'"
+
+
+def _render_const(value: object) -> str:
+    if isinstance(value, str):
+        return sql_string_literal(value)
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return "1" if value else "0"
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+class SqlTextDialect:
+    """Compile the AST to SQL text with ``?`` placeholders.
+
+    The slot list is collected in placeholder order, so binding the
+    slots left to right yields the parameter tuple for the statement.
+    """
+
+    name = "sqlite"
+
+    def compile(self, query: RelQuery) -> tuple[str, tuple[ParamSlot, ...]]:
+        slots: list[ParamSlot] = []
+        sql = self._query(query, slots)
+        return sql, tuple(slots)
+
+    def _query(self, query: RelQuery, slots: list) -> str:
+        if isinstance(query, UnionQuery):
+            sql = " UNION ".join(
+                self._select(arm, slots) for arm in query.selects
+            )
+            if query.order_by:
+                sql += " ORDER BY " + ", ".join(query.order_by)
+            return sql
+        return self._select(query, slots)
+
+    def _select(self, select: Select, slots: list) -> str:
+        parts = ["SELECT "]
+        if select.distinct:
+            parts.append("DISTINCT ")
+        rendered_items = []
+        for item in select.columns:
+            text = self._expr(item.expr, slots)
+            if item.as_name is not None:
+                text += f" AS {item.as_name}"
+            rendered_items.append(text)
+        parts.append(", ".join(rendered_items))
+        if select.from_items:
+            parts.append(" FROM ")
+            parts.append(
+                ", ".join(f"{t} {a}" for t, a in select.from_items)
+            )
+        if select.where:
+            parts.append(" WHERE ")
+            parts.append(
+                " AND ".join(self._expr(c, slots) for c in select.where)
+            )
+        if select.order_by:
+            parts.append(" ORDER BY ")
+            parts.append(
+                ", ".join(f"{c.alias}.{c.name}" for c in select.order_by)
+            )
+        return "".join(parts)
+
+    def _expr(self, node: RelExpr, slots: list) -> str:
+        if isinstance(node, Col):
+            return f"{node.alias}.{node.name}"
+        if isinstance(node, Const):
+            return _render_const(node.value)
+        if isinstance(node, Param):
+            slots.append(node.slot)
+            return "?"
+        if isinstance(node, Bool):
+            return "1 = 1" if node.value else "1 = 0"
+        if isinstance(node, Cmp):
+            left = self._expr(node.left, slots)
+            right = self._expr(node.right, slots)
+            return f"{left} {node.op} {right}"
+        if isinstance(node, And):
+            inner = " AND ".join(self._expr(i, slots) for i in node.items)
+            return f"({inner})"
+        if isinstance(node, Or):
+            inner = " OR ".join(self._expr(i, slots) for i in node.items)
+            return f"({inner})"
+        if isinstance(node, Not):
+            return f"NOT ({self._expr(node.item, slots)})"
+        if isinstance(node, Func):
+            args = ", ".join(self._expr(a, slots) for a in node.args)
+            return f"{node.name}({args})"
+        if isinstance(node, CountStar):
+            return "COUNT(*)"
+        if isinstance(node, Cast):
+            return f"CAST({self._expr(node.item, slots)} AS {node.type_name})"
+        if isinstance(node, Exists):
+            keyword = "NOT EXISTS" if node.negated else "EXISTS"
+            return f"{keyword} ({self._select(node.query, slots)})"
+        if isinstance(node, ScalarCount):
+            return f"({self._select(node.query, slots)})"
+        raise TranslationError(f"cannot render node {node!r}")
+
+
+# ---------------------------------------------------------------------------
+# minidb dialect
+# ---------------------------------------------------------------------------
+
+
+class MiniDbDialect:
+    """Compile the AST to :mod:`repro.minidb.sql_ast` statement nodes.
+
+    Traversal order matches :class:`SqlTextDialect` exactly, so the
+    0-based ``Param.index`` values address the same bound-parameter
+    tuple the text dialect's ``?`` placeholders consume.
+    """
+
+    name = "minidb"
+
+    def compile(self, query: RelQuery) -> tuple[object, tuple[ParamSlot, ...]]:
+        from repro.minidb import sql_ast as m
+
+        slots: list[ParamSlot] = []
+        statement = self._query(query, slots, m)
+        return statement, tuple(slots)
+
+    def _query(self, query: RelQuery, slots: list, m) -> object:
+        if isinstance(query, UnionQuery):
+            arms = tuple(
+                self._select(arm, slots, m) for arm in query.selects
+            )
+            order = tuple(
+                m.OrderItem(m.ColumnRef(None, name))
+                for name in query.order_by
+            )
+            return m.Union_(arms=arms, order_by=order)
+        return self._select(query, slots, m)
+
+    def _select(self, select: Select, slots: list, m) -> object:
+        items = tuple(
+            m.SelectItem(self._expr(item.expr, slots, m), item.as_name)
+            for item in select.columns
+        )
+        from_items = tuple(
+            m.FromItem(m.TableSource(table), alias)
+            for table, alias in select.from_items
+        )
+        where = None
+        for cond in select.where:
+            compiled = self._expr(cond, slots, m)
+            where = (
+                compiled if where is None
+                else m.Binary("AND", where, compiled)
+            )
+        order = tuple(
+            m.OrderItem(m.ColumnRef(c.alias, c.name))
+            for c in select.order_by
+        )
+        return m.Select(
+            items=items,
+            from_items=from_items,
+            where=where,
+            order_by=order,
+            distinct=select.distinct,
+        )
+
+    def _expr(self, node: RelExpr, slots: list, m) -> object:
+        if isinstance(node, Col):
+            return m.ColumnRef(node.alias, node.name)
+        if isinstance(node, Const):
+            value = node.value
+            if isinstance(value, float) and value == int(value):
+                value = int(value)
+            return m.Literal(value)
+        if isinstance(node, Param):
+            slots.append(node.slot)
+            return m.Param(len(slots) - 1)
+        if isinstance(node, Bool):
+            return m.Binary(
+                "=", m.Literal(1), m.Literal(1 if node.value else 0)
+            )
+        if isinstance(node, Cmp):
+            left = self._expr(node.left, slots, m)
+            right = self._expr(node.right, slots, m)
+            return m.Binary(node.op, left, right)
+        if isinstance(node, (And, Or)):
+            op = "AND" if isinstance(node, And) else "OR"
+            combined = None
+            for item in node.items:
+                compiled = self._expr(item, slots, m)
+                combined = (
+                    compiled if combined is None
+                    else m.Binary(op, combined, compiled)
+                )
+            return combined
+        if isinstance(node, Not):
+            return m.Unary("NOT", self._expr(node.item, slots, m))
+        if isinstance(node, Func):
+            args = tuple(self._expr(a, slots, m) for a in node.args)
+            return m.FunctionExpr(node.name.lower(), args)
+        if isinstance(node, CountStar):
+            return m.FunctionExpr("count", (), star=True)
+        if isinstance(node, Cast):
+            return m.Cast(self._expr(node.item, slots, m), node.type_name)
+        if isinstance(node, Exists):
+            # NOT EXISTS compiles as Unary NOT over Exists — the same
+            # shape the minidb SQL parser produces for the text form,
+            # so both dialects yield structurally identical statements.
+            inner = m.Exists(self._select(node.query, slots, m))
+            if node.negated:
+                return m.Unary("NOT", inner)
+            return inner
+        if isinstance(node, ScalarCount):
+            return m.ScalarSubquery(self._select(node.query, slots, m))
+        raise TranslationError(f"cannot compile node {node!r} for minidb")
+
+
+#: Dialect registry (the store picks by ``backend.dialect``).
+DIALECTS = {
+    "sqlite": SqlTextDialect,
+    "minidb": MiniDbDialect,
+}
+
+
+# ---------------------------------------------------------------------------
+# Compiled plans and bound queries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TranslatedQuery:
+    """The *bound* SQL form of one XPath query (ready to execute).
+
+    ``statement`` carries the minidb structured statement when the plan
+    was compiled for the minidb dialect; ``None`` means "execute the
+    SQL text".
+    """
+
+    sql: str
+    params: tuple
+    result_kind: str  # "node" | "attribute"
+    needs_client_order: bool
+    encoding: str
+    columns: tuple[str, ...]
+    stats: TranslationStats
+    statement: object = None
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A document-independent compiled query, keyed on query shape.
+
+    The plan embeds no document id, context id, or predicate literal:
+    those arrive through :meth:`bind`, which resolves the slot list
+    into a concrete parameter tuple.
+    """
+
+    sql: str
+    param_slots: tuple[ParamSlot, ...]
+    result_kind: str
+    needs_client_order: bool
+    encoding: str
+    columns: tuple[str, ...]
+    stats: TranslationStats
+    statement: object = None
+
+    def bind(
+        self,
+        doc: int,
+        context_id: Optional[int] = None,
+        literals: tuple = (),
+    ) -> TranslatedQuery:
+        """Resolve slots into parameters for one concrete execution."""
+        params = []
+        for slot in self.param_slots:
+            if slot is DOC:
+                params.append(doc)
+            elif slot is CTX:
+                if context_id is None:
+                    raise TranslationError(
+                        "relative paths need a context node "
+                        "(pass context_id) or an absolute path"
+                    )
+                params.append(context_id)
+            elif isinstance(slot, FixedSlot):
+                params.append(slot.value)
+            elif isinstance(slot, LitSlot):
+                if slot.index >= len(literals):
+                    raise TranslationError(
+                        "literal slot out of range: plan compiled from "
+                        "a different query shape"
+                    )
+                params.append(
+                    _apply_transform(slot.transform, literals[slot.index])
+                )
+            else:  # pragma: no cover - defensive
+                raise TranslationError(f"unknown parameter slot {slot!r}")
+        return TranslatedQuery(
+            sql=self.sql,
+            params=tuple(params),
+            result_kind=self.result_kind,
+            needs_client_order=self.needs_client_order,
+            encoding=self.encoding,
+            columns=self.columns,
+            stats=self.stats,
+            statement=self.statement,
+        )

@@ -1,8 +1,10 @@
-"""Tiny SQL generation helpers for the XPath translator.
+"""Query-construction helpers for the XPath translator.
 
-SQL is assembled from :class:`Frag` values — snippets that carry their own
-positional parameters — so the final statement's ``?`` placeholders line up
-with the flattened parameter list no matter how conditions were composed.
+The translator assembles :mod:`repro.core.relalg` expression nodes; this
+module provides the mutable :class:`SelectBuilder` that accumulates one
+SELECT's pieces and the subquery wrappers.  Rendering to SQL text (or to
+minidb statement nodes) happens later, in the dialect compilers — the
+builder never touches strings.
 """
 
 from __future__ import annotations
@@ -10,44 +12,51 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from repro.core.relalg import (
+    And,
+    Bool,
+    Col,
+    CountStar,
+    Exists,
+    Or,
+    RelExpr,
+    ScalarCount,
+    Select,
+    SelectItem,
+    TranslationStats,
+    sql_string_literal,
+)
 
-@dataclass(frozen=True)
-class Frag:
-    """A SQL snippet plus the parameters embedded in it, in order."""
-
-    sql: str
-    params: tuple = ()
-
-    def __bool__(self) -> bool:
-        return bool(self.sql)
-
-
-def frag(sql: str, *params: object) -> Frag:
-    """Shorthand constructor."""
-    return Frag(sql, tuple(params))
-
-
-def join_frags(parts: Iterable[Frag], separator: str) -> Frag:
-    """Concatenate fragments with a separator, merging parameters."""
-    parts = [p for p in parts if p.sql]
-    sql = separator.join(p.sql for p in parts)
-    params: tuple = ()
-    for p in parts:
-        params += p.params
-    return Frag(sql, params)
-
-
-def all_of(parts: Iterable[Frag]) -> Frag:
-    """AND-combine fragments (each already parenthesised as needed)."""
-    return join_frags(parts, " AND ")
+__all__ = [
+    "AliasGenerator",
+    "SelectBuilder",
+    "TranslationStats",
+    "all_of",
+    "any_of",
+    "exists",
+    "scalar_count",
+    "sql_string_literal",
+]
 
 
-def any_of(parts: Iterable[Frag]) -> Frag:
-    """OR-combine fragments, parenthesising the whole disjunction."""
-    combined = join_frags(parts, " OR ")
-    if not combined.sql:
-        return combined
-    return Frag(f"({combined.sql})", combined.params)
+def all_of(parts: Iterable[Optional[RelExpr]]) -> Optional[RelExpr]:
+    """AND-combine conditions, dropping empties."""
+    items = tuple(p for p in parts if p is not None)
+    if not items:
+        return None
+    if len(items) == 1:
+        return items[0]
+    return And(items)
+
+
+def any_of(
+    parts: Iterable[Optional[RelExpr]], expansion_arms: int = 0
+) -> Optional[RelExpr]:
+    """OR-combine conditions; ``expansion_arms`` feeds the E9 stats."""
+    items = tuple(p for p in parts if p is not None)
+    if not items:
+        return None
+    return Or(items, expansion_arms=expansion_arms)
 
 
 class AliasGenerator:
@@ -65,73 +74,66 @@ class AliasGenerator:
 
 @dataclass
 class SelectBuilder:
-    """Accumulates one SELECT statement."""
+    """Accumulates one SELECT statement as relalg nodes."""
 
-    select: list[Frag] = field(default_factory=list)
-    from_items: list[Frag] = field(default_factory=list)
-    where: list[Frag] = field(default_factory=list)
-    order_by: list[str] = field(default_factory=list)
+    select: list[SelectItem] = field(default_factory=list)
+    from_items: list[tuple[str, str]] = field(default_factory=list)
+    where: list[RelExpr] = field(default_factory=list)
+    order_by: list[Col] = field(default_factory=list)
     distinct: bool = False
+    count_joins: bool = True
 
     def add_from(self, table: str, alias: str) -> None:
-        self.from_items.append(Frag(f"{table} {alias}"))
+        self.from_items.append((table, alias))
 
-    def add_where(self, condition: Frag) -> None:
-        if condition.sql:
+    def add_where(self, condition: Optional[RelExpr]) -> None:
+        if condition is not None:
             self.where.append(condition)
 
-    def render(self) -> Frag:
-        distinct = "DISTINCT " if self.distinct else ""
-        select_frag = join_frags(self.select, ", ")
-        from_frag = join_frags(self.from_items, ", ")
-        where_frag = join_frags(self.where, " AND ")
-        sql = f"SELECT {distinct}{select_frag.sql}"
-        params = select_frag.params
-        if from_frag.sql:
-            sql += f" FROM {from_frag.sql}"
-            params += from_frag.params
-        if where_frag.sql:
-            sql += f" WHERE {where_frag.sql}"
-            params += where_frag.params
-        if self.order_by:
-            sql += " ORDER BY " + ", ".join(self.order_by)
-        return Frag(sql, params)
-
-
-def exists(builder: SelectBuilder, negated: bool = False) -> Frag:
-    """Wrap a built subquery in (NOT) EXISTS."""
-    inner = builder.render()
-    keyword = "NOT EXISTS" if negated else "EXISTS"
-    return Frag(f"{keyword} ({inner.sql})", inner.params)
-
-
-def scalar_count(builder: SelectBuilder) -> Frag:
-    """Render a builder as a correlated COUNT(*) scalar subquery."""
-    saved = builder.select
-    builder.select = [Frag("COUNT(*)")]
-    inner = builder.render()
-    builder.select = saved
-    return Frag(f"({inner.sql})", inner.params)
-
-
-def sql_string_literal(text: str) -> str:
-    """Escape *text* as a single-quoted SQL literal (quotes doubled)."""
-    return "'" + text.replace("'", "''") + "'"
-
-
-@dataclass
-class TranslationStats:
-    """Static complexity of one translated query (experiment E9)."""
-
-    joins: int = 0  # FROM items beyond the first, across all queries
-    exists_subqueries: int = 0
-    count_subqueries: int = 0
-    or_expansions: int = 0  # depth-expansion arms (Local encoding)
-
-    def total_relational_operations(self) -> int:
-        return (
-            self.joins
-            + self.exists_subqueries
-            + self.count_subqueries
-            + self.or_expansions
+    def build(self) -> Select:
+        """Snapshot the accumulated pieces as an immutable Select."""
+        return Select(
+            columns=tuple(self.select),
+            from_items=tuple(self.from_items),
+            where=tuple(self.where),
+            order_by=tuple(self.order_by),
+            distinct=self.distinct,
+            count_joins=self.count_joins,
         )
+
+
+def exists(
+    builder: SelectBuilder, negated: bool = False, counted: bool = True
+) -> Exists:
+    """Wrap a built subquery in (NOT) EXISTS."""
+    return Exists(builder.build(), negated=negated, counted=counted)
+
+
+def scalar_count(builder: SelectBuilder) -> ScalarCount:
+    """A correlated COUNT(*) scalar subquery over the builder's rows.
+
+    The projection is replaced in the immutable snapshot only; the
+    builder itself is never mutated, so no exception path can leave it
+    corrupted for subsequent renders (the old fragment-based version
+    swapped ``builder.select`` in place without try/finally).
+    """
+    snapshot = builder.build()
+    counted = Select(
+        columns=(SelectItem(CountStar()),),
+        from_items=snapshot.from_items,
+        where=snapshot.where,
+        order_by=(),
+        distinct=False,
+        count_joins=snapshot.count_joins,
+    )
+    return ScalarCount(counted)
+
+
+def true_condition() -> Bool:
+    """The constant-true condition (``1 = 1``)."""
+    return Bool(True)
+
+
+def false_condition() -> Bool:
+    """The constant-false condition (``1 = 0``)."""
+    return Bool(False)

@@ -1,5 +1,6 @@
 """XPath -> SQL translators, one per order encoding."""
 
+from repro.core.relalg import CompiledPlan
 from repro.core.translator.base import (
     NODE_PROJECTION,
     NormStep,
@@ -7,6 +8,7 @@ from repro.core.translator.base import (
     TranslatedQuery,
     normalize_steps,
 )
+from repro.core.translator.shape import extract_shape
 from repro.core.translator.dewey_sql import DeweySqlTranslator
 from repro.core.translator.global_sql import GlobalSqlTranslator
 from repro.core.translator.local_sql import LocalSqlTranslator
@@ -28,9 +30,11 @@ def make_translator(encoding: str, max_depth: int = 16) -> SqlTranslator:
 
 __all__ = [
     "NODE_PROJECTION",
+    "CompiledPlan",
     "NormStep",
     "SqlTranslator",
     "TranslatedQuery",
+    "extract_shape",
     "DeweySqlTranslator",
     "GlobalSqlTranslator",
     "LocalSqlTranslator",

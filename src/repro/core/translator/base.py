@@ -1,10 +1,11 @@
 """XPath -> SQL translation framework.
 
-:class:`SqlTranslator` walks a parsed location path and emits one SQL
-SELECT over the encoding's node/attribute tables.  Each location step adds
-a node-table alias joined to the previous step's alias through the
-encoding's *axis condition* — the heart of the paper: with order encoded
-as data, every ordered axis becomes a comparison over order columns.
+:class:`SqlTranslator` walks a parsed location path and builds one
+relational expression AST (:mod:`repro.core.relalg`) over the encoding's
+node/attribute tables.  Each location step adds a node-table alias joined
+to the previous step's alias through the encoding's *axis condition* —
+the heart of the paper: with order encoded as data, every ordered axis
+becomes a comparison over order columns.
 
 Predicates compile to:
 
@@ -16,6 +17,12 @@ Predicates compile to:
 * **value** conditions (``[@id = "x"]``, ``[price < 10]``) — ``EXISTS``
   subqueries ending in a comparison against the stored value column;
 * boolean connectives, ``count()``, ``contains()`` and ``starts-with()``.
+
+The AST is then compiled by a *dialect* (SQL text for sqlite, structured
+statement nodes for minidb) into a :class:`~repro.core.relalg.CompiledPlan`
+that contains no document id, context id, or predicate literal — those
+bind later, so one compiled plan serves every document and every literal
+value of the same query shape.
 
 The two leading-``//`` steps the parser produces
 (``descendant-or-self::node()`` + ``child::T``) are merged into a single
@@ -39,22 +46,43 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from repro.core.encodings import OrderEncoding
+from repro.core.relalg import (
+    CTX,
+    DOC,
+    Bool,
+    Cast,
+    Cmp,
+    Col,
+    CompiledPlan,
+    Const,
+    DIALECTS,
+    Exists,
+    FixedSlot,
+    Func,
+    LitSlot,
+    MiniDbDialect,
+    Param,
+    RelExpr,
+    RelQuery,
+    ScalarCount,
+    Select,
+    SelectItem,
+    SqlTextDialect,
+    TranslatedQuery,
+    UnionQuery,
+    compute_stats,
+)
 from repro.core.schema import KIND_COMMENT, KIND_ELEMENT, KIND_TEXT
 from repro.core.sqlgen import (
     AliasGenerator,
-    Frag,
     SelectBuilder,
-    TranslationStats,
-    all_of,
-    any_of,
     exists,
-    frag,
     scalar_count,
-    sql_string_literal,
 )
+from repro.core.translator.shape import extract_shape, is_slot
 from repro.errors import TranslationError, UnsupportedXPathError
 from repro.obs import METRICS
 from repro.xpath.ast import (
@@ -67,6 +95,7 @@ from repro.xpath.ast import (
     PathExpr,
     Step,
     StringLiteral,
+    UnionPath,
 )
 
 _COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
@@ -91,19 +120,6 @@ class NormStep:
     test: NodeTest
     predicates: tuple[Expr, ...]
     positional_axis: str
-
-
-@dataclass(frozen=True)
-class TranslatedQuery:
-    """The SQL form of one XPath query."""
-
-    sql: str
-    params: tuple
-    result_kind: str  # "node" | "attribute"
-    needs_client_order: bool
-    encoding: str
-    columns: tuple[str, ...]
-    stats: TranslationStats
 
 
 def normalize_steps(steps: tuple[Step, ...]) -> list[NormStep]:
@@ -219,6 +235,16 @@ def _mentions_position(expr: Expr) -> bool:
     return False
 
 
+@dataclass
+class _Arm:
+    """One translated union arm (or a whole single-path query)."""
+
+    select: Select
+    result_kind: str  # "node" | "attribute"
+    needs_client_order: bool
+    columns: tuple[str, ...]
+
+
 class SqlTranslator(ABC):
     """Base translator; one concrete subclass per encoding."""
 
@@ -237,18 +263,19 @@ class SqlTranslator(ABC):
         ctx: Optional[str],
         cand: str,
         t: "_Translation",
-    ) -> Frag:
+    ) -> Optional[RelExpr]:
         """Condition relating candidate alias to context alias.
 
-        ``ctx`` is ``None`` when the context is the document node.
+        ``ctx`` is ``None`` when the context is the document node; a
+        ``None`` result means "no restriction".
         """
 
     @abstractmethod
-    def sibling_before(self, a: str, b: str) -> Frag:
+    def sibling_before(self, a: str, b: str) -> RelExpr:
         """``a`` strictly before ``b`` among siblings (same parent assumed)."""
 
     @abstractmethod
-    def doc_before(self, a: str, b: str) -> Frag:
+    def doc_before(self, a: str, b: str) -> RelExpr:
         """``a`` strictly before ``b`` in document order.
 
         Local order cannot express this; its implementation raises
@@ -256,49 +283,93 @@ class SqlTranslator(ABC):
         """
 
     @abstractmethod
-    def order_by_columns(self, alias: str) -> Optional[list[str]]:
+    def order_by_columns(self, alias: str) -> Optional[list[Col]]:
         """ORDER BY columns yielding document order, or ``None``."""
 
     # -- public API -----------------------------------------------------------
 
     def translate(
         self,
-        path: Union[LocationPath, "UnionPath", str],
+        path: Union[LocationPath, UnionPath, str],
         doc: int,
         context_id: Optional[int] = None,
+        dialect: str = "sqlite",
     ) -> TranslatedQuery:
-        """Translate a path (or a top-level ``|`` union) into one SQL
-        query.
+        """Translate a path (or a top-level ``|`` union) into one bound
+        SQL query.
 
-        Relative paths require *context_id*: the surrogate id of the
-        node to navigate from, anchored by an extra self-join on the
-        node table.  Absolute paths ignore the context.
+        Convenience wrapper: extracts the query shape, compiles it, and
+        binds *doc* / *context_id* / the extracted literals.  Relative
+        paths require *context_id*: the surrogate id of the node to
+        navigate from, anchored by an extra self-join on the node
+        table.  Absolute paths ignore the context.
         """
         if isinstance(path, str):
             from repro.xpath.parser import parse_xpath
 
             path = parse_xpath(path)
-        from repro.xpath.ast import UnionPath
+        shaped, literals = extract_shape(path)
+        plan = self.compile(shaped, dialect=dialect)
+        return plan.bind(doc, context_id, literals)
 
+    def compile(
+        self,
+        path: Union[LocationPath, UnionPath, str],
+        dialect: str = "sqlite",
+    ) -> CompiledPlan:
+        """Compile a (possibly shape-extracted) path for one dialect.
+
+        The result is document-independent: ``doc``/context/literal
+        values become parameter slots resolved by
+        :meth:`~repro.core.relalg.CompiledPlan.bind`.
+        """
+        if isinstance(path, str):
+            from repro.xpath.parser import parse_xpath
+
+            path = parse_xpath(path)
+        if dialect not in DIALECTS:
+            raise TranslationError(f"unknown SQL dialect {dialect!r}")
         if isinstance(path, UnionPath):
-            translated = self._translate_union(path, doc, context_id)
-        else:
-            translated = self._translate_arm(
-                path, doc, with_order_by=True, context_id=context_id
+            query, kind, needs_client_order, columns = (
+                self._compile_union(path)
             )
+        else:
+            arm = self._compile_arm(path, with_order_by=True)
+            query = arm.select
+            kind = arm.result_kind
+            needs_client_order = arm.needs_client_order
+            columns = arm.columns
+        stats = compute_stats(query)
+        sql, slots = SqlTextDialect().compile(query)
+        statement = None
+        if dialect == "minidb":
+            statement, minidb_slots = MiniDbDialect().compile(query)
+            if minidb_slots != slots:
+                raise TranslationError(
+                    "internal error: dialect compilers disagreed on "
+                    "parameter order"
+                )
         METRICS.inc("translate.queries")
-        METRICS.inc("translate.joins", translated.stats.joins)
+        METRICS.inc("translate.compile")
+        METRICS.inc("translate.joins", stats.joins)
         METRICS.inc(
             "translate.subqueries",
-            translated.stats.exists_subqueries
-            + translated.stats.count_subqueries,
+            stats.exists_subqueries + stats.count_subqueries,
         )
-        return translated
+        return CompiledPlan(
+            sql=sql,
+            param_slots=slots,
+            result_kind=kind,
+            needs_client_order=needs_client_order,
+            encoding=self.encoding.name,
+            columns=columns,
+            stats=stats,
+            statement=statement,
+        )
 
-    def _translate_union(
-        self, union: "UnionPath", doc: int,
-        context_id: Optional[int] = None,
-    ) -> TranslatedQuery:
+    def _compile_union(
+        self, union: UnionPath
+    ) -> tuple[RelQuery, str, bool, tuple[str, ...]]:
         """``p1 | p2 | ...`` -> ``SELECT .. UNION SELECT ..``.
 
         SQL UNION (without ALL) deduplicates across arms exactly like
@@ -306,9 +377,7 @@ class SqlTranslator(ABC):
         column names, which both backends support.
         """
         arms = [
-            self._translate_arm(
-                p, doc, with_order_by=False, context_id=context_id
-            )
+            self._compile_arm(p, with_order_by=False)
             for p in union.paths
         ]
         kinds = {a.result_kind for a in arms}
@@ -325,67 +394,49 @@ class SqlTranslator(ABC):
             # UNION rejects.  Fall back to the minimal three-column
             # projection for every arm and sort client-side.
             arms = [
-                self._translate_arm(
-                    p, doc, with_order_by=False, context_id=context_id,
+                self._compile_arm(
+                    p, with_order_by=False,
                     minimal_attr_projection=True,
                 )
                 for p in union.paths
             ]
-        sql = " UNION ".join(a.sql for a in arms)
-        params: tuple = ()
-        for a in arms:
-            params += a.params
-        stats = TranslationStats()
-        for a in arms:
-            stats.joins += a.stats.joins
-            stats.exists_subqueries += a.stats.exists_subqueries
-            stats.count_subqueries += a.stats.count_subqueries
-            stats.or_expansions += a.stats.or_expansions
         needs_client_order = any(a.needs_client_order for a in arms)
         columns = arms[0].columns
+        order_names: tuple[str, ...] = ()
         if not needs_client_order:
             if kind == "attribute":
-                order_names = [c for c in columns[3:]] + ["name"]
+                order_names = tuple(columns[3:]) + ("name",)
             else:
-                order_names = [self.encoding.order_by_column or ""]
-            sql += " ORDER BY " + ", ".join(order_names)
-        return TranslatedQuery(
-            sql=sql,
-            params=params,
-            result_kind=kind,
-            needs_client_order=needs_client_order,
-            encoding=self.encoding.name,
-            columns=columns,
-            stats=stats,
+                order_names = (self.encoding.order_by_column or "",)
+        query = UnionQuery(
+            selects=tuple(a.select for a in arms),
+            order_by=order_names,
         )
+        return query, kind, needs_client_order, columns
 
-    def _translate_arm(
+    def _compile_arm(
         self,
         path: LocationPath,
-        doc: int,
         with_order_by: bool,
-        context_id: Optional[int] = None,
         minimal_attr_projection: bool = False,
-    ) -> TranslatedQuery:
-        if not path.absolute and context_id is None:
-            raise TranslationError(
-                "relative paths need a context node "
-                "(pass context_id) or an absolute path"
-            )
+    ) -> _Arm:
         if not path.steps:
             raise TranslationError(
                 "the bare document path '/' has no relational result"
             )
-        t = _Translation(self, doc)
+        t = _Translation(self)
         builder = SelectBuilder()
         builder.distinct = True
         start: Optional[str] = None
         if not path.absolute:
-            # Anchor the context node with a dedicated alias.
+            # Anchor the context node with a dedicated alias; the
+            # context id itself binds later (CTX slot).
             start = t.aliases.next()
             builder.add_from(self.node_table, start)
             builder.add_where(t.doc_cond(start))
-            builder.add_where(frag(f"{start}.id = ?", context_id))
+            builder.add_where(
+                Cmp("=", Col(start, "id"), Param(CTX))
+            )
         alias, kind = self._compile_steps(
             normalize_steps(path.steps), start, builder, t
         )
@@ -394,9 +445,9 @@ class SqlTranslator(ABC):
         if kind == "attribute":
             columns = ("owner", "name", "value")
             builder.select = [
-                Frag(f"{alias}.owner AS owner"),
-                Frag(f"{alias}.name AS name"),
-                Frag(f"{alias}.value AS value"),
+                SelectItem(Col(alias, "owner"), "owner"),
+                SelectItem(Col(alias, "name"), "name"),
+                SelectItem(Col(alias, "value"), "value"),
             ]
             owner = t.attribute_owner_alias
             order_cols = (
@@ -406,21 +457,18 @@ class SqlTranslator(ABC):
             )
             if order_cols is not None:
                 builder.select.extend(
-                    Frag(f"{c} AS {c.split('.', 1)[1]}")
-                    for c in order_cols
+                    SelectItem(c, c.name) for c in order_cols
                 )
-                columns += tuple(
-                    c.split(".", 1)[1] for c in order_cols
-                )
+                columns += tuple(c.name for c in order_cols)
                 if with_order_by:
-                    builder.order_by = [*order_cols, f"{alias}.name"]
+                    builder.order_by = [*order_cols, Col(alias, "name")]
                 needs_client_order = False
             else:
                 needs_client_order = True
         else:
             columns = NODE_PROJECTION + self.encoding.order_columns
             builder.select = [
-                Frag(f"{alias}.{c} AS {c}") for c in columns
+                SelectItem(Col(alias, c), c) for c in columns
             ]
             order_cols = self.order_by_columns(alias)
             if order_cols is not None:
@@ -429,15 +477,11 @@ class SqlTranslator(ABC):
                 needs_client_order = False
             else:
                 needs_client_order = True
-        rendered = builder.render()
-        return TranslatedQuery(
-            sql=rendered.sql,
-            params=rendered.params,
+        return _Arm(
+            select=builder.build(),
             result_kind=kind,
             needs_client_order=needs_client_order,
-            encoding=self.encoding.name,
             columns=columns,
-            stats=t.stats,
         )
 
     # -- step pipeline -----------------------------------------------------------
@@ -462,15 +506,13 @@ class SqlTranslator(ABC):
                 return self._compile_attribute_step(step, ctx, builder, t)
             alias = t.aliases.next()
             builder.add_from(self.node_table, alias)
-            if builder.from_items and len(builder.from_items) > 1:
-                t.stats.joins += 1
             builder.add_where(t.doc_cond(alias))
             builder.add_where(
                 self.axis_condition(step.axis, ctx, alias, t)
             )
             builder.add_where(self.test_condition(step.test, alias))
-            for index, predicate in enumerate(step.predicates):
-                if index > 0 and _contains_positional(predicate):
+            for pred_index, predicate in enumerate(step.predicates):
+                if pred_index > 0 and _contains_positional(predicate):
                     # XPath re-ranks positions after each predicate
                     # filters the candidate list; a flat SQL translation
                     # counts positions over the unfiltered axis, which
@@ -497,39 +539,37 @@ class SqlTranslator(ABC):
     ) -> tuple[str, str]:
         alias = t.aliases.next()
         builder.add_from(self.attr_table, alias)
-        if len(builder.from_items) > 1:
-            t.stats.joins += 1
         builder.add_where(t.doc_cond(alias))
         if step.axis == "attribute":
             if ctx is None:
                 # Attributes of the document node: there are none.
-                builder.add_where(frag("1 = 0"))
+                builder.add_where(Bool(False))
             else:
-                builder.add_where(frag(f"{alias}.owner = {ctx}.id"))
+                builder.add_where(
+                    Cmp("=", Col(alias, "owner"), Col(ctx, "id"))
+                )
                 t.attribute_owner_alias = ctx
         else:  # attribute-deep: any attribute in the context's subtree
+            owner = t.aliases.next()
+            builder.add_from(self.node_table, owner)
+            builder.add_where(t.doc_cond(owner))
+            builder.add_where(
+                Cmp("=", Col(owner, "id"), Col(alias, "owner"))
+            )
             if ctx is not None:
-                owner = t.aliases.next()
-                builder.add_from(self.node_table, owner)
-                t.stats.joins += 1
-                builder.add_where(t.doc_cond(owner))
-                builder.add_where(frag(f"{owner}.id = {alias}.owner"))
                 builder.add_where(
                     self.axis_condition(
                         "descendant-or-self", ctx, owner, t
                     )
                 )
-                t.attribute_owner_alias = owner
-            else:
-                owner = t.aliases.next()
-                builder.add_from(self.node_table, owner)
-                t.stats.joins += 1
-                builder.add_where(t.doc_cond(owner))
-                builder.add_where(frag(f"{owner}.id = {alias}.owner"))
-                t.attribute_owner_alias = owner
+            t.attribute_owner_alias = owner
         if step.test.kind == "name":
             builder.add_where(
-                frag(f"{alias}.name = ?", step.test.name)
+                Cmp(
+                    "=",
+                    Col(alias, "name"),
+                    Param(FixedSlot(step.test.name)),
+                )
             )
         elif step.test.kind not in ("wildcard", "node"):
             raise UnsupportedXPathError(
@@ -543,7 +583,7 @@ class SqlTranslator(ABC):
 
     def _attribute_predicate(
         self, expr: Expr, alias: str, t: "_Translation"
-    ) -> Frag:
+    ) -> RelExpr:
         """Predicates on attribute candidates: value comparisons only."""
         if isinstance(expr, BinaryOp) and expr.op in _COMPARISON_OPS:
             if isinstance(expr.left, PathExpr) or isinstance(
@@ -567,24 +607,45 @@ class SqlTranslator(ABC):
 
     # -- node tests ------------------------------------------------------------------
 
-    def test_condition(self, test: NodeTest, alias: str) -> Frag:
-        """WHERE fragment for a node test on a node-table alias."""
+    def test_condition(
+        self, test: NodeTest, alias: str
+    ) -> Optional[RelExpr]:
+        """Condition for a node test on a node-table alias."""
         if test.kind == "name":
-            return frag(
-                f"{alias}.kind = '{KIND_ELEMENT}' AND {alias}.tag = ?",
-                test.name,
-            )
+            from repro.core.relalg import And
+
+            return And((
+                Cmp("=", Col(alias, "kind"), Const(KIND_ELEMENT)),
+                Cmp("=", Col(alias, "tag"), Param(FixedSlot(test.name))),
+            ))
         if test.kind == "wildcard":
-            return frag(f"{alias}.kind = '{KIND_ELEMENT}'")
+            return Cmp("=", Col(alias, "kind"), Const(KIND_ELEMENT))
         if test.kind == "text":
-            return frag(f"{alias}.kind = '{KIND_TEXT}'")
+            return Cmp("=", Col(alias, "kind"), Const(KIND_TEXT))
         if test.kind == "comment":
-            return frag(f"{alias}.kind = '{KIND_COMMENT}'")
+            return Cmp("=", Col(alias, "kind"), Const(KIND_COMMENT))
         if test.kind == "node":
-            return frag("")
+            return None
         raise UnsupportedXPathError(f"node test {test.kind!r}")
 
     # -- predicates ---------------------------------------------------------------------
+
+    def _lit_param(
+        self, literal: Union[NumberLiteral, StringLiteral], transform: str
+    ) -> Param:
+        """A parameter for an XPath literal.
+
+        Shape-extracted slots bind from the per-query literal list;
+        plain literals (compile() called on an unextracted path) bind a
+        fixed value — either way the SQL text carries ``?``.
+        """
+        from repro.core.relalg import _apply_transform
+
+        if is_slot(literal):
+            return Param(LitSlot(literal.index, transform))
+        return Param(
+            FixedSlot(_apply_transform(transform, literal.value))
+        )
 
     def _predicate_condition(
         self,
@@ -593,14 +654,12 @@ class SqlTranslator(ABC):
         ctx: Optional[str],
         step: NormStep,
         t: "_Translation",
-    ) -> Frag:
+    ) -> RelExpr:
         # Number-valued predicates are position tests *only* when they
         # are the entire predicate; nested in boolean context (not/and/
         # or) they convert to booleans instead.
         if isinstance(expr, NumberLiteral):
-            return self._positional(
-                "=", int(expr.value), cand, ctx, step, t
-            )
+            return self._positional("=", expr, cand, ctx, step, t)
         if isinstance(expr, FunctionCall) and expr.name == "last":
             return self._positional_last(cand, ctx, step, t)
         return self._boolean_condition(expr, cand, ctx, step, t)
@@ -612,26 +671,20 @@ class SqlTranslator(ABC):
         ctx: Optional[str],
         step: NormStep,
         t: "_Translation",
-    ) -> Frag:
+    ) -> RelExpr:
+        from repro.core.relalg import And, Or
+
         if isinstance(expr, BinaryOp):
             if expr.op == "and":
-                left = self._boolean_condition(expr.left, cand, ctx, step, t)
-                right = self._boolean_condition(
-                    expr.right, cand, ctx, step, t
-                )
-                return Frag(
-                    f"({left.sql} AND {right.sql})",
-                    left.params + right.params,
-                )
+                return And((
+                    self._boolean_condition(expr.left, cand, ctx, step, t),
+                    self._boolean_condition(expr.right, cand, ctx, step, t),
+                ))
             if expr.op == "or":
-                left = self._boolean_condition(expr.left, cand, ctx, step, t)
-                right = self._boolean_condition(
-                    expr.right, cand, ctx, step, t
-                )
-                return Frag(
-                    f"({left.sql} OR {right.sql})",
-                    left.params + right.params,
-                )
+                return Or((
+                    self._boolean_condition(expr.left, cand, ctx, step, t),
+                    self._boolean_condition(expr.right, cand, ctx, step, t),
+                ))
             if expr.op in _COMPARISON_OPS:
                 return self._comparison_condition(
                     expr, cand, ctx, step, t
@@ -643,9 +696,11 @@ class SqlTranslator(ABC):
             return self._function_condition(expr, cand, ctx, step, t)
         if isinstance(expr, NumberLiteral):
             # In boolean context a number is true iff non-zero.
-            return frag("1 = 1" if expr.value != 0 else "1 = 0")
+            _require_foldable(expr)
+            return Bool(expr.value != 0)
         if isinstance(expr, StringLiteral):
-            return frag("1 = 1" if expr.value else "1 = 0")
+            _require_foldable(expr)
+            return Bool(bool(expr.value))
         raise UnsupportedXPathError(f"predicate {expr!r}")
 
     def _function_condition(
@@ -655,46 +710,55 @@ class SqlTranslator(ABC):
         ctx: Optional[str],
         step: NormStep,
         t: "_Translation",
-    ) -> Frag:
+    ) -> RelExpr:
+        from repro.core.relalg import Not
+
         if call.name == "not":
-            inner = self._boolean_condition(
-                call.args[0], cand, ctx, step, t
+            return Not(
+                self._boolean_condition(call.args[0], cand, ctx, step, t)
             )
-            return Frag(f"NOT ({inner.sql})", inner.params)
         if call.name in ("last", "position"):
             # In boolean context a number converts via boolean(): both
             # position() and last() are >= 1 for an existing candidate,
             # so they are always true here.  (A bare [last()] predicate
             # is positional and handled in _predicate_condition.)
-            return frag("1 = 1")
+            return Bool(True)
         if call.name == "count":
             path = _require_path(call.args[0], "count()")
             count = self._count_path(path, cand, t)
-            return Frag(f"{count.sql} > 0", count.params)
+            return Cmp(">", count, Const(0))
         if call.name in ("contains", "starts-with"):
             return self._string_function_condition(call, cand, t)
         raise UnsupportedXPathError(f"function {call.name}()")
 
     def _string_function_condition(
         self, call: FunctionCall, cand: str, t: "_Translation"
-    ) -> Frag:
+    ) -> RelExpr:
         target, literal = call.args
         if not isinstance(literal, StringLiteral):
             raise UnsupportedXPathError(
                 f"{call.name}() requires a string-literal second argument"
             )
-        needle = literal.value
         if call.name == "contains":
-            def value_cond(value_sql: str) -> Frag:
-                return frag(
-                    f"INSTR({value_sql}, "
-                    f"{sql_string_literal(needle)}) > 0"
+            def value_cond(value: Col) -> RelExpr:
+                return Cmp(
+                    ">",
+                    Func("INSTR", (value, self._lit_param(literal, "raw"))),
+                    Const(0),
                 )
         else:
-            def value_cond(value_sql: str) -> Frag:
-                return frag(
-                    f"SUBSTR({value_sql}, 1, {len(needle)}) = "
-                    f"{sql_string_literal(needle)}"
+            def value_cond(value: Col) -> RelExpr:
+                return Cmp(
+                    "=",
+                    Func(
+                        "SUBSTR",
+                        (
+                            value,
+                            Const(1),
+                            self._lit_param(literal, "len"),
+                        ),
+                    ),
+                    self._lit_param(literal, "raw"),
                 )
         path = _require_path(target, call.name + "()")
         return self._exists_path(path, cand, t, value_cond)
@@ -706,7 +770,7 @@ class SqlTranslator(ABC):
         ctx: Optional[str],
         step: NormStep,
         t: "_Translation",
-    ) -> Frag:
+    ) -> RelExpr:
         left, right, op = expr.left, expr.right, expr.op
         # Normalise so any position()/last()/count()/path is on the left.
         if _is_literal(left) and not _is_literal(right):
@@ -715,9 +779,7 @@ class SqlTranslator(ABC):
 
         if isinstance(left, FunctionCall) and left.name == "position":
             if isinstance(right, NumberLiteral):
-                return self._positional(
-                    op, int(right.value), cand, ctx, step, t
-                )
+                return self._positional(op, right, cand, ctx, step, t)
             if isinstance(right, FunctionCall) and right.name == "last":
                 if op == "=":
                     return self._positional_last(cand, ctx, step, t)
@@ -730,9 +792,7 @@ class SqlTranslator(ABC):
         if isinstance(left, FunctionCall) and left.name == "last":
             if isinstance(right, NumberLiteral):
                 count = self._axis_mates_count(cand, ctx, step, t)
-                return Frag(
-                    f"{count.sql} {op} {int(right.value)}", count.params
-                )
+                return Cmp(op, count, self._lit_param(right, "int"))
             raise UnsupportedXPathError(
                 "last() must be compared with a number"
             )
@@ -743,47 +803,76 @@ class SqlTranslator(ABC):
                     "count() must be compared with a number"
                 )
             count = self._count_path(path, cand, t)
-            return Frag(
-                f"{count.sql} {op} {_format_number(right.value)}",
-                count.params,
-            )
+            return Cmp(op, count, self._lit_param(right, "num"))
         if isinstance(left, PathExpr):
             if isinstance(right, (NumberLiteral, StringLiteral)):
                 return self._exists_path(
                     left.path,
                     cand,
                     t,
-                    lambda value_sql: _value_comparison(
-                        value_sql, op, right
+                    lambda value: self._value_comparison(
+                        value, op, right
                     ),
                 )
             raise UnsupportedXPathError(
                 "path comparisons must be against literals"
             )
         if _is_literal(left) and _is_literal(right):
-            return frag(
-                "1 = 1" if _literal_compare(left, op, right) else "1 = 0"
-            )
+            _require_foldable(left)
+            _require_foldable(right)
+            return Bool(_literal_compare(left, op, right))
         raise UnsupportedXPathError(f"comparison {expr!r}")
+
+    def _value_comparison(
+        self,
+        value: Col,
+        op: str,
+        literal: Union[NumberLiteral, StringLiteral],
+    ) -> RelExpr:
+        """Compare a stored value column with a literal, XPath-style.
+
+        Numbers (and relational operators) compare numerically via CAST;
+        string equality compares as text.
+        """
+        if isinstance(literal, NumberLiteral):
+            return Cmp(
+                op,
+                Cast(value, "REAL"),
+                self._lit_param(literal, "num"),
+            )
+        if op in ("=", "!="):
+            return Cmp(op, value, self._lit_param(literal, "raw"))
+        # Relational comparison against a string: XPath converts both
+        # sides to numbers; a non-numeric literal can never compare
+        # true.  The branch depends on the value, so such literals are
+        # never shape-extracted.
+        _require_foldable(literal)
+        try:
+            number = float(literal.value)
+        except ValueError:
+            return Bool(False)
+        return Cmp(op, Cast(value, "REAL"), Const(number))
 
     # -- positional predicates -------------------------------------------------------------
 
     def _positional(
         self,
         op: str,
-        k: int,
+        k: NumberLiteral,
         cand: str,
         ctx: Optional[str],
         step: NormStep,
         t: "_Translation",
-    ) -> Frag:
+    ) -> RelExpr:
         """``position() <op> k`` via counting preceding axis-mates."""
         if step.positional_axis == "self":
-            holds = _int_compare(1, op, k)
-            return frag("1 = 1" if holds else "1 = 0")
+            # The candidate's position on the self axis is always 1.
+            if is_slot(k):
+                return Cmp(op, Const(1), self._lit_param(k, "int"))
+            return Bool(_int_compare(1, op, int(k.value)))
         count = self._preceding_mates_count(cand, ctx, step, t)
         # position = count + 1, so position <op> k  <=>  count <op> k-1.
-        return Frag(f"{count.sql} {op} {k - 1}", count.params)
+        return Cmp(op, count, self._lit_param(k, "posm1"))
 
     def _positional_last(
         self,
@@ -791,14 +880,13 @@ class SqlTranslator(ABC):
         ctx: Optional[str],
         step: NormStep,
         t: "_Translation",
-    ) -> Frag:
+    ) -> RelExpr:
         """``position() = last()``: no axis-mate follows the candidate."""
         if step.positional_axis == "self":
-            return frag("1 = 1")
+            return Bool(True)
         sub, m = self._axis_mates_builder(cand, ctx, step, t)
         sub.add_where(self._mate_order_condition(m, cand, ctx, step,
                                                  after=True))
-        t.stats.exists_subqueries += 1
         return exists(sub, negated=True)
 
     def _preceding_mates_count(
@@ -807,11 +895,10 @@ class SqlTranslator(ABC):
         ctx: Optional[str],
         step: NormStep,
         t: "_Translation",
-    ) -> Frag:
+    ) -> ScalarCount:
         sub, m = self._axis_mates_builder(cand, ctx, step, t)
         sub.add_where(self._mate_order_condition(m, cand, ctx, step,
                                                  after=False))
-        t.stats.count_subqueries += 1
         return scalar_count(sub)
 
     def _axis_mates_count(
@@ -820,9 +907,8 @@ class SqlTranslator(ABC):
         ctx: Optional[str],
         step: NormStep,
         t: "_Translation",
-    ) -> Frag:
+    ) -> ScalarCount:
         sub, _m = self._axis_mates_builder(cand, ctx, step, t)
-        t.stats.count_subqueries += 1
         return scalar_count(sub)
 
     def _axis_mates_builder(
@@ -836,18 +922,18 @@ class SqlTranslator(ABC):
         axis = step.positional_axis
         m = t.aliases.next()
         sub = SelectBuilder()
-        sub.select = [Frag("1")]
+        sub.select = [SelectItem(Const(1))]
         sub.add_from(self.node_table, m)
         sub.add_where(t.doc_cond(m))
         sub.add_where(self.test_condition(step.test, m))
         if axis == "child":
-            sub.add_where(frag(f"{m}.parent = {cand}.parent"))
+            sub.add_where(Cmp("=", Col(m, "parent"), Col(cand, "parent")))
         elif axis in ("following-sibling", "preceding-sibling"):
             if ctx is None:
                 raise TranslationError(
                     "sibling axes need an element context"
                 )
-            sub.add_where(frag(f"{m}.parent = {cand}.parent"))
+            sub.add_where(Cmp("=", Col(m, "parent"), Col(cand, "parent")))
             if axis == "following-sibling":
                 sub.add_where(self.sibling_before(ctx, m))
             else:
@@ -868,7 +954,7 @@ class SqlTranslator(ABC):
         ctx: Optional[str],
         step: NormStep,
         after: bool,
-    ) -> Frag:
+    ) -> RelExpr:
         """Order *m* relative to *cand* along the positional axis.
 
         ``after=False`` selects mates at smaller positions (earlier in
@@ -894,50 +980,46 @@ class SqlTranslator(ABC):
         path: LocationPath,
         context: str,
         t: "_Translation",
-        value_cond=None,
-    ) -> Frag:
+        value_cond: Optional[Callable[[Col], RelExpr]] = None,
+    ) -> Exists:
         """EXISTS subquery: *path* (from *context*) selects something.
 
-        ``value_cond``, when given, maps the final node's value SQL to an
-        extra condition (used for value comparisons and string functions).
+        ``value_cond``, when given, maps the final node's value column
+        to an extra condition (used for value comparisons and string
+        functions).
         """
         sub = SelectBuilder()
-        sub.select = [Frag("1")]
+        sub.select = [SelectItem(Const(1))]
         start = None if path.absolute else context
         steps = normalize_steps(path.steps)
         if not steps:
             raise UnsupportedXPathError("empty predicate path")
-        alias, kind = self._compile_steps(steps, start, sub, t)
+        alias, _kind = self._compile_steps(steps, start, sub, t)
         if value_cond is not None:
-            value_sql = f"{alias}.value"
-            sub.add_where(value_cond(value_sql))
-        t.stats.exists_subqueries += 1
+            sub.add_where(value_cond(Col(alias, "value")))
         return exists(sub)
 
     def _count_path(
         self, path: LocationPath, context: str, t: "_Translation"
-    ) -> Frag:
+    ) -> ScalarCount:
         sub = SelectBuilder()
-        sub.select = [Frag("1")]
+        sub.select = [SelectItem(Const(1))]
         start = None if path.absolute else context
         steps = normalize_steps(path.steps)
         self._compile_steps(steps, start, sub, t)
-        t.stats.count_subqueries += 1
         return scalar_count(sub)
 
 
 class _Translation:
-    """Per-call state: alias generator, doc id, stats."""
+    """Per-call state: alias generator, attribute-owner bookkeeping."""
 
-    def __init__(self, translator: SqlTranslator, doc: int) -> None:
+    def __init__(self, translator: SqlTranslator) -> None:
         self.translator = translator
-        self.doc = doc
         self.aliases = AliasGenerator()
-        self.stats = TranslationStats()
         self.attribute_owner_alias: Optional[str] = None
 
-    def doc_cond(self, alias: str) -> Frag:
-        return frag(f"{alias}.doc = ?", self.doc)
+    def doc_cond(self, alias: str) -> RelExpr:
+        return Cmp("=", Col(alias, "doc"), Param(DOC))
 
 
 # -- small helpers ------------------------------------------------------------
@@ -947,14 +1029,26 @@ def _is_literal(expr: Expr) -> bool:
     return isinstance(expr, (NumberLiteral, StringLiteral))
 
 
+def _require_foldable(expr: Expr) -> None:
+    """Guard: a shape slot must never reach a constant-folding position.
+
+    Folding reads the literal's value, which a slot does not carry; if
+    the shape extractor and the translator ever disagreed on which
+    positions are value-dependent, sharing plans across literal values
+    would be unsound — fail loudly instead.
+    """
+    if is_slot(expr):
+        raise TranslationError(
+            "internal error: shape slot reached a value-dependent "
+            "position; shape extraction is out of sync with the "
+            "translator"
+        )
+
+
 def _require_path(expr: Expr, what: str) -> LocationPath:
     if not isinstance(expr, PathExpr):
         raise UnsupportedXPathError(f"{what} requires a path argument")
     return expr.path
-
-
-def _format_number(value: float) -> str:
-    return str(int(value)) if value == int(value) else repr(value)
 
 
 def _int_compare(a: int, op: str, b: float) -> bool:
@@ -998,26 +1092,3 @@ def _literal_compare(left: Expr, op: str, right: Expr) -> bool:
         )
     except ValueError:
         return False
-
-
-def _value_comparison(
-    value_sql: str, op: str, literal: Union[NumberLiteral, StringLiteral]
-) -> Frag:
-    """Compare a stored value column with a literal, XPath-style.
-
-    Numbers (and relational operators) compare numerically via CAST;
-    string equality compares as text.
-    """
-    if isinstance(literal, NumberLiteral):
-        return frag(
-            f"CAST({value_sql} AS REAL) {op} {_format_number(literal.value)}"
-        )
-    if op in ("=", "!="):
-        return frag(f"{value_sql} {op} ?", literal.value)
-    # Relational comparison against a string: XPath converts both sides
-    # to numbers; a non-numeric literal can never compare true.
-    try:
-        number = float(literal.value)
-    except ValueError:
-        return frag("1 = 0")
-    return frag(f"CAST({value_sql} AS REAL) {op} {number!r}")

@@ -12,9 +12,13 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.encodings import DeweyEncoding
-from repro.core.sqlgen import Frag, frag
+from repro.core.relalg import And, Bool, Cmp, Col, Const, Func, RelExpr
 from repro.core.translator.base import SqlTranslator, _Translation
 from repro.errors import TranslationError
+
+
+def _succ(alias: str, column: str = "dkey") -> Func:
+    return Func("dewey_successor", (Col(alias, column),))
 
 
 class DeweySqlTranslator(SqlTranslator):
@@ -29,80 +33,84 @@ class DeweySqlTranslator(SqlTranslator):
         ctx: Optional[str],
         cand: str,
         t: _Translation,
-    ) -> Frag:
+    ) -> Optional[RelExpr]:
         if ctx is None:
             return _document_axis(axis, cand)
         if axis == "child":
             # Derivable from the key alone: the candidate's key is one
             # component longer inside the context's subtree.  The parent
             # id join is equivalent and index-friendly on both backends.
-            return frag(f"{cand}.parent = {ctx}.id")
+            return Cmp("=", Col(cand, "parent"), Col(ctx, "id"))
         if axis == "descendant":
-            return frag(
-                f"{cand}.dkey > {ctx}.dkey AND "
-                f"{cand}.dkey < dewey_successor({ctx}.dkey)"
-            )
+            return And((
+                Cmp(">", Col(cand, "dkey"), Col(ctx, "dkey")),
+                Cmp("<", Col(cand, "dkey"), _succ(ctx)),
+            ))
         if axis == "descendant-or-self":
-            return frag(
-                f"{cand}.dkey >= {ctx}.dkey AND "
-                f"{cand}.dkey < dewey_successor({ctx}.dkey)"
-            )
+            return And((
+                Cmp(">=", Col(cand, "dkey"), Col(ctx, "dkey")),
+                Cmp("<", Col(cand, "dkey"), _succ(ctx)),
+            ))
         if axis == "self":
-            return frag(f"{cand}.dkey = {ctx}.dkey")
+            return Cmp("=", Col(cand, "dkey"), Col(ctx, "dkey"))
         if axis == "parent":
             # The parent's key is a prefix of the context's key — the
             # paper's headline property: no join through parent pointers.
-            return frag(f"{cand}.dkey = dewey_parent({ctx}.dkey)")
+            return Cmp(
+                "=",
+                Col(cand, "dkey"),
+                Func("dewey_parent", (Col(ctx, "dkey"),)),
+            )
         if axis == "ancestor":
-            return frag(
-                f"{cand}.dkey < {ctx}.dkey AND "
-                f"dewey_successor({cand}.dkey) > {ctx}.dkey"
-            )
+            return And((
+                Cmp("<", Col(cand, "dkey"), Col(ctx, "dkey")),
+                Cmp(">", _succ(cand), Col(ctx, "dkey")),
+            ))
         if axis == "ancestor-or-self":
-            return frag(
-                f"{cand}.dkey <= {ctx}.dkey AND "
-                f"dewey_successor({cand}.dkey) > {ctx}.dkey"
-            )
+            return And((
+                Cmp("<=", Col(cand, "dkey"), Col(ctx, "dkey")),
+                Cmp(">", _succ(cand), Col(ctx, "dkey")),
+            ))
         if axis == "following-sibling":
-            return frag(
-                f"{cand}.parent = {ctx}.parent AND "
-                f"{cand}.dkey > {ctx}.dkey"
-            )
+            return And((
+                Cmp("=", Col(cand, "parent"), Col(ctx, "parent")),
+                Cmp(">", Col(cand, "dkey"), Col(ctx, "dkey")),
+            ))
         if axis == "preceding-sibling":
-            return frag(
-                f"{cand}.parent = {ctx}.parent AND "
-                f"{cand}.dkey < {ctx}.dkey"
-            )
+            return And((
+                Cmp("=", Col(cand, "parent"), Col(ctx, "parent")),
+                Cmp("<", Col(cand, "dkey"), Col(ctx, "dkey")),
+            ))
         if axis == "following":
             # Everything at or past the subtree's upper bound comes after
             # the context in document order and is not a descendant.
-            return frag(f"{cand}.dkey >= dewey_successor({ctx}.dkey)")
+            return Cmp(">=", Col(cand, "dkey"), _succ(ctx))
         if axis == "preceding":
             # Before the context in key order, excluding ancestors
             # (whose subtree range still contains the context).
-            return frag(
-                f"{cand}.dkey < {ctx}.dkey AND "
-                f"dewey_successor({cand}.dkey) <= {ctx}.dkey"
-            )
+            return And((
+                Cmp("<", Col(cand, "dkey"), Col(ctx, "dkey")),
+                Cmp("<=", _succ(cand), Col(ctx, "dkey")),
+            ))
         raise TranslationError(f"axis {axis!r} not supported (dewey)")
 
-    def sibling_before(self, a: str, b: str) -> Frag:
-        return frag(f"{a}.dkey < {b}.dkey")
+    def sibling_before(self, a: str, b: str) -> RelExpr:
+        return Cmp("<", Col(a, "dkey"), Col(b, "dkey"))
 
-    def doc_before(self, a: str, b: str) -> Frag:
-        return frag(f"{a}.dkey < {b}.dkey")
+    def doc_before(self, a: str, b: str) -> RelExpr:
+        return Cmp("<", Col(a, "dkey"), Col(b, "dkey"))
 
-    def order_by_columns(self, alias: str) -> Optional[list[str]]:
-        return [f"{alias}.dkey"]
+    def order_by_columns(self, alias: str) -> Optional[list[Col]]:
+        return [Col(alias, "dkey")]
 
 
-def _document_axis(axis: str, cand: str) -> Frag:
+def _document_axis(axis: str, cand: str) -> Optional[RelExpr]:
     if axis == "child":
-        return frag(f"{cand}.parent = 0")
+        return Cmp("=", Col(cand, "parent"), Const(0))
     if axis in ("descendant", "descendant-or-self"):
-        return frag("")
+        return None
     if axis in ("self", "parent", "ancestor", "ancestor-or-self"):
         raise TranslationError(
             "the document node itself has no relational representation"
         )
-    return frag("1 = 0")
+    return Bool(False)

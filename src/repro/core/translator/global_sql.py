@@ -11,7 +11,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.encodings import GlobalEncoding
-from repro.core.sqlgen import Frag, frag
+from repro.core.relalg import Bool, Cmp, Col, Const, RelExpr
+from repro.core.sqlgen import all_of
 from repro.core.translator.base import SqlTranslator, _Translation
 from repro.errors import TranslationError
 
@@ -28,64 +29,70 @@ class GlobalSqlTranslator(SqlTranslator):
         ctx: Optional[str],
         cand: str,
         t: _Translation,
-    ) -> Frag:
+    ) -> Optional[RelExpr]:
         if ctx is None:
             return _document_axis(axis, cand)
         if axis == "child":
-            return frag(f"{cand}.parent = {ctx}.id")
+            return Cmp("=", Col(cand, "parent"), Col(ctx, "id"))
         if axis == "descendant":
-            return frag(
-                f"{cand}.pos > {ctx}.pos AND {cand}.pos <= {ctx}.endpos"
-            )
+            return all_of((
+                Cmp(">", Col(cand, "pos"), Col(ctx, "pos")),
+                Cmp("<=", Col(cand, "pos"), Col(ctx, "endpos")),
+            ))
         if axis == "descendant-or-self":
-            return frag(
-                f"{cand}.pos >= {ctx}.pos AND {cand}.pos <= {ctx}.endpos"
-            )
+            return all_of((
+                Cmp(">=", Col(cand, "pos"), Col(ctx, "pos")),
+                Cmp("<=", Col(cand, "pos"), Col(ctx, "endpos")),
+            ))
         if axis == "self":
-            return frag(f"{cand}.id = {ctx}.id")
+            return Cmp("=", Col(cand, "id"), Col(ctx, "id"))
         if axis == "parent":
-            return frag(f"{cand}.id = {ctx}.parent")
+            return Cmp("=", Col(cand, "id"), Col(ctx, "parent"))
         if axis == "ancestor":
-            return frag(
-                f"{cand}.pos < {ctx}.pos AND {cand}.endpos >= {ctx}.pos"
-            )
+            return all_of((
+                Cmp("<", Col(cand, "pos"), Col(ctx, "pos")),
+                Cmp(">=", Col(cand, "endpos"), Col(ctx, "pos")),
+            ))
         if axis == "ancestor-or-self":
-            return frag(
-                f"{cand}.pos <= {ctx}.pos AND {cand}.endpos >= {ctx}.pos"
-            )
+            return all_of((
+                Cmp("<=", Col(cand, "pos"), Col(ctx, "pos")),
+                Cmp(">=", Col(cand, "endpos"), Col(ctx, "pos")),
+            ))
         if axis == "following-sibling":
-            return frag(
-                f"{cand}.parent = {ctx}.parent AND {cand}.pos > {ctx}.pos"
-            )
+            return all_of((
+                Cmp("=", Col(cand, "parent"), Col(ctx, "parent")),
+                Cmp(">", Col(cand, "pos"), Col(ctx, "pos")),
+            ))
         if axis == "preceding-sibling":
-            return frag(
-                f"{cand}.parent = {ctx}.parent AND {cand}.pos < {ctx}.pos"
-            )
+            return all_of((
+                Cmp("=", Col(cand, "parent"), Col(ctx, "parent")),
+                Cmp("<", Col(cand, "pos"), Col(ctx, "pos")),
+            ))
         if axis == "following":
-            return frag(f"{cand}.pos > {ctx}.endpos")
+            return Cmp(">", Col(cand, "pos"), Col(ctx, "endpos"))
         if axis == "preceding":
-            return frag(f"{cand}.endpos < {ctx}.pos")
+            return Cmp("<", Col(cand, "endpos"), Col(ctx, "pos"))
         raise TranslationError(f"axis {axis!r} not supported (global)")
 
-    def sibling_before(self, a: str, b: str) -> Frag:
-        return frag(f"{a}.pos < {b}.pos")
+    def sibling_before(self, a: str, b: str) -> RelExpr:
+        return Cmp("<", Col(a, "pos"), Col(b, "pos"))
 
-    def doc_before(self, a: str, b: str) -> Frag:
-        return frag(f"{a}.pos < {b}.pos")
+    def doc_before(self, a: str, b: str) -> RelExpr:
+        return Cmp("<", Col(a, "pos"), Col(b, "pos"))
 
-    def order_by_columns(self, alias: str) -> Optional[list[str]]:
-        return [f"{alias}.pos"]
+    def order_by_columns(self, alias: str) -> Optional[list[Col]]:
+        return [Col(alias, "pos")]
 
 
-def _document_axis(axis: str, cand: str) -> Frag:
+def _document_axis(axis: str, cand: str) -> Optional[RelExpr]:
     """Axis conditions when the context is the document node itself."""
     if axis == "child":
-        return frag(f"{cand}.parent = 0")
+        return Cmp("=", Col(cand, "parent"), Const(0))
     if axis in ("descendant", "descendant-or-self"):
-        return frag("")  # every stored node descends from the document
+        return None  # every stored node descends from the document
     if axis in ("self", "parent", "ancestor", "ancestor-or-self"):
         raise TranslationError(
             "the document node itself has no relational representation"
         )
     # following/preceding/sibling axes of the document are empty.
-    return frag("1 = 0")
+    return Bool(False)

@@ -25,13 +25,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.encodings import LocalEncoding
-from repro.core.sqlgen import (
-    Frag,
-    SelectBuilder,
-    any_of,
-    exists,
-    frag,
-)
+from repro.core.relalg import Cmp, Col, Const, Exists, RelExpr, SelectItem
+from repro.core.sqlgen import SelectBuilder, any_of, exists
 from repro.core.translator.base import SqlTranslator, _Translation
 from repro.errors import TranslationError
 
@@ -50,32 +45,41 @@ class LocalSqlTranslator(SqlTranslator):
         node: str,
         t: _Translation,
         include_self: bool = False,
-    ) -> Frag:
+    ) -> RelExpr:
         """OR-expansion: *anc* is an ancestor of *node* (distance <= D)."""
-        arms: list[Frag] = []
+        arms: list[RelExpr] = []
         if include_self:
-            arms.append(frag(f"{anc}.id = {node}.id"))
-        arms.append(frag(f"{anc}.id = {node}.parent"))
+            arms.append(Cmp("=", Col(anc, "id"), Col(node, "id")))
+        arms.append(Cmp("=", Col(anc, "id"), Col(node, "parent")))
+        expansion_arms = 0
         for distance in range(2, self.max_depth):
             arms.append(self._chain_arm(anc, node, distance, t))
-            t.stats.or_expansions += 1
-        return any_of(arms)
+            expansion_arms += 1
+        condition = any_of(arms, expansion_arms=expansion_arms)
+        assert condition is not None
+        return condition
 
     def _chain_arm(
         self, anc: str, node: str, distance: int, t: _Translation
-    ) -> Frag:
+    ) -> Exists:
         """EXISTS arm walking *distance* parent pointers up from *node*."""
         hops = [t.aliases.next() for _ in range(distance - 1)]
         sub = SelectBuilder()
-        sub.select = [Frag("1")]
+        sub.select = [SelectItem(Const(1))]
+        # Chain hops are expansion plumbing, not semantic joins or
+        # subqueries; keep them out of the E9 stats (counted via
+        # or_expansions instead).
+        sub.count_joins = False
         previous = node
         for hop in hops:
             sub.add_from(self.node_table, hop)
             sub.add_where(t.doc_cond(hop))
-            sub.add_where(frag(f"{hop}.id = {previous}.parent"))
+            sub.add_where(
+                Cmp("=", Col(hop, "id"), Col(previous, "parent"))
+            )
             previous = hop
-        sub.add_where(frag(f"{anc}.id = {previous}.parent"))
-        return exists(sub)
+        sub.add_where(Cmp("=", Col(anc, "id"), Col(previous, "parent")))
+        return exists(sub, counted=False)
 
     # -- axis conditions -------------------------------------------------------
 
@@ -85,40 +89,34 @@ class LocalSqlTranslator(SqlTranslator):
         ctx: Optional[str],
         cand: str,
         t: _Translation,
-    ) -> Frag:
+    ) -> Optional[RelExpr]:
         if ctx is None:
             return _document_axis(axis, cand)
         if axis == "child":
-            return frag(f"{cand}.parent = {ctx}.id")
+            return Cmp("=", Col(cand, "parent"), Col(ctx, "id"))
         if axis == "descendant":
             return self.ancestor_chain(ctx, cand, t)
         if axis == "descendant-or-self":
             return self.ancestor_chain(ctx, cand, t, include_self=True)
         if axis == "self":
-            return frag(f"{cand}.id = {ctx}.id")
+            return Cmp("=", Col(cand, "id"), Col(ctx, "id"))
         if axis == "parent":
-            return frag(f"{cand}.id = {ctx}.parent")
+            return Cmp("=", Col(cand, "id"), Col(ctx, "parent"))
         if axis == "ancestor":
             return self.ancestor_chain(cand, ctx, t)
         if axis == "ancestor-or-self":
             return self.ancestor_chain(cand, ctx, t, include_self=True)
         if axis == "following-sibling":
-            return frag(
-                f"{cand}.parent = {ctx}.parent AND "
-                f"{cand}.lpos > {ctx}.lpos"
-            )
+            return all_of_siblings(cand, ctx, ">")
         if axis == "preceding-sibling":
-            return frag(
-                f"{cand}.parent = {ctx}.parent AND "
-                f"{cand}.lpos < {ctx}.lpos"
-            )
+            return all_of_siblings(cand, ctx, "<")
         if axis in ("following", "preceding"):
             return self._document_order_axis(axis, ctx, cand, t)
         raise TranslationError(f"axis {axis!r} not supported (local)")
 
     def _document_order_axis(
         self, axis: str, ctx: str, cand: str, t: _Translation
-    ) -> Frag:
+    ) -> RelExpr:
         """``following``/``preceding`` as a triple expansion.
 
         cand is in following(ctx) iff some ancestor-or-self *f* of cand is
@@ -127,42 +125,57 @@ class LocalSqlTranslator(SqlTranslator):
         a = t.aliases.next()
         f = t.aliases.next()
         sub = SelectBuilder()
-        sub.select = [Frag("1")]
+        sub.select = [SelectItem(Const(1))]
+        # The two FROM items are expansion plumbing (see _chain_arm),
+        # but the EXISTS itself is a real subquery the old translation
+        # also counted.
+        sub.count_joins = False
         sub.add_from(self.node_table, a)
         sub.add_from(self.node_table, f)
         sub.add_where(t.doc_cond(a))
         sub.add_where(t.doc_cond(f))
         sub.add_where(self.ancestor_chain(a, ctx, t, include_self=True))
         sub.add_where(self.ancestor_chain(f, cand, t, include_self=True))
-        sub.add_where(frag(f"{f}.parent = {a}.parent"))
+        sub.add_where(Cmp("=", Col(f, "parent"), Col(a, "parent")))
         if axis == "following":
-            sub.add_where(frag(f"{f}.lpos > {a}.lpos"))
+            sub.add_where(Cmp(">", Col(f, "lpos"), Col(a, "lpos")))
         else:
-            sub.add_where(frag(f"{f}.lpos < {a}.lpos"))
-        t.stats.exists_subqueries += 1
+            sub.add_where(Cmp("<", Col(f, "lpos"), Col(a, "lpos")))
         return exists(sub)
 
-    def sibling_before(self, a: str, b: str) -> Frag:
-        return frag(f"{a}.lpos < {b}.lpos")
+    def sibling_before(self, a: str, b: str) -> RelExpr:
+        return Cmp("<", Col(a, "lpos"), Col(b, "lpos"))
 
-    def doc_before(self, a: str, b: str) -> Frag:
+    def doc_before(self, a: str, b: str) -> RelExpr:
         raise TranslationError(
             "local order cannot compare document order of arbitrary "
             "nodes; positional predicates on document-order axes are "
             "not translatable"
         )
 
-    def order_by_columns(self, alias: str) -> Optional[list[str]]:
+    def order_by_columns(self, alias: str) -> Optional[list[Col]]:
         return None  # client-side order resolution required
 
 
-def _document_axis(axis: str, cand: str) -> Frag:
+def all_of_siblings(cand: str, ctx: str, op: str) -> RelExpr:
+    """Same parent plus an lpos comparison."""
+    from repro.core.relalg import And
+
+    return And((
+        Cmp("=", Col(cand, "parent"), Col(ctx, "parent")),
+        Cmp(op, Col(cand, "lpos"), Col(ctx, "lpos")),
+    ))
+
+
+def _document_axis(axis: str, cand: str) -> Optional[RelExpr]:
+    from repro.core.relalg import Bool
+
     if axis == "child":
-        return frag(f"{cand}.parent = 0")
+        return Cmp("=", Col(cand, "parent"), Const(0))
     if axis in ("descendant", "descendant-or-self"):
-        return frag("")
+        return None
     if axis in ("self", "parent", "ancestor", "ancestor-or-self"):
         raise TranslationError(
             "the document node itself has no relational representation"
         )
-    return frag("1 = 0")
+    return Bool(False)

@@ -11,9 +11,13 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.encodings import get_encoding
-from repro.core.sqlgen import Frag, frag
+from repro.core.relalg import And, Bool, Cmp, Col, Const, Func, RelExpr
 from repro.core.translator.base import SqlTranslator, _Translation
 from repro.errors import TranslationError
+
+
+def _succ(alias: str) -> Func:
+    return Func("ordpath_successor", (Col(alias, "okey"),))
 
 
 class OrdpathSqlTranslator(SqlTranslator):
@@ -28,71 +32,75 @@ class OrdpathSqlTranslator(SqlTranslator):
         ctx: Optional[str],
         cand: str,
         t: _Translation,
-    ) -> Frag:
+    ) -> Optional[RelExpr]:
         if ctx is None:
             return _document_axis(axis, cand)
         if axis == "child":
-            return frag(f"{cand}.parent = {ctx}.id")
+            return Cmp("=", Col(cand, "parent"), Col(ctx, "id"))
         if axis == "descendant":
-            return frag(
-                f"{cand}.okey > {ctx}.okey AND "
-                f"{cand}.okey < ordpath_successor({ctx}.okey)"
-            )
+            return And((
+                Cmp(">", Col(cand, "okey"), Col(ctx, "okey")),
+                Cmp("<", Col(cand, "okey"), _succ(ctx)),
+            ))
         if axis == "descendant-or-self":
-            return frag(
-                f"{cand}.okey >= {ctx}.okey AND "
-                f"{cand}.okey < ordpath_successor({ctx}.okey)"
-            )
+            return And((
+                Cmp(">=", Col(cand, "okey"), Col(ctx, "okey")),
+                Cmp("<", Col(cand, "okey"), _succ(ctx)),
+            ))
         if axis == "self":
-            return frag(f"{cand}.okey = {ctx}.okey")
+            return Cmp("=", Col(cand, "okey"), Col(ctx, "okey"))
         if axis == "parent":
-            return frag(f"{cand}.okey = ordpath_parent({ctx}.okey)")
+            return Cmp(
+                "=",
+                Col(cand, "okey"),
+                Func("ordpath_parent", (Col(ctx, "okey"),)),
+            )
         if axis == "ancestor":
-            return frag(
-                f"{cand}.okey < {ctx}.okey AND "
-                f"ordpath_successor({cand}.okey) > {ctx}.okey"
-            )
+            return And((
+                Cmp("<", Col(cand, "okey"), Col(ctx, "okey")),
+                Cmp(">", _succ(cand), Col(ctx, "okey")),
+            ))
         if axis == "ancestor-or-self":
-            return frag(
-                f"{cand}.okey <= {ctx}.okey AND "
-                f"ordpath_successor({cand}.okey) > {ctx}.okey"
-            )
+            return And((
+                Cmp("<=", Col(cand, "okey"), Col(ctx, "okey")),
+                Cmp(">", _succ(cand), Col(ctx, "okey")),
+            ))
         if axis == "following-sibling":
-            return frag(
-                f"{cand}.parent = {ctx}.parent AND "
-                f"{cand}.okey > {ctx}.okey"
-            )
+            return And((
+                Cmp("=", Col(cand, "parent"), Col(ctx, "parent")),
+                Cmp(">", Col(cand, "okey"), Col(ctx, "okey")),
+            ))
         if axis == "preceding-sibling":
-            return frag(
-                f"{cand}.parent = {ctx}.parent AND "
-                f"{cand}.okey < {ctx}.okey"
-            )
+            return And((
+                Cmp("=", Col(cand, "parent"), Col(ctx, "parent")),
+                Cmp("<", Col(cand, "okey"), Col(ctx, "okey")),
+            ))
         if axis == "following":
-            return frag(f"{cand}.okey >= ordpath_successor({ctx}.okey)")
+            return Cmp(">=", Col(cand, "okey"), _succ(ctx))
         if axis == "preceding":
-            return frag(
-                f"{cand}.okey < {ctx}.okey AND "
-                f"ordpath_successor({cand}.okey) <= {ctx}.okey"
-            )
+            return And((
+                Cmp("<", Col(cand, "okey"), Col(ctx, "okey")),
+                Cmp("<=", _succ(cand), Col(ctx, "okey")),
+            ))
         raise TranslationError(f"axis {axis!r} not supported (ordpath)")
 
-    def sibling_before(self, a: str, b: str) -> Frag:
-        return frag(f"{a}.okey < {b}.okey")
+    def sibling_before(self, a: str, b: str) -> RelExpr:
+        return Cmp("<", Col(a, "okey"), Col(b, "okey"))
 
-    def doc_before(self, a: str, b: str) -> Frag:
-        return frag(f"{a}.okey < {b}.okey")
+    def doc_before(self, a: str, b: str) -> RelExpr:
+        return Cmp("<", Col(a, "okey"), Col(b, "okey"))
 
-    def order_by_columns(self, alias: str) -> Optional[list[str]]:
-        return [f"{alias}.okey"]
+    def order_by_columns(self, alias: str) -> Optional[list[Col]]:
+        return [Col(alias, "okey")]
 
 
-def _document_axis(axis: str, cand: str) -> Frag:
+def _document_axis(axis: str, cand: str) -> Optional[RelExpr]:
     if axis == "child":
-        return frag(f"{cand}.parent = 0")
+        return Cmp("=", Col(cand, "parent"), Const(0))
     if axis in ("descendant", "descendant-or-self"):
-        return frag("")
+        return None
     if axis in ("self", "parent", "ancestor", "ancestor-or-self"):
         raise TranslationError(
             "the document node itself has no relational representation"
         )
-    return frag("1 = 0")
+    return Bool(False)

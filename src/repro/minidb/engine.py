@@ -93,9 +93,18 @@ class MiniDb:
         return statement
 
     def execute(
-        self, sql: Union[str, Statement], params: Sequence = ()
+        self,
+        sql: Union[str, Statement],
+        params: Sequence = (),
+        cache_key: Optional[str] = None,
     ) -> Result:
-        """Execute one statement; returns a :class:`Result`."""
+        """Execute one statement; returns a :class:`Result`.
+
+        *sql* may be a pre-built statement node instead of SQL text
+        (the translator's minidb dialect hands those over directly);
+        ``cache_key`` lets such statements share the physical-plan
+        cache that text statements key by their SQL.
+        """
         if isinstance(sql, str):
             keyword = sql.strip().rstrip(";").upper()
             if keyword in ("BEGIN", "BEGIN TRANSACTION"):
@@ -111,8 +120,9 @@ class MiniDb:
         params = tuple(params)
         if isinstance(statement, (Select, Union_)):
             with self.latch.read():
-                if isinstance(sql, str):
-                    key = (sql, self.catalog.version)
+                text_key = sql if isinstance(sql, str) else cache_key
+                if text_key is not None:
+                    key = (text_key, self.catalog.version)
                     plan = self._plan_cache.get(key)
                     if plan is None:
                         plan = self._runner.compiler().compile_select(

@@ -22,14 +22,13 @@ Evaluation model:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional, Sequence, Union
+from typing import Callable, Iterator, Optional, Sequence
 
 from repro.errors import CatalogError, ExecutionError
 from repro.minidb import planner
 from repro.minidb.catalog import Catalog
 from repro.minidb.expressions import (
     AGGREGATE_NAMES,
-    Aggregate,
     arithmetic,
     like_match,
     make_aggregate,
@@ -59,7 +58,6 @@ from repro.minidb.sql_ast import (
     SelectLike,
     Star,
     Statement,
-    SubquerySource,
     TableSource,
     Union_,
     Unary,

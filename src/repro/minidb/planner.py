@@ -20,18 +20,13 @@ from repro.minidb.sql_ast import (
     ColumnRef,
     Exists,
     Expr,
-    FromItem,
     FunctionExpr,
     InList,
     InSelect,
     IsNull,
-    Literal,
-    OrderItem,
-    Param,
     ScalarSubquery,
     Select,
     SelectItem,
-    Star,
     SubquerySource,
     Union_,
     Unary,

@@ -10,7 +10,7 @@ subqueries, aggregates with GROUP BY / HAVING, DISTINCT, compound UNION
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 

@@ -143,7 +143,7 @@ class CrashFailure:
             f"repro crashtest --seeds 1 --base-seed {self.seed} "
             f"--ops {self.op_index or 1} --gaps {self.gap} "
             f"--encodings {self.encoding} --backends {self.backend} "
-            f"--sweep"
+            "--sweep"
         )
 
     def __str__(self) -> str:
@@ -512,7 +512,7 @@ def _run_transient_stream(
         except Exception as exc:
             return failure(
                 op_index, op["describe"], "transient",
-                f"retry policy leaked a caller-visible error: "
+                "retry policy leaked a caller-visible error: "
                 f"{type(exc).__name__}: {exc}",
             )
 
@@ -800,7 +800,7 @@ def _run_writer_cell(
             store.close()
             return failure(
                 batch_index, 0, "determinism",
-                f"expected one group commit, writer used "
+                "expected one group commit, writer used "
                 f"{queue.batches} batch(es)",
             )
         state = _state(store, doc)

@@ -115,7 +115,7 @@ class RetryPolicy:
                 return result
         METRICS.inc("retry.exhausted")
         raise TransientStorageError(
-            f"transient storage fault persisted across "
+            "transient storage fault persisted across "
             f"{self.attempts} attempt(s): {last_error}",
             attempts=self.attempts,
             last_error=last_error,

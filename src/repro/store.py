@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from time import perf_counter
 from typing import (
     TYPE_CHECKING, Callable, Iterable, Optional, Sequence, TypeVar, Union,
@@ -38,9 +39,14 @@ from repro.obs import METRICS, slow_log, span
 from repro.core.encodings import OrderEncoding, get_encoding
 from repro.core.schema import documents_table
 from repro.core.shredder import ShreddedDocument, shred
-from repro.core.translator import TranslatedQuery, make_translator
+from repro.core.translator import (
+    TranslatedQuery,
+    extract_shape,
+    make_translator,
+)
 from repro.errors import StorageError
 from repro.xmldom import Document, parse
+from repro.xpath.parser import parse_xpath
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.concurrent.writequeue import WriteQueue
@@ -50,6 +56,20 @@ if TYPE_CHECKING:  # pragma: no cover
 _ID_BATCH = 400
 
 _T = TypeVar("_T")
+
+
+@lru_cache(maxsize=512)
+def _parse_and_extract(xpath: str):
+    """Parse *xpath* and abstract its safe literals into slots.
+
+    Returns ``(shaped_path, shape_key, literals)``.  Pure function of
+    the text, so it is cached process-wide across stores and epochs —
+    parsing never repeats for a hot query, and the shape key string is
+    computed once.  The shaped path is an immutable AST, safe to share.
+    """
+    path = parse_xpath(xpath)
+    shaped, literals = extract_shape(path)
+    return shaped, str(shaped), literals
 
 
 def _is_already_exists(exc: Exception) -> bool:
@@ -180,6 +200,25 @@ class XmlStore:
         if self.retry is None:
             return self.backend.execute(sql, params)
         return self.retry.run(lambda: self.backend.execute(sql, params))
+
+    def _execute_plan(self, translated: TranslatedQuery):
+        """Execute a translated query through the backend's plan path.
+
+        minidb receives the structured statement (no SQL re-parsing);
+        sqlite executes the parameterized text (prepared-statement
+        cache keyed on it).
+        """
+        if self.retry is None:
+            return self.backend.execute_plan(
+                translated.sql, translated.params,
+                statement=translated.statement,
+            )
+        return self.retry.run(
+            lambda: self.backend.execute_plan(
+                translated.sql, translated.params,
+                statement=translated.statement,
+            )
+        )
 
     def _executemany(self, sql: str, param_rows):
         if self.retry is None:
@@ -419,38 +458,50 @@ class XmlStore:
         Relative paths navigate from *context_id* (a node's surrogate
         id); absolute paths start at the document.
 
-        Plans are cached per ``(encoding, xpath, doc, context, depth)``.
-        The depth bound is part of the key (not just the epoch): Local's
+        Compiled plans are cached per
+        ``(dialect, encoding, shape, depth)`` where *shape* is the
+        query with its safe predicate literals abstracted away — one
+        plan serves every document and every literal value
+        (``//item[@id='a']`` and ``//item[@id='b']`` share a plan; the
+        values bind as parameters).  The context kind is part of the
+        shape string (absolute vs relative), and the depth bound is
+        part of the key (not just the epoch): Local's
         ``//``/``following::`` expansion is exactly as deep as
         ``max_depth``, so a plan compiled before a deepening insert
         would silently drop the new nodes if it were ever reused.
         """
+        shaped, shape_key, literals = _parse_and_extract(xpath)
         cache = self.cache
         if not cache.enabled or self._in_own_transaction():
-            return self._translate_uncached(xpath, doc, context_id)
+            plan = self._compile_uncached(shaped, doc)
+            return plan.bind(doc, context_id, literals)
         epoch = cache.current_epoch()
         info = self.document_info(doc)
         depth = max(info.max_depth, 2)
-        key = (
-            self.encoding.name, xpath, doc,
-            "abs" if context_id is None else ("ctx", context_id),
-            depth,
-        )
+        dialect = self.backend.dialect
+        key = (dialect, self.encoding.name, shape_key, depth)
         plan = cache.get_plan(key)
         if plan is None:
             translator = make_translator(self.encoding.name, max_depth=depth)
-            plan = translator.translate(xpath, doc, context_id=context_id)
+            plan = translator.compile(shaped, dialect=dialect)
             cache.put_plan(key, plan, epoch)
-        return plan
+        else:
+            METRICS.inc("translate.plan_shared")
+        return plan.bind(doc, context_id, literals)
 
     def _translate_uncached(
         self, xpath: str, doc: int, context_id: Optional[int] = None
     ) -> TranslatedQuery:
+        shaped, _shape_key, literals = _parse_and_extract(xpath)
+        plan = self._compile_uncached(shaped, doc)
+        return plan.bind(doc, context_id, literals)
+
+    def _compile_uncached(self, shaped, doc: int):
         info = self.document_info(doc)
         translator = make_translator(
             self.encoding.name, max_depth=max(info.max_depth, 2)
         )
-        return translator.translate(xpath, doc, context_id=context_id)
+        return translator.compile(shaped, dialect=self.backend.dialect)
 
     def query(
         self, xpath: str, doc: int, context_id: Optional[int] = None
@@ -508,7 +559,7 @@ class XmlStore:
             translated = self.translate(xpath, doc, context_id=context_id)
         METRICS.inc("query.executed")
         with span("execute", collect):
-            result = self._execute(translated.sql, translated.params)
+            result = self._execute_plan(translated)
         rows = result.rows
         METRICS.inc("query.rows", len(rows))
         if translated.result_kind == "attribute":
@@ -645,8 +696,8 @@ class XmlStore:
         if name == "global":
             result = self._execute(
                 f"SELECT value FROM {self.node_table} "
-                f"WHERE doc = ? AND pos >= ? AND pos <= ? "
-                f"AND kind = 'text' ORDER BY pos",
+                "WHERE doc = ? AND pos >= ? AND pos <= ? "
+                "AND kind = 'text' ORDER BY pos",
                 (doc, row["pos"], row["endpos"]),
             )
         elif name == "dewey":

@@ -21,7 +21,6 @@ and property tests.
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from repro.xmldom.dom import Comment, Document, Element, Text
 

@@ -167,7 +167,7 @@ class ConcurrentWorkload:
     ) -> None:
         if writer_position not in ("append", "front"):
             raise ValueError(
-                f"writer_position must be 'append' or 'front', "
+                "writer_position must be 'append' or 'front', "
                 f"got {writer_position!r}"
             )
         self.store = store

@@ -18,7 +18,7 @@ The fragment covers what the paper's ordered-query workload needs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 #: Axes in the supported fragment.

@@ -23,7 +23,6 @@ from repro.xpath.ast import (
     NodeTest,
     NumberLiteral,
     PathExpr,
-    REVERSE_AXES,
     Step,
     StringLiteral,
     UnionPath,

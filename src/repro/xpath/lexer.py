@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.errors import XPathSyntaxError
+from repro.xmldom import chars as _xml_chars
 
 #: Multi-character punctuation, longest first so maximal munch works.
 _PUNCTUATION = (
@@ -34,8 +35,6 @@ _PUNCTUATION = (
     "*",
     "|",
 )
-
-from repro.xmldom import chars as _xml_chars
 
 
 def _is_name_start(ch: str) -> bool:

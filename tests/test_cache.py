@@ -366,3 +366,83 @@ def test_fuzz_cache_twin_catches_missing_invalidation(monkeypatch):
     # or an invariant violation (the audit reads the stale catalogue
     # row), depending on which check reaches it first.
     assert kinds & {"cache-twin", "oracle", "invariant"}, kinds
+
+
+# -- compiled-plan sharing and the compile/invalidate race -----------------
+
+
+def test_plan_shared_across_documents_and_literals():
+    """One compiled plan serves both documents and both literal values:
+    the plan key is the query *shape* (dialect, encoding, shape, depth),
+    with doc/context/literals bound as parameters afterwards."""
+    from repro.obs import METRICS
+
+    was_enabled = METRICS.enabled
+    METRICS.reset()
+    METRICS.enabled = True
+    try:
+        store = XmlStore(cache=True)
+        d1 = store.load("<r><item id='a'/><item id='b'/></r>")
+        d2 = store.load("<r><item id='a'/></r>")
+        t1 = store.translate("//item[@id = 'a']", d1)
+        t2 = store.translate("//item[@id = 'b']", d1)  # other literal
+        t3 = store.translate("//item[@id = 'a']", d2)  # other document
+        assert t1.sql == t2.sql == t3.sql
+        assert t1.params != t2.params  # literals still bind correctly
+        assert t1.params != t3.params  # and so does the document id
+        layers = store.cache.stats()["layers"]
+        assert layers["plan"]["misses"] == 1
+        assert layers["plan"]["hits"] == 2
+        counters = METRICS.snapshot()["counters"]
+        assert counters["translate.compile"] == 1
+        assert counters["translate.plan_shared"] == 2
+    finally:
+        METRICS.enabled = was_enabled
+        METRICS.reset()
+
+
+@pytest.mark.skip_audit
+def test_compile_then_invalidate_race_refuses_stale_plan(monkeypatch):
+    """The observed epoch is captured before compilation starts; a
+    writer committing mid-compile (simulated by bumping inside the
+    catalogue read) must prevent the freshly compiled plan from being
+    stored — the shape-level compile cache above the plan cache does
+    not weaken the epoch check."""
+    store = XmlStore(cache=True)
+    doc = store.load(SHALLOW)
+    original = XmlStore.document_info
+
+    def racing_info(self, d, **kwargs):
+        info = original(self, d, **kwargs)
+        self.cache.bump()  # a concurrent writer commits mid-translate
+        return info
+
+    monkeypatch.setattr(XmlStore, "document_info", racing_info)
+    translated = store.translate("//b", doc)
+    assert translated.sql  # translation itself still succeeds
+    plan_layer = store.cache.stats()["layers"]["plan"]
+    assert plan_layer["size"] == 0, "stale plan put must be refused"
+
+
+@pytest.mark.skip_audit
+def test_missed_invalidation_serves_stale_depth_plan(monkeypatch):
+    """Negative control for the deepening-insert regression: with the
+    epoch bump disabled, the stale depth-bounded plan (and result)
+    survive the insert and the new deep nodes are dropped — proving
+    the bump, not the pure shape-extraction cache above it, is what
+    keeps plans fresh."""
+    from repro.cache.lru import StoreCache
+
+    monkeypatch.setattr(StoreCache, "bump", lambda self: None)
+    store = XmlStore(encoding="local", cache=True)
+    doc = store.load(SHALLOW)
+    assert store.query("//f", doc) == []  # warm plan + result layers
+
+    store.updates.insert(doc, 2, 0, DEEP_FRAGMENT)
+
+    got = [i.value for i in store.query("//f", doc)]
+    assert got != ["deep"], (
+        "epoch bump disabled yet the deep nodes appeared — the "
+        "missed-invalidation harness would no longer detect stale "
+        "caches"
+    )

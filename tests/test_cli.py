@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cli import main, open_store
-from repro.errors import ReproError
 
 BIB = (
     '<bib><book year="1994"><title>TCP/IP</title>'

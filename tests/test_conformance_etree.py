@@ -209,3 +209,114 @@ def test_et_matcher_rejects_unsupported():
         et_matches(root, "b")  # relative paths are out of scope
     with pytest.raises(ValueError):
         et_matches(root, "/a/b[1]")  # position predicates are excluded
+
+
+# -- predicate literals with hostile characters ------------------------------
+
+#: Values that historically break naive SQL-literal inlining: embedded
+#: single quotes, pre-doubled quotes, LIKE metacharacters, non-ASCII.
+#: Parameter binding must pass every one of them through verbatim.
+TRICKY_VALUES = (
+    "o'brien",
+    "it''s",
+    "100%",
+    "under_score",
+    "naïve café ☕",
+    'say "hi"',
+)
+
+
+def _xpath_literal(value: str) -> str:
+    """Quote *value* as an XPath string literal (the lexer has no
+    escape mechanism, so the delimiter must not occur in the value)."""
+    if "'" in value:
+        assert '"' not in value, "value needs both quote kinds"
+        return f'"{value}"'
+    return f"'{value}'"
+
+
+def _tricky_xml() -> str:
+    from xml.sax.saxutils import escape, quoteattr
+
+    items = "".join(
+        f"<item k={quoteattr(v)}><t>{escape(v)}</t></item>"
+        for v in TRICKY_VALUES
+    )
+    return f"<r>{items}</r>"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+def test_hostile_literals_round_trip(encoding, backend):
+    """translate→execute returns exactly what the ET oracle matches,
+    for every hostile literal, on every backend × encoding."""
+    xml = _tricky_xml()
+    et_root = ET.fromstring(xml)
+    store = XmlStore(backend=backend, encoding=encoding)
+    doc = store.load(xml)
+
+    for value in TRICKY_VALUES:
+        lit = _xpath_literal(value)
+
+        expected = [
+            e.get("k")
+            for e in et_root.iter("item")
+            if e.get("k") == value
+        ]
+        got = [
+            item.value
+            for item in store.query(f"//item[@k = {lit}]/@k", doc)
+        ]
+        assert got == expected == [value], (
+            f"attribute equality {lit}: got {got}"
+        )
+
+        expected = [
+            e.get("k")
+            for e in et_root.iter("item")
+            if e.findtext("t") == value
+        ]
+        got = [
+            item.value
+            for item in store.query(f"//item[t = {lit}]/@k", doc)
+        ]
+        assert got == expected == [value], (
+            f"text equality {lit}: got {got}"
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+def test_like_metacharacters_are_not_wildcards(encoding, backend):
+    """``%`` and ``_`` in contains()/starts-with() match literally."""
+    xml = _tricky_xml()
+    et_root = ET.fromstring(xml)
+    store = XmlStore(backend=backend, encoding=encoding)
+    doc = store.load(xml)
+
+    for needle in ("%", "_", "0%", "under_"):
+        lit = _xpath_literal(needle)
+
+        expected = sorted(
+            e.get("k")
+            for e in et_root.iter("item")
+            if needle in (e.findtext("t") or "")
+        )
+        got = sorted(
+            item.value
+            for item in store.query(f"//item[contains(t, {lit})]/@k", doc)
+        )
+        assert got == expected, f"contains({lit}): got {got}"
+
+        expected = sorted(
+            e.get("k")
+            for e in et_root.iter("item")
+            if (e.findtext("t") or "").startswith(needle)
+        )
+        got = sorted(
+            item.value
+            for item in store.query(
+                f"//item[starts-with(t, {lit})]/@k", doc
+            )
+        )
+        assert got == expected, f"starts-with({lit}): got {got}"

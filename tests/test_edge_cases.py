@@ -5,13 +5,11 @@ import pytest
 
 from repro.minidb import MiniDb
 from repro.store import XmlStore
-from repro.xmldom import parse, serialize
+from repro.xmldom import parse
 from repro.xpath import evaluate, string_value
 from tests.conftest import (
     ALL_ENCODINGS,
     assert_query_matches_oracle,
-    oracle_identities,
-    store_identities,
 )
 
 

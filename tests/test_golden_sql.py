@@ -1,0 +1,173 @@
+"""Golden-SQL snapshots and the pre-refactor stats baseline.
+
+Three guards around the dialect-compiled translation path:
+
+* the exact SQL text the sqlite dialect emits for a fixed corpus, per
+  encoding, against a checked-in golden file (``tests/data/golden_sql.json``);
+* structural parity between the two dialects: the statement the minidb
+  dialect builds directly must equal what the minidb SQL parser produces
+  from the sqlite dialect's text;
+* the :class:`TranslationStats` that :func:`compute_stats` derives from
+  the expression AST, against the counts the pre-AST translators
+  reported for the same corpus (captured before the refactor).
+
+Regenerate the golden file after an intentional SQL-shape change with::
+
+    PYTHONPATH=src python tests/test_golden_sql.py --regen
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.translator import make_translator
+from repro.core.translator.shape import extract_shape
+from repro.xpath import parse_xpath
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_sql.json"
+
+ENCODINGS = ("global", "local", "dewey", "ordpath")
+MAX_DEPTH = 6
+
+#: Fixed corpus for the SQL-text snapshots: one query per structural
+#: family (join chain, descendant, deep attribute, positional, value
+#: predicate, last(), document order, union, count, boolean-not).
+SNAPSHOT_QUERIES = (
+    "/bib/book/title",
+    "/bib//title",
+    "//@id",
+    "/bib/book[2]",
+    "/bib/book[author = 'Smith']/title",
+    "/bib/book[last()]",
+    "/bib/book[1]/following::title",
+    "//title | //author",
+    "/bib/book[count(author) > 1]/title",
+    "/bib/book[not(@id)]",
+)
+
+#: Per-query relational-operation counts reported by the pre-refactor
+#: string-assembling translators at max_depth=6, captured immediately
+#: before the AST rewrite: [joins, exists, count, or_expansions].
+#: global/dewey/ordpath agree everywhere; local differs only where an
+#: override is listed.
+STATS_BASELINE = {
+    "/bib/book/title": [2, 0, 0, 0],
+    "/bib//title": [1, 0, 0, 0],
+    "//book": [0, 0, 0, 0],
+    "//@id": [1, 0, 0, 0],
+    "/bib/book[2]": [1, 0, 1, 0],
+    "/bib/book[position() <= 3]/title": [2, 0, 1, 0],
+    "/bib/book[last()]": [1, 1, 0, 0],
+    "/bib/book[author = 'Smith']/title": [2, 1, 0, 0],
+    "/bib/book[price < 10]": [1, 1, 0, 0],
+    "/bib/book[contains(title, 'Web')]": [1, 1, 0, 0],
+    "/bib/book[starts-with(title, 'T')]": [1, 1, 0, 0],
+    "/bib/book[author][@year]": [1, 2, 0, 0],
+    "/bib/book/author[1]/following-sibling::author": [3, 0, 1, 0],
+    "/bib/book[1]/following::title": [2, 0, 1, 0],
+    "/bib/book/title/parent::book": [3, 0, 0, 0],
+    "/bib/book/ancestor::bib": [2, 0, 0, 0],
+    "//book/ancestor-or-self::*": [1, 0, 0, 0],
+    "/bib/book[count(author) > 1]/title": [2, 0, 1, 0],
+    "/bib/book[not(@id)]": [1, 1, 0, 0],
+    "//title | //author": [0, 0, 0, 0],
+    "/bib/book/@id | //@year": [3, 0, 0, 0],
+    "/bib/book[@id = 'b1' or @id = 'b2']": [1, 2, 0, 0],
+    "/bib/book/descendant::text()": [2, 0, 0, 0],
+    "/bib/book[3]/preceding-sibling::book": [2, 0, 1, 0],
+}
+
+#: The local encoding pays depth-expansion arms (and sometimes an extra
+#: EXISTS) on vertical-recursion and document-order axes.
+LOCAL_OVERRIDES = {
+    "/bib//title": [1, 0, 0, 4],
+    "/bib/book[1]/following::title": [2, 1, 1, 8],
+    "/bib/book/ancestor::bib": [2, 0, 0, 4],
+    "//book/ancestor-or-self::*": [1, 0, 0, 4],
+    "/bib/book/descendant::text()": [2, 0, 0, 4],
+}
+
+
+def snapshot_sql(encoding: str) -> dict:
+    translator = make_translator(encoding, MAX_DEPTH)
+    return {
+        xpath: translator.translate(xpath, doc=1).sql
+        for xpath in SNAPSHOT_QUERIES
+    }
+
+
+class TestGoldenSql:
+    @pytest.fixture(scope="class")
+    def golden(self) -> dict:
+        assert GOLDEN_PATH.exists(), (
+            "golden file missing; regenerate with "
+            "PYTHONPATH=src python tests/test_golden_sql.py --regen"
+        )
+        return json.loads(GOLDEN_PATH.read_text())
+
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    def test_text_sql_matches_golden(self, golden, encoding):
+        got = snapshot_sql(encoding)
+        want = golden[encoding]
+        assert set(got) == set(want)
+        for xpath in SNAPSHOT_QUERIES:
+            assert got[xpath] == want[xpath], (
+                f"{encoding}: SQL drifted for {xpath!r}; if intentional, "
+                "regenerate tests/data/golden_sql.json"
+            )
+
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    def test_no_literals_embedded_in_snapshots(self, golden, encoding):
+        # Predicate literals must never leak into the plan text.
+        for xpath, sql in golden[encoding].items():
+            for literal in ("Smith", "'1'", "'3'"):
+                assert literal not in sql, (xpath, literal)
+
+
+class TestDialectParity:
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    def test_minidb_statement_equals_parsed_text(self, encoding):
+        """The structured statement handed to minidb is exactly what
+        the minidb parser would build from the sqlite dialect's text:
+        the two compilers cannot drift apart silently."""
+        from repro.minidb.sql_parser import parse_sql
+
+        translator = make_translator(encoding, MAX_DEPTH)
+        for xpath in SNAPSHOT_QUERIES:
+            shaped, _literals = extract_shape(parse_xpath(xpath))
+            plan = translator.compile(shaped, dialect="minidb")
+            assert plan.statement is not None, xpath
+            assert plan.statement == parse_sql(plan.sql), xpath
+
+
+class TestStatsBaseline:
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    def test_ast_stats_match_pre_refactor_counts(self, encoding):
+        """compute_stats over the expression AST reproduces the counts
+        the pre-refactor translators accumulated while gluing strings —
+        E9's cost model is unchanged by the rewrite."""
+        translator = make_translator(encoding, MAX_DEPTH)
+        for xpath, base in STATS_BASELINE.items():
+            if encoding == "local":
+                base = LOCAL_OVERRIDES.get(xpath, base)
+            stats = translator.translate(xpath, doc=1).stats
+            got = [
+                stats.joins,
+                stats.exists_subqueries,
+                stats.count_subqueries,
+                stats.or_expansions,
+            ]
+            assert got == base, (encoding, xpath)
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        GOLDEN_PATH.parent.mkdir(exist_ok=True)
+        payload = {enc: snapshot_sql(enc) for enc in ENCODINGS}
+        GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {GOLDEN_PATH}")
+    else:
+        print("usage: PYTHONPATH=src python tests/test_golden_sql.py --regen")

@@ -1,10 +1,8 @@
 """Unit tests for the minidb planner (conjunct analysis, access paths)."""
 
-import pytest
 
 from repro.minidb import MiniDb
 from repro.minidb.planner import (
-    AccessPath,
     choose_access_path,
     free_column_refs,
     split_conjuncts,

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import SqlSyntaxError
 from repro.minidb.sql_ast import (
     Binary,
-    ColumnRef,
     CreateIndex,
     CreateTable,
     Delete,
@@ -19,8 +18,6 @@ from repro.minidb.sql_ast import (
     Literal,
     Param,
     ScalarSubquery,
-    Select,
-    SelectItem,
     Star,
     SubquerySource,
     TableSource,

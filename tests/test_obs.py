@@ -10,7 +10,6 @@ from repro.backends import make_backend
 from repro.errors import TransientStorageError
 from repro.obs import (
     METRICS,
-    Tracer,
     current_tracer,
     disable_slow_log,
     enable_slow_log,

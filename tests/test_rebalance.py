@@ -3,9 +3,7 @@
 import pytest
 
 from repro.core.dewey import DeweyKey
-from repro.core.ordpath import OrdpathKey
 from repro.store import XmlStore
-from repro.xmldom import parse
 from tests.conftest import ALL_ENCODINGS
 
 
@@ -104,8 +102,6 @@ class TestRebalance:
         assert store.reconstruct(doc).structurally_equal(before)
 
     def test_queries_after_rebalance_match_oracle(self):
-        from tests.conftest import assert_query_matches_oracle
-
         store, doc = churned_store("global")
         rebuilt = store.reconstruct(doc)
         store.updates.rebalance(doc)

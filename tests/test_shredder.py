@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.dewey import DeweyKey
 from repro.core.encodings import get_encoding
-from repro.core.schema import DOCUMENT_PARENT, KIND_ELEMENT, KIND_TEXT
+from repro.core.schema import DOCUMENT_PARENT
 from repro.core.shredder import direct_text_value, shred
 from repro.workload.docgen import random_document
 from repro.xmldom import parse

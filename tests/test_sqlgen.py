@@ -1,49 +1,74 @@
-"""Unit tests for the SQL fragment builder used by the translator."""
+"""Unit tests for the relational AST, builders, and dialect compilers."""
 
+import pytest
+
+from repro.core.relalg import (
+    CTX,
+    DOC,
+    And,
+    Bool,
+    Cmp,
+    Col,
+    CompiledPlan,
+    Const,
+    FixedSlot,
+    LitSlot,
+    MiniDbDialect,
+    Not,
+    Or,
+    Param,
+    ScalarCount,
+    Select,
+    SelectItem,
+    SqlTextDialect,
+    TranslationStats,
+    UnionQuery,
+    compute_stats,
+    sql_string_literal,
+)
 from repro.core.sqlgen import (
     AliasGenerator,
-    Frag,
     SelectBuilder,
-    TranslationStats,
     all_of,
     any_of,
     exists,
-    frag,
-    join_frags,
     scalar_count,
-    sql_string_literal,
 )
+from repro.errors import TranslationError
 
 
-class TestFrag:
-    def test_params_travel_with_sql(self):
-        f = frag("a = ? AND b = ?", 1, "x")
-        assert f.sql == "a = ? AND b = ?"
-        assert f.params == (1, "x")
+def compile_text(query):
+    return SqlTextDialect().compile(query)
 
-    def test_empty_frag_is_falsy(self):
-        assert not frag("")
-        assert frag("1 = 1")
 
-    def test_join_frags_preserves_order(self):
-        joined = join_frags(
-            [frag("a = ?", 1), frag(""), frag("b = ?", 2)], " AND "
-        )
-        assert joined.sql == "a = ? AND b = ?"
-        assert joined.params == (1, 2)
+def simple_builder() -> SelectBuilder:
+    b = SelectBuilder()
+    b.select = [SelectItem(Col("n0", "id"), "id")]
+    b.add_from("node_global", "n0")
+    b.add_where(Cmp("=", Col("n0", "doc"), Param(DOC)))
+    return b
 
-    def test_all_of(self):
-        combined = all_of([frag("x"), frag("y", 9)])
-        assert combined.sql == "x AND y"
-        assert combined.params == (9,)
 
-    def test_any_of_parenthesises(self):
-        combined = any_of([frag("x = ?", 1), frag("y = ?", 2)])
-        assert combined.sql == "(x = ? OR y = ?)"
-        assert combined.params == (1, 2)
+class TestCombinators:
+    def test_all_of_drops_none(self):
+        cond = all_of([Cmp("=", Col("a", "x"), Const(1)), None])
+        assert isinstance(cond, Cmp)
 
-    def test_any_of_empty(self):
-        assert not any_of([])
+    def test_all_of_builds_and(self):
+        cond = all_of([
+            Cmp("=", Col("a", "x"), Const(1)),
+            Cmp("=", Col("a", "y"), Const(2)),
+        ])
+        assert isinstance(cond, And)
+        assert len(cond.items) == 2
+
+    def test_all_of_empty_is_none(self):
+        assert all_of([None, None]) is None
+
+    def test_any_of_carries_expansion_arms(self):
+        cond = any_of([Bool(True), Bool(False)], expansion_arms=4)
+        assert isinstance(cond, Or)
+        assert cond.expansion_arms == 4
 
 
 class TestAliasGenerator:
@@ -57,59 +82,129 @@ class TestAliasGenerator:
         assert gen.next() == "x0"
 
 
-class TestSelectBuilder:
-    def test_render_basic(self):
-        builder = SelectBuilder()
-        builder.select = [Frag("t.a")]
-        builder.add_from("things", "t")
-        builder.add_where(frag("t.a > ?", 5))
-        builder.order_by = ["t.a"]
-        rendered = builder.render()
-        assert rendered.sql == (
-            "SELECT t.a FROM things t WHERE t.a > ? ORDER BY t.a"
+class TestSqlTextDialect:
+    def test_select_render(self):
+        sql, slots = compile_text(simple_builder().build())
+        assert sql == (
+            "SELECT n0.id AS id FROM node_global n0 WHERE n0.doc = ?"
         )
-        assert rendered.params == (5,)
+        assert slots == (DOC,)
 
-    def test_distinct(self):
-        builder = SelectBuilder()
-        builder.distinct = True
-        builder.select = [Frag("1")]
-        builder.add_from("t", "t")
-        assert builder.render().sql.startswith("SELECT DISTINCT 1")
+    def test_distinct_and_order_by(self):
+        b = simple_builder()
+        b.distinct = True
+        b.order_by = [Col("n0", "pos")]
+        sql, _slots = compile_text(b.build())
+        assert sql.startswith("SELECT DISTINCT ")
+        assert sql.endswith(" ORDER BY n0.pos")
 
-    def test_param_order_across_clauses(self):
-        builder = SelectBuilder()
-        builder.select = [Frag("?", (0,))]
-        builder.add_from("t", "t")
-        builder.add_where(frag("a = ?", 1))
-        builder.add_where(frag("b IN (?, ?)", 2, 3))
-        rendered = builder.render()
-        assert rendered.params == (0, 1, 2, 3)
+    def test_and_or_parenthesised(self):
+        cond = Or((
+            And((Bool(True), Bool(False))),
+            Cmp("=", Col("a", "x"), Const(3)),
+        ))
+        b = simple_builder()
+        b.add_where(cond)
+        sql, _slots = compile_text(b.build())
+        assert "((1 = 1 AND 1 = 0) OR a.x = 3)" in sql
 
-    def test_empty_where_omitted(self):
-        builder = SelectBuilder()
-        builder.select = [Frag("1")]
-        builder.add_from("t", "t")
-        builder.add_where(frag(""))
-        assert "WHERE" not in builder.render().sql
+    def test_not_render(self):
+        b = simple_builder()
+        b.add_where(Not(Bool(True)))
+        sql, _slots = compile_text(b.build())
+        assert "NOT (1 = 1)" in sql
 
-    def test_exists_wrapper(self):
-        builder = SelectBuilder()
-        builder.select = [Frag("1")]
-        builder.add_from("t", "m")
-        builder.add_where(frag("m.x = ?", 7))
-        wrapped = exists(builder)
-        assert wrapped.sql == "EXISTS (SELECT 1 FROM t m WHERE m.x = ?)"
-        negated = exists(builder, negated=True)
-        assert negated.sql.startswith("NOT EXISTS (")
+    def test_exists_render(self):
+        sub = simple_builder()
+        sub.select = [SelectItem(Const(1))]
+        b = simple_builder()
+        b.add_where(exists(sub))
+        sql, slots = compile_text(b.build())
+        assert "EXISTS (SELECT 1 FROM node_global n0" in sql
+        assert slots == (DOC, DOC)
 
-    def test_scalar_count_restores_select(self):
-        builder = SelectBuilder()
-        builder.select = [Frag("m.x")]
-        builder.add_from("t", "m")
-        counted = scalar_count(builder)
-        assert counted.sql == "(SELECT COUNT(*) FROM t m)"
-        assert builder.select[0].sql == "m.x"  # restored
+    def test_negated_exists_render(self):
+        sub = simple_builder()
+        sub.select = [SelectItem(Const(1))]
+        b = simple_builder()
+        b.add_where(exists(sub, negated=True))
+        sql, _slots = compile_text(b.build())
+        assert "NOT EXISTS (" in sql
+
+    def test_union_orders_by_output_names(self):
+        arm = simple_builder().build()
+        sql, _slots = compile_text(
+            UnionQuery(selects=(arm, arm), order_by=("id",))
+        )
+        assert sql.count("SELECT") == 2
+        assert " UNION " in sql
+        assert sql.endswith(" ORDER BY id")
+
+    def test_slots_collected_in_placeholder_order(self):
+        b = simple_builder()
+        b.add_where(Cmp("=", Col("n0", "id"), Param(CTX)))
+        b.add_where(Cmp("=", Col("n0", "tag"), Param(FixedSlot("book"))))
+        b.add_where(Cmp("=", Col("n0", "value"), Param(LitSlot(0))))
+        sql, slots = compile_text(b.build())
+        assert sql.count("?") == 4
+        assert slots == (DOC, CTX, FixedSlot("book"), LitSlot(0))
+
+    def test_string_constants_escaped(self):
+        b = simple_builder()
+        b.add_where(Cmp("=", Col("n0", "tag"), Const("O'Reilly")))
+        sql, _slots = compile_text(b.build())
+        assert "'O''Reilly'" in sql
+
+
+class TestMiniDbDialect:
+    def test_same_slot_order_as_text_dialect(self):
+        b = simple_builder()
+        b.add_where(Cmp("=", Col("n0", "id"), Param(CTX)))
+        b.add_where(Cmp("=", Col("n0", "value"), Param(LitSlot(0))))
+        query = b.build()
+        _sql, text_slots = SqlTextDialect().compile(query)
+        _stmt, minidb_slots = MiniDbDialect().compile(query)
+        assert text_slots == minidb_slots
+
+    def test_emits_structured_statement(self):
+        from repro.minidb import sql_ast as m
+
+        stmt, _slots = MiniDbDialect().compile(simple_builder().build())
+        assert isinstance(stmt, m.Select)
+        assert isinstance(stmt.where, m.Binary)
+        assert isinstance(stmt.where.right, m.Param)
+        assert stmt.where.right.index == 0
+
+
+class TestScalarCount:
+    def test_renders_count_star(self):
+        b = simple_builder()
+        sql, _slots = compile_text(
+            Select(columns=(SelectItem(scalar_count(b)),))
+        )
+        assert sql == (
+            "SELECT (SELECT COUNT(*) FROM node_global n0 "
+            "WHERE n0.doc = ?)"
+        )
+
+    def test_does_not_mutate_builder(self):
+        # Regression: the old implementation swapped builder.select in
+        # place and restored it without try/finally, so a failure
+        # mid-render corrupted the builder for subsequent renders.  The
+        # node-based version works on an immutable snapshot.
+        b = simple_builder()
+        before = list(b.select)
+        count = scalar_count(b)
+        assert b.select == before
+        assert isinstance(count, ScalarCount)
+        assert count.query.columns[0].expr.__class__.__name__ == "CountStar"
+        # The builder still renders its original projection afterwards.
+        sql, _slots = compile_text(b.build())
+        assert sql.startswith("SELECT n0.id AS id")
+
+    def test_usable_repeatedly(self):
+        b = simple_builder()
+        assert scalar_count(b) == scalar_count(b)
 
 
 class TestHelpers:
@@ -123,3 +218,82 @@ class TestHelpers:
             or_expansions=3,
         )
         assert stats.total_relational_operations() == 7
+
+
+class TestStats:
+    def test_counts_joins_per_select(self):
+        b = SelectBuilder()
+        b.select = [SelectItem(Const(1))]
+        b.add_from("t", "a")
+        b.add_from("t", "b")
+        b.add_from("t", "c")
+        assert compute_stats(b.build()).joins == 2
+
+    def test_uncounted_select_contributes_no_joins(self):
+        b = SelectBuilder()
+        b.select = [SelectItem(Const(1))]
+        b.count_joins = False
+        b.add_from("t", "a")
+        b.add_from("t", "b")
+        assert compute_stats(b.build()).joins == 0
+
+    def test_exists_and_count_subqueries(self):
+        sub = simple_builder()
+        sub.select = [SelectItem(Const(1))]
+        b = simple_builder()
+        b.add_where(exists(sub))
+        b.add_where(Cmp(">", scalar_count(sub), Const(0)))
+        stats = compute_stats(b.build())
+        assert stats.exists_subqueries == 1
+        assert stats.count_subqueries == 1
+
+    def test_uncounted_exists(self):
+        sub = simple_builder()
+        sub.select = [SelectItem(Const(1))]
+        b = simple_builder()
+        b.add_where(exists(sub, counted=False))
+        assert compute_stats(b.build()).exists_subqueries == 0
+
+    def test_or_expansions(self):
+        b = simple_builder()
+        b.add_where(any_of([Bool(True), Bool(True)], expansion_arms=7))
+        assert compute_stats(b.build()).or_expansions == 7
+
+
+class TestCompiledPlanBind:
+    def plan(self, slots) -> CompiledPlan:
+        return CompiledPlan(
+            sql="SELECT 1",
+            param_slots=tuple(slots),
+            result_kind="node",
+            needs_client_order=False,
+            encoding="global",
+            columns=("id",),
+            stats=TranslationStats(),
+        )
+
+    def test_binds_doc_ctx_fixed_and_literals(self):
+        plan = self.plan([DOC, CTX, FixedSlot("book"), LitSlot(0)])
+        bound = plan.bind(7, context_id=3, literals=("x",))
+        assert bound.params == (7, 3, "book", "x")
+
+    def test_relative_without_context_raises(self):
+        plan = self.plan([DOC, CTX])
+        with pytest.raises(TranslationError):
+            plan.bind(1)
+
+    def test_literal_transforms(self):
+        plan = self.plan([
+            LitSlot(0, "posm1"),
+            LitSlot(0, "int"),
+            LitSlot(0, "num"),
+            LitSlot(1, "len"),
+            LitSlot(1, "raw"),
+        ])
+        bound = plan.bind(1, literals=(3.0, "abc"))
+        assert bound.params == (2, 3, 3, 3, "abc")
+
+    def test_literal_slot_out_of_range(self):
+        plan = self.plan([LitSlot(2)])
+        with pytest.raises(TranslationError):
+            plan.bind(1, literals=("only",))

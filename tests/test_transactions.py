@@ -7,7 +7,7 @@ import pytest
 
 from repro.backends import make_backend
 from repro.backends.base import split_sql_script
-from repro.errors import ExecutionError, UpdateError
+from repro.errors import ExecutionError
 from repro.minidb import MiniDb
 from repro.store import XmlStore
 from tests.conftest import BACKENDS

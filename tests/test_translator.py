@@ -116,11 +116,19 @@ class TestCommonShape:
         assert "SUBSTR(" in translated.sql
 
     @pytest.mark.parametrize("encoding", ["global", "local", "dewey"])
-    def test_string_literal_quotes_escaped(self, encoding):
+    def test_string_literal_becomes_parameter(self, encoding):
+        # Predicate literals never appear in the SQL text (no quoting
+        # or escaping to get wrong); they bind as parameters, and the
+        # SQL is shared across literal values.
         translated = translate(
             encoding, "/bib/book[contains(title, \"O'Reilly\")]"
         )
-        assert "O''Reilly" in translated.sql
+        assert "O'Reilly" not in translated.sql
+        assert "O'Reilly" in translated.params
+        other = translate(
+            encoding, "/bib/book[contains(title, \"Knuth\")]"
+        )
+        assert other.sql == translated.sql
 
 
 class TestGlobalEncoding:

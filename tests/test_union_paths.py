@@ -5,6 +5,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.errors import TranslationError, UnsupportedXPathError
 from repro.store import XmlStore
 from repro.workload.docgen import random_document
 from repro.xpath import UnionPath, evaluate, parse_xpath, string_value
@@ -14,6 +15,7 @@ from tests.conftest import (
     oracle_identities,
     store_identities,
 )
+from tests.test_property_differential import random_query
 
 DOC = parse(
     '<bib><book year="1994"><title>A</title><author>X</author></book>'
@@ -100,10 +102,6 @@ class TestTranslation:
         assert translated.needs_client_order
         assert store_identities(store, doc, "//author | //title") == \
             oracle_identities(DOC, "//author | //title")
-
-
-from repro.errors import TranslationError, UnsupportedXPathError
-from tests.test_property_differential import random_query
 
 
 @settings(max_examples=40, deadline=None)

@@ -1,12 +1,10 @@
 """Tests for the DOM model and serializer."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.workload.docgen import random_document
 from repro.xmldom import (
     Comment,
-    Document,
     Element,
     Text,
     document_order,

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.xmldom import parse
 from repro.xpath import (

@@ -10,7 +10,6 @@ from repro.xpath.ast import (
     NodeTest,
     NumberLiteral,
     PathExpr,
-    Step,
     StringLiteral,
 )
 from repro.xpath.lexer import tokenize

@@ -155,6 +155,17 @@ class Backend(ABC):
         """Refresh optimizer statistics after a bulk load (no-op by
         default; the sqlite backend runs ``ANALYZE``)."""
 
+    def list_tables(self) -> list[str]:
+        """Names of all user tables currently in the database.
+
+        Used by migration recovery (to drop leftover ``mig_*`` shadow
+        tables after a crash) and by the invariant auditor (to flag
+        orphaned shadow state).  Not abstract so minimal test doubles
+        keep working; callers treat ``NotImplementedError`` as "cannot
+        enumerate" and skip those checks.
+        """
+        raise NotImplementedError
+
     # -- transactions -----------------------------------------------------
 
     _tx_depth: int = 0

@@ -56,6 +56,11 @@ class MiniDbBackend(Backend):
     def rows_written(self) -> int:
         return self.db.stats.rows_written
 
+    def list_tables(self) -> list[str]:
+        if self.db is None:  # abandoned by a simulated crash
+            return []
+        return self.db.table_names()
+
     def begin(self) -> None:
         self.db.begin()
 

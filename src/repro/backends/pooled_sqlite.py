@@ -126,6 +126,14 @@ class PooledSqliteBackend(Backend):
         with self.pool.connection() as conn:
             conn.execute("ANALYZE")
 
+    def list_tables(self) -> list[str]:
+        with self.pool.connection() as conn:
+            rows = conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table' "
+                "AND name NOT LIKE 'sqlite_%'"
+            ).fetchall()
+        return sorted(row[0] for row in rows)
+
     # -- transactions ------------------------------------------------------
 
     def begin(self) -> None:

@@ -131,6 +131,14 @@ class SqliteBackend(Backend):
         with self._lock:
             self._conn.execute("ANALYZE")
 
+    def list_tables(self) -> list[str]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table' "
+                "AND name NOT LIKE 'sqlite_%'"
+            ).fetchall()
+        return sorted(row[0] for row in rows)
+
     def begin(self) -> None:
         # Hold the lock for the whole transaction (released again by
         # commit_transaction/rollback), so statements from other

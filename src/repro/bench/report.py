@@ -70,6 +70,12 @@ EXPECTED_SHAPES = {
            "2x faster at steady state on every encoding, and an "
            "interleaved update/query workload produces zero result "
            "mismatches against a caching-off store.",
+    "E16": "(Extension beyond the paper.)  On a workload that shifts "
+           "from query-heavy to update-heavy, the advisor-triggered "
+           "online migration lands within a whisker of (or beats) the "
+           "best static encoding in total logical I/O — including the "
+           "migration's own copy traffic — while every static choice "
+           "overpays in one regime.",
 }
 
 
@@ -197,6 +203,22 @@ def compute_verdicts(
             "Caching >= 2x on the repeated ordered mix, zero mixed-"
             "workload mismatches",
             all(r[3] >= 2.0 and r[5] == 0 for r in t.rows),
+        )
+
+    t = by_id.get("E16")
+    if t is not None:
+        totals = {r[0]: r[4] for r in t.rows}
+        adaptive = next(r for r in t.rows if r[0] == "adaptive")
+        best_static = min(
+            total
+            for name, total in totals.items()
+            if name != "adaptive"
+        )
+        record(
+            "E16",
+            "Adaptive migration <= best static encoding in logical "
+            "I/O (5% tolerance), and it actually migrated",
+            adaptive[4] <= best_static * 1.05 and adaptive[5] != "-",
         )
 
     return verdicts

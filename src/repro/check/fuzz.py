@@ -29,12 +29,14 @@ a ``repro`` command line that replays exactly that cell.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.check.invariants import audit_document
+from repro.check.invariants import audit_document, audit_store
 from repro.core.reconstruct import reconstruct_document_with_ids
 from repro.errors import TranslationError, UnsupportedXPathError
+from repro.migrate import migrate_document
 from repro.store import XmlStore
 from repro.workload.docgen import random_document
 from repro.xmldom import parse, serialize
@@ -86,6 +88,14 @@ class FuzzConfig:
     #: fixed pool is what makes the warming real: the same plan/result
     #: keys recur across updates, so every invalidation path is hit.
     cache_twin: bool = False
+    #: Live-migration mode: while the seeded update/query stream runs,
+    #: a background thread migrates the document to the next encoding
+    #: (``batch_size=1`` to stretch the copy window).  Every query must
+    #: match a non-migrating twin byte for byte, before, during, and
+    #: after the cutover.  Requires the shared-connection ``sqlite``
+    #: backend, whose lock serializes whole transactions across
+    #: threads.
+    migrate_during: bool = False
 
     def cells(self) -> list[tuple[int, int]]:
         return [
@@ -116,10 +126,14 @@ class FuzzFailure:
     def repro_command(self) -> str:
         """A CLI line that replays exactly this cell, checking every op."""
         flags = " --cache-twin" if self.kind == "cache-twin" else ""
+        encoding = self.encoding
+        if "->" in encoding:  # migrate-during cells record source->target
+            flags += " --migrate-during"
+            encoding = encoding.split("->", 1)[0]
         return (
             f"repro fuzz --seeds 1 --base-seed {self.seed} "
             f"--ops {self.op_index} --gaps {self.gap} "
-            f"--encodings {self.encoding} --backends {self.backend} "
+            f"--encodings {encoding} --backends {self.backend} "
             f"--check-every 1" + flags
         )
 
@@ -562,9 +576,219 @@ def _run_cell(
     return None
 
 
+# -- live-migration mode ------------------------------------------------
+
+
+def migration_target(encoding: str) -> str:
+    """The encoding a ``--migrate-during`` cell migrates to: the next
+    one in the canonical cycle, so sweeping the default encodings
+    exercises four distinct source->target conversions."""
+    cycle = DEFAULT_ENCODINGS
+    if encoding not in cycle:
+        return cycle[0]
+    return cycle[(cycle.index(encoding) + 1) % len(cycle)]
+
+
+def _identities(store: XmlStore, doc: int, xpath: str) -> list[tuple]:
+    return [
+        (item.kind, item.node_id, item.label, item.value)
+        for item in store.query(xpath, doc)
+    ]
+
+
+def _run_migrate_pair(
+    config: FuzzConfig,
+    seed: int,
+    gap: int,
+    backend: str,
+    encoding: str,
+    document: Document,
+    report: FuzzReport,
+) -> Optional[FuzzFailure]:
+    """One migrate-during cell: fuzz a store while it re-encodes.
+
+    The store starts on *encoding* and a background thread migrates it
+    to :func:`migration_target` with ``batch_size=1`` (one transaction
+    per copied row, maximizing interleave with the op stream).  A twin
+    store stays on the source encoding and receives the identical op
+    stream; every translatable query must answer identically on both —
+    surrogate ids are preserved by the migration, so the comparison is
+    byte-for-byte on (kind, id, label, value).  Invariant audits run
+    after the migration joins (mid-flight the shadow tables are
+    expected state, not a finding).
+    """
+    target = migration_target(encoding)
+    pair = f"{encoding}->{target}"
+    store = XmlStore(backend=backend, encoding=encoding, gap=gap)
+    twin = XmlStore(backend=backend, encoding=encoding, gap=gap)
+    doc = store.load(document)
+    twin_doc = twin.load(document)
+
+    def failure(op_index: int, op: str, kind: str, detail: str
+                ) -> FuzzFailure:
+        return FuzzFailure(
+            seed=seed, gap=gap, backend=backend, encoding=pair,
+            op_index=op_index, op=op, kind=kind, detail=detail,
+        )
+
+    migration_error: list[BaseException] = []
+
+    def run_migration() -> None:
+        try:
+            migrate_document(store, doc, target, batch_size=1)
+        except BaseException as exc:  # reported after join
+            migration_error.append(exc)
+
+    thread = threading.Thread(
+        target=run_migration, name="repro-fuzz-migrate", daemon=True
+    )
+    rng = random.Random(seed * 7919 + gap)
+    last_describe = "initial load"
+    thread.start()
+    try:
+        for op_index in range(1, config.ops + 1):
+            # Plan from the twin: its encoding is stable, so the
+            # surrogate-id plan is identical for both stores.
+            op = plan_operation(rng, twin, twin_doc)
+            last_describe = op["describe"]
+            try:
+                result = apply_operation(store, doc, op)
+            except Exception as exc:
+                return failure(
+                    op_index, last_describe, "crash",
+                    f"{type(exc).__name__}: {exc}",
+                )
+            twin_result = apply_operation(twin, twin_doc, op)
+            report.operations += 1
+            if (result.inserted, result.deleted) != (
+                twin_result.inserted, twin_result.deleted
+            ):
+                return failure(
+                    op_index, last_describe, "cost-mismatch",
+                    f"migrating store {result.inserted}/{result.deleted}"
+                    f" inserted/deleted, twin {twin_result.inserted}/"
+                    f"{twin_result.deleted}",
+                )
+            if op_index % config.check_every and op_index != config.ops:
+                continue
+            qrng = random.Random(seed * 1_000_003 + op_index)
+            for _ in range(config.queries_per_check):
+                xpath = random_xpath(qrng)
+                report.checks += 1
+                try:
+                    want = _identities(twin, twin_doc, xpath)
+                except (TranslationError, UnsupportedXPathError):
+                    continue
+                try:
+                    got = _identities(store, doc, xpath)
+                except (TranslationError, UnsupportedXPathError):
+                    # The other side of the cutover translates a
+                    # different fragment; nothing to compare.
+                    continue
+                if got != want:
+                    return failure(
+                        op_index, last_describe, "migrate-twin",
+                        f"query {xpath!r}: migrating store returned "
+                        f"{got}, twin returned {want}",
+                    )
+    finally:
+        thread.join(timeout=60.0)
+
+    if thread.is_alive():
+        return failure(
+            config.ops, last_describe, "migrate",
+            "migration thread still running 60s after the op stream",
+        )
+    if migration_error:
+        exc = migration_error[0]
+        return failure(
+            config.ops, last_describe, "migrate",
+            f"migration raised {type(exc).__name__}: {exc}",
+        )
+    final = store.encoding_for(doc).name
+    if final != target:
+        return failure(
+            config.ops, last_describe, "migrate",
+            f"document ended on {final!r}, expected {target!r}",
+        )
+
+    violations = audit_store(store)
+    if violations:
+        listing = "; ".join(str(v) for v in violations[:5])
+        if len(violations) > 5:
+            listing += f" (+{len(violations) - 5} more)"
+        return failure(config.ops, last_describe, "invariant", listing)
+
+    # Post-migration battery: audit + round trip on both stores (empty
+    # query list — the mid-stream rounds already compared every query
+    # against the twin, which is this mode's oracle), cross-store
+    # structural equality, and a final fresh pool compared byte for
+    # byte against the twin.
+    report.checks += 2
+    problem, tree = _check_store(store, doc, [], None)
+    if problem is not None:
+        return failure(config.ops, last_describe, *problem)
+    twin_problem, twin_tree = _check_store(twin, twin_doc, [], tree)
+    if twin_problem is not None:
+        return failure(config.ops, last_describe, *twin_problem)
+    if serialize(tree) != serialize(twin_tree):
+        return failure(
+            config.ops, last_describe, "migrate-twin",
+            "post-migration serialization differs from the twin's",
+        )
+    qrng = random.Random(seed * 2_000_003 + gap)
+    for _ in range(config.queries_per_check):
+        xpath = random_xpath(qrng)
+        report.checks += 1
+        try:
+            want = _identities(twin, twin_doc, xpath)
+            got = _identities(store, doc, xpath)
+        except (TranslationError, UnsupportedXPathError):
+            continue
+        if got != want:
+            return failure(
+                config.ops, last_describe, "migrate-twin",
+                f"post-migration query {xpath!r}: migrated store "
+                f"returned {got}, twin returned {want}",
+            )
+    return None
+
+
+def _run_migrate_cell(
+    config: FuzzConfig, seed: int, gap: int, report: FuzzReport
+) -> Optional[FuzzFailure]:
+    document = random_document(
+        seed, max_depth=config.max_depth,
+        max_children=config.max_children,
+    )
+    for backend in config.backends:
+        for encoding in config.encodings:
+            failure = _run_migrate_pair(
+                config, seed, gap, backend, encoding, document, report
+            )
+            if failure is not None:
+                return failure
+    return None
+
+
 def run_fuzz(config: FuzzConfig) -> FuzzReport:
     """Run the differential fuzzer; failures come back minimized."""
     report = FuzzReport()
+    if config.migrate_during:
+        unsupported = [b for b in config.backends if b != "sqlite"]
+        if unsupported:
+            raise ValueError(
+                "--migrate-during needs the shared-connection sqlite "
+                "backend (whole transactions serialize across threads); "
+                f"got {unsupported}"
+            )
+        for seed, gap in config.cells():
+            report.cells += 1
+            failure = _run_migrate_cell(config, seed, gap, report)
+            if failure is not None:
+                # Timing-dependent: no prefix minimization.
+                report.failures.append(failure)
+        return report
     for seed, gap in config.cells():
         report.cells += 1
         failure = _run_cell(

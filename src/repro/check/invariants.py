@@ -29,8 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.encodings import AuditView
-from repro.core.schema import KIND_ELEMENT, KIND_TEXT
+from repro.core.encodings import ENCODINGS, AuditView
+from repro.core.schema import KIND_ELEMENT, KIND_TEXT, SHADOW_PREFIX
 
 #: Node kinds that may own child rows.
 _PARENT_KINDS = (KIND_ELEMENT,)
@@ -56,22 +56,22 @@ class Violation:
         return f"[{self.code}] {where}: {self.message}"
 
 
-def _fetch_rows(store, doc: int) -> list[dict]:
-    columns = store.encoding.node_columns()
+def _fetch_rows(store, doc: int, encoding) -> list[dict]:
+    columns = encoding.node_columns()
     result = store.backend.execute(
-        f"SELECT {', '.join(columns)} FROM {store.node_table} "
+        f"SELECT {', '.join(columns)} FROM {encoding.node_table.name} "
         f"WHERE doc = ?",
         (doc,),
     )
     return [dict(zip(columns, r)) for r in result.rows]
 
 
-def _build_view(store, rows: list[dict]) -> AuditView:
+def _build_view(store, rows: list[dict], encoding) -> AuditView:
     by_id = {row["id"]: row for row in rows}
     children: dict[int, list[dict]] = {}
     for row in rows:
         children.setdefault(row["parent"], []).append(row)
-    order = store.encoding.sibling_order_column
+    order = encoding.sibling_order_column
     for siblings in children.values():
         siblings.sort(key=lambda r: r[order])
     preorder: list[int] = []
@@ -163,9 +163,10 @@ def _structural_violations(store, doc: int, view: AuditView):
             )
 
 
-def _attribute_violations(store, doc: int, view: AuditView):
+def _attribute_violations(store, doc: int, view: AuditView, encoding):
     result = store.backend.execute(
-        f"SELECT owner, name FROM {store.attr_table} WHERE doc = ?",
+        f"SELECT owner, name FROM {encoding.attr_table.name} "
+        f"WHERE doc = ?",
         (doc,),
     )
     seen: set[tuple[int, str]] = set()
@@ -220,30 +221,81 @@ def audit_document(store, doc: int) -> list[Violation]:
     # so it must not read through the store's catalog cache (which can
     # legitimately lag when another store object writes the same file).
     info = store.document_info(doc, fresh=True)
-    rows = _fetch_rows(store, doc)
-    view = _build_view(store, rows)
+    encoding = store.encoding_for(doc)
+    rows = _fetch_rows(store, doc, encoding)
+    view = _build_view(store, rows, encoding)
     violations = list(_structural_violations(store, doc, view))
-    violations.extend(_attribute_violations(store, doc, view))
+    violations.extend(_attribute_violations(store, doc, view, encoding))
     violations.extend(
         Violation(code, doc, node_id, message)
-        for code, node_id, message in store.encoding.order_invariants(view)
+        for code, node_id, message in encoding.order_invariants(view)
     )
     violations.extend(_catalog_violations(store, info, view))
     return violations
 
 
-def _stray_document_violations(store, known_docs: set[int]):
-    for table in (store.node_table, store.attr_table):
-        result = store.backend.execute(
-            f"SELECT DISTINCT doc FROM {table}"
-        )
+def _existing_tables(store) -> Optional[set[str]]:
+    """Names of the backend's live tables, or ``None`` when the backend
+    cannot enumerate them (custom backends)."""
+    try:
+        return set(store.backend.list_tables())
+    except NotImplementedError:  # pragma: no cover - custom backends
+        return None
+
+
+def _stray_document_violations(store, infos, existing: Optional[set[str]]):
+    """Store-level checks that look across *every* encoding's tables.
+
+    * ``catalog-missing-doc`` — rows for a document with no catalogue
+      entry, in any encoding table that exists;
+    * ``store-wrong-encoding-table`` — a document's rows leaked into a
+      table that is not its catalogued encoding's (a migration that
+      cut over without deleting its source rows, or vice versa).
+    """
+    known = {info.doc: info for info in infos}
+    table_owner: dict[str, str] = {}
+    for encoding in ENCODINGS.values():
+        table_owner[encoding.node_table.name] = encoding.name
+        table_owner[encoding.attr_table.name] = encoding.name
+    for table, owner in sorted(table_owner.items()):
+        if existing is not None and table not in existing:
+            continue
+        try:
+            result = store.backend.execute(
+                f"SELECT DISTINCT doc FROM {table}"
+            )
+        except Exception:
+            continue  # table absent on backends without list_tables()
         for (doc,) in result.rows:
-            if doc not in known_docs:
+            info = known.get(doc)
+            if info is None:
                 yield Violation(
                     "catalog-missing-doc", doc, None,
                     f"rows in {table} for a document with no "
                     "catalogue entry",
                 )
+                continue
+            doc_encoding = info.encoding or store.encoding.name
+            if owner != doc_encoding:
+                yield Violation(
+                    "store-wrong-encoding-table", doc, None,
+                    f"rows in {table} but document is catalogued "
+                    f"as {doc_encoding!r}",
+                )
+
+
+def _shadow_table_violations(store, existing: Optional[set[str]]):
+    """Orphaned ``mig_*`` shadow tables: legitimate only while this
+    store object has a migration in flight."""
+    if existing is None or getattr(store, "_migration", None) is not None:
+        return
+    for table in sorted(existing):
+        if table.startswith(SHADOW_PREFIX):
+            yield Violation(
+                "migration-shadow-orphan", 0, None,
+                f"shadow table {table} left behind by a migration "
+                "that is no longer running",
+            )
 
 
 def audit_store(
@@ -264,9 +316,9 @@ def audit_store(
         ):
             continue
         violations.extend(audit_document(store, info.doc))
-    violations.extend(
-        _stray_document_violations(store, {info.doc for info in infos})
-    )
+    existing = _existing_tables(store)
+    violations.extend(_stray_document_violations(store, infos, existing))
+    violations.extend(_shadow_table_violations(store, existing))
     return violations
 
 

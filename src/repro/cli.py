@@ -229,10 +229,62 @@ def cmd_info(args: argparse.Namespace) -> int:
     store = open_store(args.db)
     print(f"encoding: {store.encoding.name}   gap: {store.gap}")
     print(f"{'doc':>4}  {'name':20} {'nodes':>8} {'depth':>6} "
-          f"{'next id':>8}")
+          f"{'next id':>8} {'encoding':>8}")
     for info in store.documents():
+        encoding = info.encoding or store.encoding.name
         print(f"{info.doc:>4}  {info.name:20} {info.node_count:>8} "
-              f"{info.max_depth:>6} {info.next_id:>8}")
+              f"{info.max_depth:>6} {info.next_id:>8} {encoding:>8}")
+    return 0
+
+
+def cmd_migrate(args: argparse.Namespace) -> int:
+    from repro.migrate import MigrationAdvisor, migrate_document
+
+    if args.to is None and not (args.advise or args.auto):
+        raise ReproError(
+            "pass --to ENCODING, or --advise/--auto to consult the "
+            "workload advisor"
+        )
+    if args.to is not None and (args.advise or args.auto):
+        raise ReproError("--to conflicts with --advise/--auto")
+    store = open_store(args.db)
+    doc = _resolve_doc(store, args.doc)
+    target = args.to
+    if target is None:
+        import json as json_module
+
+        from repro.obs import METRICS
+
+        if args.counters:
+            counters = json_module.loads(Path(args.counters).read_text())
+        else:
+            counters = METRICS.snapshot()
+        advisor = MigrationAdvisor()
+        current = store.encoding_for(doc).name
+        recommendation = advisor.decide(counters, current)
+        arrow = (
+            f" -> {recommendation.target}" if recommendation.target else ""
+        )
+        print(f"advisor: {recommendation.action}{arrow} "
+              f"({recommendation.reason})")
+        if not args.auto or not recommendation.migrate:
+            return 0
+        target = recommendation.target
+    report = migrate_document(
+        store, doc, target, batch_size=args.batch_size
+    )
+    _commit(store)
+    if report.outcome == "noop":
+        print(f"document {doc} already uses {report.target}; nothing "
+              "to do")
+    else:
+        print(
+            f"migrated document {doc}: {report.source} -> "
+            f"{report.target}, {report.rows_copied} node row(s) + "
+            f"{report.attrs_copied} attribute row(s) copied, "
+            f"{report.journal_replayed} concurrent update(s) replayed "
+            f"over {report.replay_rounds} round(s)"
+        )
     return 0
 
 
@@ -283,8 +335,12 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         check_every=args.check_every,
         queries_per_check=args.queries_per_check,
         cache_twin=args.cache_twin,
+        migrate_during=args.migrate_during,
     )
-    report = run_fuzz(config)
+    try:
+        report = run_fuzz(config)
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
     for failure in report.failures:
         print(failure)
         print()
@@ -328,6 +384,24 @@ def cmd_crashtest(args: argparse.Namespace) -> int:
 
     encodings, backends, gaps = _parse_matrix(args)
     report = CrashTestReport()
+    if args.migrate:
+        from repro.robust.crashtest import run_migration_crashtest
+
+        config = CrashTestConfig(
+            seeds=args.seeds,
+            ops=args.ops,
+            encodings=encodings,
+            backends=backends,
+            gaps=gaps,
+            base_seed=args.base_seed,
+            crashes_per_op=0 if args.sweep else args.crashes_per_op,
+        )
+        report.merge(run_migration_crashtest(config))
+        for failure in report.failures:
+            print(failure)
+            print()
+        print(report.summary())
+        return 0 if report.ok() else 1
     if args.ops > 0:
         config = CrashTestConfig(
             seeds=args.seeds,
@@ -607,6 +681,14 @@ def cmd_stats(args: argparse.Namespace) -> int:
         METRICS.enabled = was_enabled
         disable_slow_log()
     snapshot = METRICS.snapshot()
+    # The migration counters always appear (zero-defaulted), so
+    # monitoring that greps `repro stats` output sees them before the
+    # first migration ever runs.
+    for name in (
+        "migrate.started", "migrate.completed", "migrate.aborted",
+        "migrate.rows_copied", "migrate.journal_replayed",
+    ):
+        snapshot["counters"].setdefault(name, 0)
     snapshot["cache"] = store.cache.stats()
     if args.json:
         print(json_module.dumps(snapshot, indent=2))
@@ -708,6 +790,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser(
+        "migrate",
+        help="re-encode a live document between order encodings "
+             "(online, crash-safe)",
+    )
+    add_db(p)
+    p.add_argument("--doc", type=int, default=None)
+    p.add_argument("--to", choices=sorted(ENCODINGS), default=None,
+                   help="target order encoding")
+    p.add_argument("--advise", action="store_true",
+                   help="print the workload advisor's recommendation "
+                        "and stop")
+    p.add_argument("--auto", action="store_true",
+                   help="migrate when the advisor recommends it")
+    p.add_argument("--counters", default=None,
+                   help="JSON metrics snapshot for the advisor (as "
+                        "written by 'repro stats --json'); default: "
+                        "this process's live counters")
+    p.add_argument("--batch-size", type=int, default=500,
+                   help="rows copied per shadow transaction "
+                        "(default 500)")
+    p.set_defaults(func=cmd_migrate)
+
+    p = sub.add_parser(
         "fuzz",
         help="differential fuzz: random updates vs the native evaluator",
     )
@@ -730,6 +835,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-twin", action="store_true",
                    help="pair every store with a caching-off twin and "
                         "require byte-identical query results")
+    p.add_argument("--migrate-during", action="store_true",
+                   help="run a live encoding migration in the "
+                        "background while fuzzing; every query must "
+                        "match a non-migrating twin byte for byte "
+                        "(sqlite backend only)")
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
@@ -764,6 +874,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also crash the group-commit writer mid-batch "
                         "this many times per cell on the pooled sqlite "
                         "backend (0 disables; default 2)")
+    p.add_argument("--migrate", action="store_true",
+                   help="crash encoding migrations instead: every "
+                        "ordered pair of --encodings on every backend, "
+                        "recovery must land exactly pre- or post-"
+                        "migration")
     p.set_defaults(func=cmd_crashtest)
 
     p = sub.add_parser("experiments",

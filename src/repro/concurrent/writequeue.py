@@ -142,15 +142,51 @@ class WriteQueue:
         # Fail anything that raced in after the sentinel.
         self._fail_pending(WriteQueueClosedError("write queue is closed"))
 
+    def _journalled(self, body: Callable[[], T]) -> T:
+        """One transaction attempt wired to the migration journal.
+
+        Mirrors :meth:`XmlStore.transactionally`: entries the attempt
+        stages are promoted inside the transaction scope just before
+        COMMIT (so a migration cutover serialized behind this batch
+        sees them), a retried attempt discards its stale staging
+        first, and a COMMIT that fails *after* promote poisons the
+        journal — the migration aborts rather than replay an entry
+        the live store never published.  As there, ``_migration`` is
+        read after BEGIN so a migration install serialized just ahead
+        of this batch is observed.
+        """
+        store = self.store
+        mig = None
+        promoted = False
+        try:
+            with store.backend.transaction():
+                mig = store._migration
+                if mig is None:
+                    return body()
+                journal = mig.journal
+                journal.discard()
+                result = body()
+                journal.promote()
+                promoted = True
+                return result
+        except BaseException:
+            if mig is not None:
+                if promoted:
+                    mig.journal.poison()
+                mig.journal.discard()
+            raise
+
     def _execute_batch(self, batch: list) -> bool:
         """Run one batch; returns False when the writer must die."""
         store = self.store
         results: list[Any] = [None] * len(batch)
 
+        def run_operations() -> None:
+            for i, (operation, _future) in enumerate(batch):
+                results[i] = operation()
+
         def attempt() -> None:
-            with store.backend.transaction():
-                for i, (operation, _future) in enumerate(batch):
-                    results[i] = operation()
+            self._journalled(run_operations)
 
         try:
             if store.retry is not None:
@@ -188,8 +224,7 @@ class WriteQueue:
         for operation, future in batch:
 
             def attempt(operation=operation):
-                with store.backend.transaction():
-                    return operation()
+                return self._journalled(operation)
 
             try:
                 if store.retry is not None:

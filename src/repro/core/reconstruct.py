@@ -51,10 +51,6 @@ def _make_node(kind: str, tag: Optional[str], value: Optional[str]) -> Node:
     raise StorageError(f"unknown node kind {kind!r}")
 
 
-def _order_value(store: "XmlStore", row: dict):
-    return row[store.encoding.sibling_order_column]
-
-
 def _build_tree(
     store: "XmlStore",
     doc: int,
@@ -68,11 +64,12 @@ def _build_tree(
     surrogate id`` for every materialised node (the identity bridge the
     differential fuzzer's oracle comparisons need).
     """
+    order_column = store.encoding_for(doc).sibling_order_column
     by_parent: dict[int, list[dict]] = {}
     for row in rows:
         by_parent.setdefault(row["parent"], []).append(row)
     for siblings in by_parent.values():
-        siblings.sort(key=lambda r: _order_value(store, r))
+        siblings.sort(key=lambda r: r[order_column])
 
     element_ids = [r["id"] for r in rows if r["kind"] == KIND_ELEMENT]
     attributes: dict[int, list[tuple[str, str]]] = {}
@@ -108,9 +105,10 @@ def reconstruct_document_with_ids(
 ) -> tuple[Document, dict[int, int]]:
     """Rebuild document *doc* plus an ``id(dom node) -> surrogate id``
     map, so callers can compare store results against DOM nodes."""
-    columns = store.encoding.node_columns()
+    encoding = store.encoding_for(doc)
+    columns = encoding.node_columns()
     result = store.backend.execute(
-        f"SELECT {', '.join(columns)} FROM {store.node_table} "
+        f"SELECT {', '.join(columns)} FROM {encoding.node_table.name} "
         f"WHERE doc = ?",
         (doc,),
     )
@@ -146,9 +144,10 @@ def fetch_subtree_rows(
     store: "XmlStore", doc: int, root_row: dict
 ) -> list[dict]:
     """Fetch the *proper descendants* of the node in *root_row*."""
-    columns = store.encoding.node_columns()
-    select = f"SELECT {', '.join(columns)} FROM {store.node_table} "
-    name = store.encoding.name
+    encoding = store.encoding_for(doc)
+    columns = encoding.node_columns()
+    select = f"SELECT {', '.join(columns)} FROM {encoding.node_table.name} "
+    name = encoding.name
     if name == "global":
         result = store.backend.execute(
             select + "WHERE doc = ? AND pos > ? AND pos <= ?",

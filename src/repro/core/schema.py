@@ -186,7 +186,13 @@ def ordpath_tables() -> tuple[Table, Table]:
 
 
 def documents_table() -> Table:
-    """The per-store document catalogue."""
+    """The per-store document catalogue.
+
+    ``encoding`` names the order encoding whose node/attribute tables
+    hold this document's rows; ``repro migrate`` rewrites it atomically
+    at cutover.  NULL (a catalogue written before migration support)
+    means the store's default encoding.
+    """
     name = "documents"
     return Table(
         name,
@@ -196,6 +202,31 @@ def documents_table() -> Table:
             Column("node_count", "INTEGER"),
             Column("max_depth", "INTEGER"),
             Column("next_id", "INTEGER"),
+            Column("encoding", "TEXT"),
         ),
         (Index(f"ux_{name}_doc", name, ("doc",), unique=True),),
+    )
+
+
+#: Prefix of migration shadow tables (and their indexes).  Anything
+#: with this prefix is transient migration state: dropped at cutover,
+#: on abort, and by recovery when a store re-opens after a crash.
+SHADOW_PREFIX = "mig_"
+
+
+def shadow_table(table: Table) -> Table:
+    """A shadow copy of *table* for an in-flight encoding migration.
+
+    Same columns, ``mig_``-prefixed table and index names, so the
+    migration engine can populate target-encoding rows without touching
+    the live tables until cutover.
+    """
+    name = SHADOW_PREFIX + table.name
+    return Table(
+        name,
+        table.columns,
+        tuple(
+            Index(SHADOW_PREFIX + ix.name, name, ix.columns, ix.unique)
+            for ix in table.indexes
+        ),
     )

@@ -26,10 +26,12 @@ benchmarks chart alongside wall-clock time.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Union
 
 from repro.core.dewey import DeweyKey
+from repro.core.encodings import OrderEncoding, get_encoding
 from repro.core.schema import KIND_ELEMENT, KIND_TEXT
 from repro.core.shredder import ShreddedDocument, ShreddedNode, shred
 from repro.errors import UpdateError, XmlSyntaxError
@@ -65,6 +67,13 @@ class UpdateManager:
 
     def __init__(self, store: "XmlStore") -> None:
         self.store = store
+        # Per-thread nesting depth of public operations, tracked on the
+        # thread that actually executes the transaction body (which,
+        # with a write queue, is the writer thread, not the caller).
+        # Only the outermost operation stages a migration-journal
+        # entry: compound ops like set_text replay as one entry, not as
+        # their internal delete+insert steps.
+        self._tls = threading.local()
 
     def _record(self, op: str, report: UpdateReport) -> UpdateReport:
         """Account one finished operation in the metrics registry."""
@@ -74,6 +83,11 @@ class UpdateManager:
         # deepening insert especially, whose new max_depth obsoletes
         # Local's depth-bounded plans.
         self.store.cache.bump()
+        if self.store.is_shadow:
+            # Shadow replays mirror already-counted live operations;
+            # counting them again would double the workload counters
+            # the MigrationAdvisor reads.
+            return report
         METRICS.inc(f"updates.{op}")
         METRICS.inc("updates.rows_touched", report.rows_touched())
         if report.relabeled:
@@ -82,6 +96,36 @@ class UpdateManager:
             METRICS.inc("updates.renumber_ops")
             METRICS.inc("updates.relabeled", report.relabeled)
         return report
+
+    def _doc_encoding(self, info) -> OrderEncoding:
+        """The encoding holding the rows of the document *info* describes."""
+        if info.encoding is None:
+            return self.store.encoding
+        return get_encoding(info.encoding)
+
+    def _tracked(self, doc: int, entry: tuple, body):
+        """Run *body* inside the transaction, staging *entry* in the
+        migration journal when this is the outermost public operation
+        on the migrating document.
+
+        Runs on whichever thread executes the transaction (the write
+        queue's writer thread, under group commit).  Staged entries are
+        promoted by the commit path and replayed into the migration's
+        shadow tables; nested operations stage nothing — the enclosing
+        operation's entry replays them.
+        """
+        tls = self._tls
+        depth = getattr(tls, "depth", 0)
+        tls.depth = depth + 1
+        try:
+            result = body()
+        finally:
+            tls.depth = depth
+        if depth == 0 and not self.store.is_shadow:
+            migration = self.store._migration
+            if migration is not None and migration.doc == doc:
+                migration.journal.stage(entry)
+        return result
 
     # -- public operations -------------------------------------------------
 
@@ -107,11 +151,27 @@ class UpdateManager:
                 raise UpdateError(
                     f"cannot parse insert fragment: {exc}"
                 ) from exc
+        return self.insert_shredded(
+            doc, parent_id, index, self._shred_fragment(fragment)
+        )
+
+    def insert_shredded(
+        self,
+        doc: int,
+        parent_id: int,
+        index: int,
+        shredded: ShreddedDocument,
+    ) -> UpdateReport:
+        """Insert an already-shredded fragment (the migration journal's
+        replay path; :meth:`insert` delegates here after shredding)."""
         with span("update.insert"):
-            shredded = self._shred_fragment(fragment)
             report = self.store.transactionally(
-                lambda: self._insert_in_transaction(
-                    doc, parent_id, index, shredded
+                lambda: self._tracked(
+                    doc,
+                    ("insert", parent_id, index, shredded),
+                    lambda: self._insert_in_transaction(
+                        doc, parent_id, index, shredded
+                    ),
                 )
             )
         return self._record("inserts", report)
@@ -137,30 +197,30 @@ class UpdateManager:
                 f"index {index} out of range for {len(children)} children"
             )
 
-        encoding = self.store.encoding.name
-        if encoding == "global":
+        enc = self._doc_encoding(info)
+        if enc.name == "global":
             report = self._insert_global(
-                doc, parent_row, children, index, shredded, info
+                doc, parent_row, children, index, shredded, info, enc
             )
-        elif encoding == "local":
+        elif enc.name == "local":
             report = self._insert_local(
-                doc, parent_id, children, index, shredded, info
+                doc, parent_id, children, index, shredded, info, enc
             )
-        elif encoding == "ordpath":
+        elif enc.name == "ordpath":
             report = self._insert_ordpath(
                 doc, parent_id, parent_row, children, index, shredded,
-                info,
+                info, enc,
             )
         else:
             report = self._insert_dewey(
                 doc, parent_id, parent_row, children, index, shredded,
-                info,
+                info, enc,
             )
 
         # Maintain the parent's direct-text value when inserting text.
         if shredded.nodes[0].kind == KIND_TEXT and parent_id != 0:
             report.value_updates += self._refresh_direct_text(
-                doc, parent_id
+                doc, parent_id, enc
             )
 
         info.node_count += shredded.node_count()
@@ -209,7 +269,13 @@ class UpdateManager:
             return report
 
         with span("update.set_text"):
-            report = self.store.transactionally(set_text_in_transaction)
+            report = self.store.transactionally(
+                lambda: self._tracked(
+                    doc,
+                    ("set_text", element_id, text),
+                    set_text_in_transaction,
+                )
+            )
         return self._record("set_texts", report)
 
     def rename(self, doc: int, element_id: int, tag: str) -> UpdateReport:
@@ -221,10 +287,16 @@ class UpdateManager:
             raise UpdateError(f"node {element_id} is not an element")
         with span("update.rename"):
             self.store.transactionally(
-                lambda: self.store.backend.execute(
-                    f"UPDATE {self.store.node_table} SET tag = ? "
-                    f"WHERE doc = ? AND id = ?",
-                    (tag, doc, element_id),
+                lambda: self._tracked(
+                    doc,
+                    ("rename", element_id, tag),
+                    # Resolve the table inside the transaction: the
+                    # document may have migrated since the fetch above.
+                    lambda: self.store.backend.execute(
+                        f"UPDATE {self.store.node_table_for(doc)} "
+                        f"SET tag = ? WHERE doc = ? AND id = ?",
+                        (tag, doc, element_id),
+                    ),
                 )
             )
         return self._record("renames", UpdateReport(value_updates=1))
@@ -245,8 +317,9 @@ class UpdateManager:
             raise UpdateError(f"node {element_id} is not an element")
 
         def set_attribute_in_transaction() -> UpdateReport:
+            attr_table = self.store.attr_table_for(doc)
             deleted = self.store.backend.execute(
-                f"DELETE FROM {self.store.attr_table} "
+                f"DELETE FROM {attr_table} "
                 f"WHERE doc = ? AND owner = ? AND name = ?",
                 (doc, element_id, name),
             )
@@ -254,7 +327,7 @@ class UpdateManager:
             report.deleted += max(deleted.rowcount, 0)
             if value is not None:
                 self.store.backend.execute(
-                    f"INSERT INTO {self.store.attr_table} "
+                    f"INSERT INTO {attr_table} "
                     f"VALUES (?, ?, ?, ?)",
                     (doc, element_id, name, value),
                 )
@@ -263,7 +336,11 @@ class UpdateManager:
 
         with span("update.set_attribute"):
             report = self.store.transactionally(
-                set_attribute_in_transaction
+                lambda: self._tracked(
+                    doc,
+                    ("set_attribute", element_id, name, value),
+                    set_attribute_in_transaction,
+                )
             )
         return self._record("set_attributes", report)
 
@@ -276,23 +353,37 @@ class UpdateManager:
         was_text = row["kind"] == KIND_TEXT
 
         def delete_in_transaction() -> UpdateReport:
-            subtree_ids = self._subtree_ids(doc, row)
-            self._delete_attributes(doc, subtree_ids)
-            deleted = self._delete_rows(doc, row, subtree_ids)
+            info = self.store.document_info(doc)
+            enc = self._doc_encoding(info)
+            target = row
+            if enc.sibling_order_column not in target:
+                # The row was fetched before a migration cutover swapped
+                # the document's encoding; re-read its order values.
+                target = self.store.fetch_node(doc, node_id)
+                if target is None:
+                    raise UpdateError(
+                        f"no node {node_id} in document {doc}"
+                    )
+            subtree_ids = self._subtree_ids(doc, target)
+            self._delete_attributes(doc, subtree_ids, enc)
+            deleted = self._delete_rows(doc, target, subtree_ids, enc)
 
             report = UpdateReport(deleted=deleted)
             if was_text and parent_id != 0:
                 report.value_updates += self._refresh_direct_text(
-                    doc, parent_id
+                    doc, parent_id, enc
                 )
 
-            info = self.store.document_info(doc)
             info.node_count -= deleted
             self.store.update_document_info(info)
             return report
 
         with span("update.delete"):
-            report = self.store.transactionally(delete_in_transaction)
+            report = self.store.transactionally(
+                lambda: self._tracked(
+                    doc, ("delete", node_id), delete_in_transaction
+                )
+            )
         return self._record("deletes", report)
 
     def rebalance(self, doc: int) -> UpdateReport:
@@ -310,15 +401,16 @@ class UpdateManager:
         return self._record("rebalances", report)
 
     def _rebalance(self, doc: int) -> UpdateReport:
-        columns = self.store.encoding.node_columns()
+        enc = self.store.encoding_for(doc)
+        columns = enc.node_columns()
         result = self.store.backend.execute(
-            f"SELECT {', '.join(columns)} FROM {self.store.node_table} "
+            f"SELECT {', '.join(columns)} FROM {enc.node_table.name} "
             f"WHERE doc = ?",
             (doc,),
         )
         rows = [dict(zip(columns, r)) for r in result.rows]
         by_parent: dict[int, list[dict]] = {}
-        order_column = self.store.encoding.sibling_order_column
+        order_column = enc.sibling_order_column
         for row in rows:
             by_parent.setdefault(row["parent"], []).append(row)
         for siblings in by_parent.values():
@@ -352,16 +444,21 @@ class UpdateManager:
         for index, top in enumerate(by_parent.get(0, []), start=1):
             walk(top, index, ())
 
-        order_columns = self.store.encoding.order_columns
+        order_columns = enc.order_columns
         assignments = ", ".join(f"{c} = ?" for c in order_columns)
         updates = [
-            (*self.store.encoding.order_values(record, self.store.gap),
-             doc, node_id)
+            (*enc.order_values(record, self.store.gap), doc, node_id)
             for node_id, record in fresh
         ]
+        # Not journalled: a rebalance rewrites order values only — the
+        # migration's shadow rows carry fresh target-encoding values
+        # already, so replaying it would be a no-op.  (If a cutover
+        # lands between the snapshot read above and this UPDATE, the
+        # UPDATE matches zero rows in the vacated source table, which
+        # is equally harmless.)
         self.store.transactionally(
             lambda: self.store.backend.executemany(
-                f"UPDATE {self.store.node_table} SET {assignments} "
+                f"UPDATE {enc.node_table.name} SET {assignments} "
                 f"WHERE doc = ? AND id = ?",
                 updates,
             )
@@ -397,9 +494,10 @@ class UpdateManager:
         parents: list[int],
         depth_base: int,
         order_values: list[tuple],
+        enc: OrderEncoding,
     ) -> None:
-        table = self.store.node_table
-        width = len(self.store.encoding.node_columns())
+        table = enc.node_table.name
+        width = len(enc.node_columns())
         placeholders = ", ".join("?" for _ in range(width))
         rows = []
         for node, node_id, parent, order in zip(
@@ -427,16 +525,19 @@ class UpdateManager:
         ]
         if attr_rows:
             self.store.backend.executemany(
-                f"INSERT INTO {self.store.attr_table} VALUES (?, ?, ?, ?)",
+                f"INSERT INTO {enc.attr_table.name} VALUES (?, ?, ?, ?)",
                 attr_rows,
             )
 
-    def _refresh_direct_text(self, doc: int, element_id: int) -> int:
+    def _refresh_direct_text(
+        self, doc: int, element_id: int, enc: OrderEncoding
+    ) -> int:
         """Recompute an element's stored direct-text value; returns rows
         updated (0 or 1)."""
-        order = self.store.encoding.sibling_order_column
+        table = enc.node_table.name
+        order = enc.sibling_order_column
         result = self.store.backend.execute(
-            f"SELECT value FROM {self.store.node_table} "
+            f"SELECT value FROM {table} "
             f"WHERE doc = ? AND parent = ? AND kind = '{KIND_TEXT}' "
             f"ORDER BY {order}",
             (doc, element_id),
@@ -447,7 +548,7 @@ class UpdateManager:
             else None
         )
         updated = self.store.backend.execute(
-            f"UPDATE {self.store.node_table} SET value = ? "
+            f"UPDATE {table} SET value = ? "
             f"WHERE doc = ? AND id = ?",
             (value, doc, element_id),
         )
@@ -456,11 +557,11 @@ class UpdateManager:
     # -- Global encoding -----------------------------------------------------------
 
     def _insert_global(
-        self, doc, parent_row, children, index, shredded, info
+        self, doc, parent_row, children, index, shredded, info, enc
     ) -> UpdateReport:
         gap = self.store.gap
         n = shredded.node_count()
-        table = self.store.node_table
+        table = enc.node_table.name
         if index > 0:
             pos_before = children[index - 1]["endpos"]
         elif parent_row is not None:
@@ -506,6 +607,7 @@ class UpdateManager:
             doc,
             parent_row["id"] if parent_row is not None else 0,
             last_slot,
+            table,
         )
 
         ids, parents = self._new_ids(
@@ -518,14 +620,14 @@ class UpdateManager:
         ]
         depth_base = parent_row["depth"] if parent_row is not None else 0
         self._insert_rows(
-            doc, shredded, ids, parents, depth_base, order_values
+            doc, shredded, ids, parents, depth_base, order_values, enc
         )
         return UpdateReport(
             inserted=n, relabeled=relabeled, new_root_id=ids[0]
         )
 
     def _extend_global_ancestors(
-        self, doc: int, parent_id: int, last_slot: int
+        self, doc: int, parent_id: int, last_slot: int, table: str
     ) -> int:
         """Extend ancestors whose interval ended before the new nodes.
 
@@ -539,7 +641,7 @@ class UpdateManager:
             if current is None or current["endpos"] >= last_slot:
                 break
             self.store.backend.execute(
-                f"UPDATE {self.store.node_table} SET endpos = ? "
+                f"UPDATE {table} SET endpos = ? "
                 f"WHERE doc = ? AND id = ?",
                 (last_slot, doc, current["id"]),
             )
@@ -550,10 +652,10 @@ class UpdateManager:
     # -- Local encoding ------------------------------------------------------------------
 
     def _insert_local(
-        self, doc, parent_id, children, index, shredded, info
+        self, doc, parent_id, children, index, shredded, info, enc
     ) -> UpdateReport:
         gap = self.store.gap
-        table = self.store.node_table
+        table = enc.node_table.name
         lpos_before = children[index - 1]["lpos"] if index > 0 else 0
         lpos_after = (
             children[index]["lpos"] if index < len(children) else None
@@ -582,7 +684,7 @@ class UpdateManager:
                 order_values.append((node.sibling_index * gap,))
         depth_base = self._parent_depth(doc, parent_id)
         self._insert_rows(
-            doc, shredded, ids, parents, depth_base, order_values
+            doc, shredded, ids, parents, depth_base, order_values, enc
         )
         return UpdateReport(
             inserted=shredded.node_count(),
@@ -599,7 +701,8 @@ class UpdateManager:
     # -- Dewey encoding --------------------------------------------------------------------
 
     def _insert_dewey(
-        self, doc, parent_id, parent_row, children, index, shredded, info
+        self, doc, parent_id, parent_row, children, index, shredded,
+        info, enc,
     ) -> UpdateReport:
         gap = self.store.gap
         parent_key = (
@@ -629,7 +732,8 @@ class UpdateManager:
             # sibling first, so shifted keys never collide.
             for sibling in reversed(children[index:]):
                 relabeled += self._shift_dewey_subtree(
-                    doc, DeweyKey.decode(sibling["dkey"]), gap
+                    doc, DeweyKey.decode(sibling["dkey"]), gap,
+                    enc.node_table.name,
                 )
             new_component = comp_after
 
@@ -642,7 +746,7 @@ class UpdateManager:
             order_values.append((key.encode(),))
         depth_base = parent_row["depth"] if parent_row is not None else 0
         self._insert_rows(
-            doc, shredded, ids, parents, depth_base, order_values
+            doc, shredded, ids, parents, depth_base, order_values, enc
         )
         return UpdateReport(
             inserted=shredded.node_count(),
@@ -651,14 +755,14 @@ class UpdateManager:
         )
 
     def _shift_dewey_subtree(
-        self, doc: int, old_key: DeweyKey, shift: int
+        self, doc: int, old_key: DeweyKey, shift: int, table: str
     ) -> int:
         """Relabel a sibling's whole subtree ``old_key -> old_key+shift``."""
         new_key = old_key.with_local_position(
             old_key.local_position() + shift
         )
         result = self.store.backend.execute(
-            f"SELECT id, dkey FROM {self.store.node_table} "
+            f"SELECT id, dkey FROM {table} "
             f"WHERE doc = ? AND dkey >= ? AND dkey < ?",
             (doc, old_key.encode(),
              old_key.sibling_successor().encode()),
@@ -670,7 +774,7 @@ class UpdateManager:
             )
             updates.append((rebased.encode(), doc, node_id))
         self.store.backend.executemany(
-            f"UPDATE {self.store.node_table} SET dkey = ? "
+            f"UPDATE {table} SET dkey = ? "
             f"WHERE doc = ? AND id = ?",
             updates,
         )
@@ -679,7 +783,8 @@ class UpdateManager:
     # -- ORDPATH encoding (extension) ------------------------------------------------------
 
     def _insert_ordpath(
-        self, doc, parent_id, parent_row, children, index, shredded, info
+        self, doc, parent_id, parent_row, children, index, shredded,
+        info, enc,
     ) -> UpdateReport:
         """Careted insertion: a fresh key *between* the neighbours.
 
@@ -723,7 +828,7 @@ class UpdateManager:
             order_values.append((key.encode(),))
         depth_base = parent_row["depth"] if parent_row is not None else 0
         self._insert_rows(
-            doc, shredded, ids, parents, depth_base, order_values
+            doc, shredded, ids, parents, depth_base, order_values, enc
         )
         return UpdateReport(
             inserted=shredded.node_count(),
@@ -740,21 +845,24 @@ class UpdateManager:
         descendants = fetch_subtree_rows(self.store, doc, row)
         return [row["id"], *(r["id"] for r in descendants)]
 
-    def _delete_attributes(self, doc: int, ids: list[int]) -> None:
+    def _delete_attributes(
+        self, doc: int, ids: list[int], enc: OrderEncoding
+    ) -> None:
         for start in range(0, len(ids), _ID_BATCH):
             batch = ids[start : start + _ID_BATCH]
             placeholders = ", ".join("?" for _ in batch)
             self.store.backend.execute(
-                f"DELETE FROM {self.store.attr_table} "
+                f"DELETE FROM {enc.attr_table.name} "
                 f"WHERE doc = ? AND owner IN ({placeholders})",
                 (doc, *batch),
             )
 
     def _delete_rows(
-        self, doc: int, row: dict, subtree_ids: list[int]
+        self, doc: int, row: dict, subtree_ids: list[int],
+        enc: OrderEncoding,
     ) -> int:
-        table = self.store.node_table
-        name = self.store.encoding.name
+        table = enc.node_table.name
+        name = enc.name
         if name == "global":
             result = self.store.backend.execute(
                 f"DELETE FROM {table} "

@@ -123,3 +123,22 @@ class UpdateError(StorageError):
 
 class TranslationError(StorageError):
     """XPath query that cannot be translated to SQL for an encoding."""
+
+
+class MigrationError(StorageError):
+    """Invalid encoding-migration request (unknown target, migration
+    already running, shadow store misuse)."""
+
+
+class MigrationAborted(MigrationError):
+    """An online encoding migration aborted and rolled itself back.
+
+    The live document is untouched and still served from its original
+    encoding; shadow state has been discarded.  ``reason`` carries the
+    trigger (journal overflow, poisoned journal, cutover sanity-check
+    failure, replay error).
+    """
+
+    def __init__(self, message: str, reason: str = "") -> None:
+        self.reason = reason or message
+        super().__init__(message)

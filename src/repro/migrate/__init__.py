@@ -1,0 +1,32 @@
+"""Online crash-safe encoding migration (``repro migrate``).
+
+* :func:`~repro.migrate.engine.migrate_document` — re-encode one live
+  document between order encodings while the store serves reads and
+  writes; crashes at any statement boundary recover to exactly the
+  pre- or post-migration encoding.
+* :class:`~repro.migrate.journal.MigrationJournal` — committed live
+  updates queued for replay into the shadow tables.
+* :class:`~repro.migrate.advisor.MigrationAdvisor` — recommends a
+  migration when the observed workload crosses the paper's E7
+  query/update crossover.
+"""
+
+from repro.errors import MigrationAborted, MigrationError
+from repro.migrate.advisor import MigrationAdvisor, Recommendation
+from repro.migrate.engine import (
+    MigrationReport,
+    MigrationState,
+    migrate_document,
+)
+from repro.migrate.journal import MigrationJournal
+
+__all__ = [
+    "MigrationAborted",
+    "MigrationAdvisor",
+    "MigrationError",
+    "MigrationJournal",
+    "MigrationReport",
+    "MigrationState",
+    "Recommendation",
+    "migrate_document",
+]

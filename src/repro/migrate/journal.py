@@ -1,0 +1,119 @@
+"""The migration journal: committed live updates queued for replay.
+
+While a migration is in flight, every update transaction that commits
+against the migrating document records one logical entry here; the
+migration replays the entries, in commit order, into its shadow tables
+so the shadow converges on the live document before cutover.
+
+The two-phase protocol mirrors the transaction lifecycle:
+
+``stage``
+    called by the update manager inside the transaction, once per
+    top-level operation (compound operations such as ``set_text`` stage
+    a single entry).  Staged entries are *thread-local* — invisible to
+    the migration until promoted.
+``promote``
+    called inside the transaction scope after the last statement, just
+    before COMMIT.  Because writers are serialized (shared-connection
+    lock, single WAL writer, or the write queue's one writer thread), a
+    migration stage that starts after the commit always observes the
+    promoted entry.
+``discard``
+    called at the start of every transaction attempt: a retried
+    attempt must not stage its entries twice.
+``poison``
+    called when a COMMIT fails *after* promote — the journal now holds
+    an entry the live store never published, so the migration must
+    abort rather than replay it.
+
+Entry tuples (the document id is implicit — one journal serves exactly
+one migrating document)::
+
+    ("insert", parent_id, index, shredded)
+    ("delete", node_id)
+    ("set_text", element_id, text)
+    ("rename", element_id, tag)
+    ("set_attribute", element_id, name, value)
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Journal entries above this bound mark the journal overflowed and the
+#: migration aborts — the live workload is outrunning the replay loop.
+DEFAULT_CAPACITY = 10_000
+
+
+class MigrationJournal:
+    """Thread-safe two-phase queue of update entries (see module doc)."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = capacity
+        #: The replay loop could never keep up; the migration aborts.
+        self.overflowed = False
+        #: A COMMIT failed after promote; the migration aborts.
+        self.poisoned = False
+        self._lock = threading.Lock()
+        self._entries: list[tuple] = []
+        self._tls = threading.local()
+
+    def _thread_staged(self) -> list[tuple]:
+        staged = getattr(self._tls, "staged", None)
+        if staged is None:
+            staged = []
+            self._tls.staged = staged
+        return staged
+
+    # -- writer side (called by the update manager / store) ----------------
+
+    def stage(self, entry: tuple) -> None:
+        """Record *entry* for the current thread's open transaction."""
+        self._thread_staged().append(entry)
+
+    def discard(self) -> None:
+        """Drop the current thread's staged entries (attempt start /
+        rollback)."""
+        self._thread_staged().clear()
+
+    def promote(self) -> None:
+        """Publish the current thread's staged entries, in order."""
+        staged = self._thread_staged()
+        if not staged:
+            return
+        with self._lock:
+            self._entries.extend(staged)
+            if len(self._entries) > self.capacity:
+                self.overflowed = True
+        staged.clear()
+
+    def poison(self) -> None:
+        """Mark the journal unusable: a promoted entry may not have
+        committed, so replaying the journal is no longer safe."""
+        self.poisoned = True
+
+    # -- migration side -----------------------------------------------------
+
+    def drain(self) -> list[tuple]:
+        """Remove and return every promoted entry (replay stage)."""
+        with self._lock:
+            entries = self._entries
+            self._entries = []
+        return entries
+
+    def pending(self) -> list[tuple]:
+        """Promoted entries *without* removing them — the cutover reads
+        non-destructively so a rolled-back-and-retried cutover replays
+        exactly the same entries."""
+        with self._lock:
+            return list(self._entries)
+
+    def staged(self) -> list[tuple]:
+        """The current thread's staged (not yet promoted) entries — a
+        cutover running inside a write-queue batch sees the batch's
+        earlier operations here."""
+        return list(self._thread_staged())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

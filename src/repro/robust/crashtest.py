@@ -56,7 +56,7 @@ from repro.check.fuzz import (
     apply_operation,
     plan_operation,
 )
-from repro.check.invariants import audit_document
+from repro.check.invariants import audit_document, audit_store
 from repro.minidb import persist
 from repro.minidb.engine import MiniDb
 from repro.robust.faults import (
@@ -138,6 +138,14 @@ class CrashFailure:
                 f"repro crashtest --seeds 1 --base-seed {self.seed} "
                 f"--ops 0 --writer-batches {self.op_index or 1} "
                 f"--encodings {self.encoding} --backends sqlite"
+            )
+        if self.mode == "migrate":
+            encodings = self.encoding.replace("->", ",")
+            return (
+                f"repro crashtest --migrate --seeds 1 "
+                f"--base-seed {self.seed} "
+                f"--encodings {encodings} --backends {self.backend} "
+                "--sweep"
             )
         return (
             f"repro crashtest --seeds 1 --base-seed {self.seed} "
@@ -232,6 +240,19 @@ class _SqliteMedium:
                    fault_rate: float) -> None:
         pass  # sqlite transactions are durable at commit
 
+    def save_baseline(self) -> None:
+        """Remember the current durable state for :meth:`restore`."""
+        self._baseline = Path(str(self.path) + ".baseline")
+        _clone_db(self.path, self._baseline)
+
+    def restore_baseline(self) -> None:
+        """Reset the durable state to the saved baseline.  The
+        migration harness needs this between crash trials: a crash
+        *after* the cutover commit legitimately leaves the durable
+        file post-migration, which would turn every later trial into
+        a no-op."""
+        _clone_db(self._baseline, self.path)
+
     def close(self, store: XmlStore) -> None:
         store.backend.close()
 
@@ -282,6 +303,12 @@ class _MiniDbMedium:
             simulate_crash_during_save(db, self.snapshot, stage, rng)
             raise SimulatedCrash(f"simulated crash during save ({stage})")
         persist.save(db, self.snapshot)
+
+    def save_baseline(self) -> None:
+        pass  # trials never checkpoint: the snapshot already is the baseline
+
+    def restore_baseline(self) -> None:
+        pass
 
     def close(self, store: XmlStore) -> None:
         store.backend.close()
@@ -553,6 +580,211 @@ def run_crashtest(
             if stream_failure is not None:
                 report.failures.append(stream_failure)
     return report
+
+
+# -- migration-crash harness (online re-encoding atomicity) --------------
+
+
+def _migration_state(store: XmlStore, doc: int) -> tuple:
+    """Durable state *including* the catalogued encoding — a migration
+    crash must recover to exactly the pre- or post-migration encoding,
+    never a hybrid."""
+    info = store.document_info(doc, fresh=True)
+    return (
+        serialize(store.reconstruct(doc)),
+        (info.node_count, info.max_depth, info.next_id),
+        info.encoding or store.encoding.name,
+    )
+
+
+def _audit_store_detail(store: XmlStore) -> Optional[str]:
+    """Full-store audit — includes the shadow-orphan and
+    wrong-encoding-table checks a crashed migration could trip."""
+    violations = audit_store(store)
+    if not violations:
+        return None
+    listing = "; ".join(str(v) for v in violations[:5])
+    if len(violations) > 5:
+        listing += f" (+{len(violations) - 5} more)"
+    return listing
+
+
+def run_migration_crashtest(
+    config: CrashTestConfig,
+    workdir: Optional[Union[str, Path]] = None,
+) -> CrashTestReport:
+    """Crash a migration at sampled (or all) statement boundaries.
+
+    One cell is ``(seed, backend, source -> target)`` over every
+    ordered pair of the configured encodings.  Per cell the harness
+    loads a seeded document under *source*, applies a couple of seeded
+    updates, measures a full migration to *target* on a scratch clone
+    (statement count + post state), then for each crash point kills
+    the store mid-migration, reopens from the durable medium, and
+    asserts a clean full-store audit (no orphaned shadow tables, no
+    rows in a wrong-encoding table) plus **atomicity**: the recovered
+    state — document bytes, catalogue row, *and* encoding — equals
+    exactly the pre- or the post-migration state.
+    """
+    report = CrashTestReport()
+    pairs = [
+        (src, dst)
+        for src in config.encodings
+        for dst in config.encodings
+        if src != dst
+    ]
+    for i in range(config.seeds):
+        seed = config.base_seed + i
+        for backend_name in config.backends:
+            for source, target in pairs:
+                report.cells += 1
+                with tempfile.TemporaryDirectory(
+                    dir=None if workdir is None else str(workdir),
+                    prefix="migrate-crash-",
+                ) as cell_dir:
+                    cell_failure = _run_migration_cell(
+                        config, seed, backend_name, source, target,
+                        Path(cell_dir), report,
+                    )
+                if cell_failure is not None:
+                    report.failures.append(cell_failure)
+    return report
+
+
+def _run_migration_cell(
+    config: CrashTestConfig,
+    seed: int,
+    backend_name: str,
+    source: str,
+    target: str,
+    workdir: Path,
+    report: CrashTestReport,
+) -> Optional[CrashFailure]:
+    from repro.migrate import migrate_document
+
+    def failure(crash_at, kind, detail) -> CrashFailure:
+        return CrashFailure(
+            seed=seed, gap=1, backend=backend_name,
+            encoding=f"{source}->{target}", op_index=1,
+            crash_at=crash_at, op=f"migrate {source} -> {target}",
+            kind=kind, detail=detail, mode="migrate",
+        )
+
+    medium = _medium(backend_name, workdir, source, 1)
+    document = random_document(
+        seed, max_depth=config.max_depth,
+        max_children=config.max_children,
+    )
+
+    # Durable baseline: the document plus two seeded updates, so the
+    # migration moves non-trivial order values and attributes.
+    rng = random.Random(seed * 6389 + 11)
+    store, _ = medium.open()
+    doc = store.load(document)
+    for _ in range(2):
+        op = plan_operation(rng, store, doc)
+        apply_operation(store, doc, op)
+    medium.checkpoint(store, rng, 0.0)
+    pre = _migration_state(store, doc)
+    detail = _audit_store_detail(store)
+    medium.close(store)
+    if detail is not None:
+        return failure(0, "invariant", f"before migration: {detail}")
+    medium.save_baseline()
+
+    # Measure the migration on a scratch clone.
+    scratch, counter = medium.open_clone()
+    try:
+        migrate_document(scratch, doc, target)
+    except Exception as exc:
+        medium.close(scratch)
+        return failure(
+            0, "replay", f"clean migration raised on the clone: {exc!r}"
+        )
+    statements = counter.statements_executed
+    post = _migration_state(scratch, doc)
+    detail = _audit_store_detail(scratch)
+    medium.close(scratch)
+    report.operations += 1
+    if detail is not None:
+        return failure(0, "invariant", f"after clean migration: {detail}")
+    if post[2] != target:
+        return failure(
+            0, "replay",
+            f"clean migration left encoding {post[2]!r}, not {target!r}",
+        )
+
+    # Crash trials at sampled (or all) statement boundaries.
+    if config.crashes_per_op <= 0 or config.crashes_per_op >= statements:
+        points = list(range(1, statements + 1))
+    else:
+        crash_rng = random.Random(seed * 104729 + 29)
+        points = sorted(
+            crash_rng.sample(
+                range(1, statements + 1), config.crashes_per_op
+            )
+        )
+    for crash_at in points:
+        medium.restore_baseline()
+        store, injector = medium.open()
+        injector.arm(FaultPlan(crash_at_statement=crash_at))
+        crashed = False
+        try:
+            migrate_document(store, doc, target)
+        except SimulatedCrash:
+            crashed = True
+        report.crashes += 1
+        if not crashed:
+            return failure(
+                crash_at, "determinism",
+                f"crash point {crash_at} <= measured statement count "
+                f"{statements} but the migration completed",
+            )
+
+        recovered, _ = medium.open()
+        detail = _audit_store_detail(recovered)
+        if detail is not None:
+            medium.close(recovered)
+            return failure(crash_at, "invariant", detail)
+        state = _migration_state(recovered, doc)
+        medium.close(recovered)
+        report.recoveries += 1
+        if state != pre and state != post:
+            hybrid = (
+                "hybrid encoding state"
+                if state[2] not in (pre[2], post[2])
+                or (state[0], state[1]) not in (
+                    (pre[0], pre[1]), (post[0], post[1])
+                )
+                else "mixed pre/post state"
+            )
+            return failure(
+                crash_at, "atomicity",
+                f"recovered state equals neither the pre- nor the "
+                f"post-migration store ({hybrid}; "
+                f"encoding {state[2]!r})",
+            )
+
+    # Apply for real; the durable state must land exactly on post.
+    medium.restore_baseline()
+    store, _ = medium.open()
+    try:
+        migrate_document(store, doc, target)
+    except Exception as exc:
+        medium.close(store)
+        return failure(0, "replay", f"final migration raised: {exc!r}")
+    medium.checkpoint(store, rng, 0.0)
+    state = _migration_state(store, doc)
+    detail = _audit_store_detail(store)
+    medium.close(store)
+    if detail is not None:
+        return failure(0, "invariant", f"after final migration: {detail}")
+    if state != post:
+        return failure(
+            0, "replay",
+            "final migration diverged from the measured post state",
+        )
+    return None
 
 
 # -- writer-crash harness (group-commit atomicity) -----------------------

@@ -187,6 +187,11 @@ class FaultInjectingBackend(Backend):
     def rows_written(self) -> int:
         return self.inner.rows_written()
 
+    def list_tables(self) -> list[str]:
+        if self.crashed:
+            raise SimulatedCrash("backend already crashed")
+        return self.inner.list_tables()
+
     def analyze(self) -> None:
         if self.crashed:
             raise SimulatedCrash("backend already crashed")

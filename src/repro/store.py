@@ -37,7 +37,7 @@ from repro.cache import StoreCache, cache_enabled_from_env
 from repro.core.dewey import DeweyKey
 from repro.obs import METRICS, slow_log, span
 from repro.core.encodings import OrderEncoding, get_encoding
-from repro.core.schema import documents_table
+from repro.core.schema import SHADOW_PREFIX, documents_table
 from repro.core.shredder import ShreddedDocument, shred
 from repro.core.translator import (
     TranslatedQuery,
@@ -102,17 +102,34 @@ class ResultItem:
 
 @dataclass
 class DocumentInfo:
-    """Catalogue entry of one stored document."""
+    """Catalogue entry of one stored document.
+
+    ``encoding`` names the order encoding holding this document's rows
+    (documents can migrate individually between encodings); ``None``
+    means the store's default encoding.
+    """
 
     doc: int
     name: str
     node_count: int
     max_depth: int
     next_id: int
+    encoding: Optional[str] = None
 
 
 class XmlStore:
-    """Ordered XML stored in a relational backend under one encoding."""
+    """Ordered XML stored in a relational backend.
+
+    ``encoding`` is the store's *default* encoding (new loads use it);
+    individual documents may live under a different encoding after a
+    ``repro migrate`` — the catalogue's ``encoding`` column is
+    authoritative, resolved per document by :meth:`encoding_for`.
+    """
+
+    #: True on the shadow facade an in-flight migration writes through
+    #: (see :mod:`repro.migrate`); shadow stores skip metrics and the
+    #: migration journal.
+    is_shadow = False
 
     def __init__(
         self,
@@ -167,6 +184,13 @@ class XmlStore:
             enabled=cache_enabled_from_env() if cache is None else bool(cache)
         )
         self._docs_table = documents_table()
+        #: In-flight encoding migration (``repro.migrate.MigrationState``)
+        #: or ``None``.  While set, committed update transactions are
+        #: journalled for replay into the migration's shadow tables.
+        self._migration = None
+        #: Bumped after every migration cutover; queries that observe a
+        #: bump mid-flight re-run against the new encoding's tables.
+        self._migration_epoch = 0
         self._create_schema()
         from repro.core.updates import UpdateManager
 
@@ -191,6 +215,31 @@ class XmlStore:
                     continue
                 raise StorageError(
                     f"schema bootstrap failed: {statement!r}: {exc}"
+                ) from exc
+        self._recover_shadow_state()
+
+    def _recover_shadow_state(self) -> None:
+        """Drop shadow tables a crashed migration left behind.
+
+        Migration state outside the catalogue is transient by design: a
+        crash before cutover loses only shadow rows (source untouched),
+        a crash after the cutover commit loses only the shadow *copy*
+        of rows already published.  Either way dropping every
+        ``mig_*`` table restores a clean pre- or post-migration store.
+        """
+        try:
+            tables = self.backend.list_tables()
+        except NotImplementedError:  # pragma: no cover - custom backends
+            return
+        for table in tables:
+            if not table.startswith(SHADOW_PREFIX):
+                continue
+            try:
+                self.backend.execute(f"DROP TABLE {table}")
+                METRICS.inc("migrate.recovered_shadow_tables")
+            except Exception as exc:
+                raise StorageError(
+                    f"migration recovery failed dropping {table!r}: {exc}"
                 ) from exc
 
     # -- fault-tolerant execution -----------------------------------------
@@ -264,11 +313,47 @@ class XmlStore:
             return result
 
         def attempt() -> _T:
-            with backend.transaction():
-                return operation()
+            # An in-flight migration journals every committed update
+            # for replay into its shadow tables.  Entries staged by the
+            # operation are promoted *inside* the transaction scope
+            # (after the last statement, before COMMIT) so a cutover —
+            # serialized behind this transaction — always sees the
+            # committed entry; discard-on-entry keeps a retried attempt
+            # from staging twice.  ``self._migration`` must be read
+            # *after* BEGIN: a migration installs itself under the same
+            # backend lock this BEGIN blocks on, so a pre-BEGIN read
+            # could see None while the operation (running after the
+            # install committed) stages entries — which would then
+            # never promote and be silently discarded, losing the
+            # update from the shadow replay.
+            mig = None
+            promoted = False
+            try:
+                with backend.transaction():
+                    mig = self._migration
+                    if mig is None:
+                        return operation()
+                    journal = mig.journal
+                    journal.discard()
+                    result = operation()
+                    journal.promote()
+                    promoted = True
+                    return result
+            except BaseException:
+                if mig is not None:
+                    if promoted:
+                        # Promoted but the COMMIT failed: the journal
+                        # now holds an entry the live store never
+                        # published.  Poisoning makes the migration
+                        # abort instead of replaying it into the
+                        # shadow.
+                        mig.journal.poison()
+                    mig.journal.discard()
+                raise
 
         if self._in_own_transaction():
-            return attempt()
+            with backend.transaction():
+                return operation()
         result = attempt() if self.retry is None else self.retry.run(attempt)
         self.cache.bump()
         return result
@@ -321,6 +406,27 @@ class XmlStore:
     def attr_table(self) -> str:
         return self.encoding.attr_table.name
 
+    # -- per-document encoding resolution ---------------------------------
+
+    def encoding_for(self, doc: int) -> OrderEncoding:
+        """The encoding holding *doc*'s rows (catalogue-authoritative).
+
+        Documents migrate individually (``repro migrate``), so every
+        doc-scoped read and update resolves its encoding here instead
+        of assuming the store default.  Served from the catalogue
+        cache; inside a transaction it reads the backend directly, so
+        an update running concurrently with a cutover sees the swapped
+        encoding the moment the catalogue row changes.
+        """
+        name = self.document_info(doc).encoding
+        return self.encoding if name is None else get_encoding(name)
+
+    def node_table_for(self, doc: int) -> str:
+        return self.encoding_for(doc).node_table.name
+
+    def attr_table_for(self, doc: int) -> str:
+        return self.encoding_for(doc).attr_table.name
+
     # -- loading ------------------------------------------------------------
 
     def load(
@@ -343,13 +449,14 @@ class XmlStore:
                 doc_id = self._next_doc_id()
                 self._bulk_insert(doc_id, shredded)
                 self.backend.execute(
-                    "INSERT INTO documents VALUES (?, ?, ?, ?, ?)",
+                    "INSERT INTO documents VALUES (?, ?, ?, ?, ?, ?)",
                     (
                         doc_id,
                         name,
                         shredded.node_count(),
                         shredded.max_depth,
                         shredded.node_count() + 1,
+                        self.encoding.name,
                     ),
                 )
                 return doc_id
@@ -407,7 +514,7 @@ class XmlStore:
 
     def _document_info_uncached(self, doc: int) -> DocumentInfo:
         result = self._execute(
-            "SELECT doc, name, node_count, max_depth, next_id "
+            "SELECT doc, name, node_count, max_depth, next_id, encoding "
             "FROM documents WHERE doc = ?",
             (doc,),
         )
@@ -428,11 +535,16 @@ class XmlStore:
         self.document_info(doc)  # raises StorageError if unknown
 
         def drop_in_transaction() -> int:
+            # Resolve the tables inside the transaction: a concurrent
+            # migration cutover may have just moved the rows.
+            encoding = self.encoding_for(doc)
             nodes = self.backend.execute(
-                f"DELETE FROM {self.node_table} WHERE doc = ?", (doc,)
+                f"DELETE FROM {encoding.node_table.name} WHERE doc = ?",
+                (doc,),
             )
             attrs = self.backend.execute(
-                f"DELETE FROM {self.attr_table} WHERE doc = ?", (doc,)
+                f"DELETE FROM {encoding.attr_table.name} WHERE doc = ?",
+                (doc,),
             )
             self.backend.execute(
                 "DELETE FROM documents WHERE doc = ?", (doc,)
@@ -443,7 +555,7 @@ class XmlStore:
 
     def documents(self) -> list[DocumentInfo]:
         result = self._execute(
-            "SELECT doc, name, node_count, max_depth, next_id "
+            "SELECT doc, name, node_count, max_depth, next_id, encoding "
             "FROM documents ORDER BY doc"
         )
         return [DocumentInfo(*row) for row in result.rows]
@@ -477,12 +589,13 @@ class XmlStore:
             return plan.bind(doc, context_id, literals)
         epoch = cache.current_epoch()
         info = self.document_info(doc)
+        encoding_name = info.encoding or self.encoding.name
         depth = max(info.max_depth, 2)
         dialect = self.backend.dialect
-        key = (dialect, self.encoding.name, shape_key, depth)
+        key = (dialect, encoding_name, shape_key, depth)
         plan = cache.get_plan(key)
         if plan is None:
-            translator = make_translator(self.encoding.name, max_depth=depth)
+            translator = make_translator(encoding_name, max_depth=depth)
             plan = translator.compile(shaped, dialect=dialect)
             cache.put_plan(key, plan, epoch)
         else:
@@ -499,14 +612,33 @@ class XmlStore:
     def _compile_uncached(self, shaped, doc: int):
         info = self.document_info(doc)
         translator = make_translator(
-            self.encoding.name, max_depth=max(info.max_depth, 2)
+            info.encoding or self.encoding.name,
+            max_depth=max(info.max_depth, 2),
         )
         return translator.compile(shaped, dialect=self.backend.dialect)
 
     def query(
         self, xpath: str, doc: int, context_id: Optional[int] = None
     ) -> list[ResultItem]:
-        """Run *xpath* via SQL; results arrive in document order."""
+        """Run *xpath* via SQL; results arrive in document order.
+
+        Torn-read guard: a migration cutover can swap a document's
+        encoding between this query's translate and execute steps.
+        Every cutover bumps ``_migration_epoch``, so a query that
+        observes a bump mid-flight simply re-runs — the second pass
+        reads the post-cutover catalogue and the new tables.
+        """
+        for _ in range(4):
+            epoch = self._migration_epoch
+            items = self._query_once(xpath, doc, context_id)
+            if self._migration_epoch == epoch:
+                return items
+            METRICS.inc("query.migration_retries")
+        return items
+
+    def _query_once(
+        self, xpath: str, doc: int, context_id: Optional[int] = None
+    ) -> list[ResultItem]:
         cache = self.cache
         use_cache = cache.enabled and not self._in_own_transaction()
         if use_cache:
@@ -607,7 +739,8 @@ class XmlStore:
         self, doc: int, ids: Iterable[int]
     ) -> dict[int, tuple[int, int]]:
         """Fetch ``id -> (parent, sibling order value)`` for the ids."""
-        order_column = self.encoding.sibling_order_column
+        encoding = self.encoding_for(doc)
+        order_column = encoding.sibling_order_column
         out: dict[int, tuple[int, int]] = {}
         pending = [i for i in set(ids) if i != 0]
         while pending:
@@ -616,7 +749,7 @@ class XmlStore:
             placeholders = ", ".join("?" for _ in batch)
             result = self._execute(
                 f"SELECT id, parent, {order_column} "
-                f"FROM {self.node_table} "
+                f"FROM {encoding.node_table.name} "
                 f"WHERE doc = ? AND id IN ({placeholders})",
                 (doc, *batch),
             )
@@ -692,10 +825,12 @@ class XmlStore:
             raise StorageError(f"no node {node_id} in document {doc}")
         if row["kind"] != "elem":
             return row["value"] or ""
-        name = self.encoding.name
+        encoding = self.encoding_for(doc)
+        name = encoding.name
+        node_table = encoding.node_table.name
         if name == "global":
             result = self._execute(
-                f"SELECT value FROM {self.node_table} "
+                f"SELECT value FROM {node_table} "
                 "WHERE doc = ? AND pos >= ? AND pos <= ? "
                 "AND kind = 'text' ORDER BY pos",
                 (doc, row["pos"], row["endpos"]),
@@ -703,7 +838,7 @@ class XmlStore:
         elif name == "dewey":
             key = DeweyKey.decode(row["dkey"])
             result = self._execute(
-                f"SELECT value FROM {self.node_table} "
+                f"SELECT value FROM {node_table} "
                 f"WHERE doc = ? AND dkey > ? AND dkey < ? "
                 f"AND kind = 'text' ORDER BY dkey",
                 (doc, key.encode(), key.sibling_successor().encode()),
@@ -713,7 +848,7 @@ class XmlStore:
 
             key = OrdpathKey.decode(row["okey"])
             result = self._execute(
-                f"SELECT value FROM {self.node_table} "
+                f"SELECT value FROM {node_table} "
                 f"WHERE doc = ? AND okey > ? AND okey < ? "
                 f"AND kind = 'text' ORDER BY okey",
                 (doc, key.encode(), key.encode_successor()),
@@ -737,9 +872,10 @@ class XmlStore:
 
     def fetch_node(self, doc: int, node_id: int) -> Optional[dict]:
         """Fetch one node row as a column->value dict."""
-        columns = self.encoding.node_columns()
+        encoding = self.encoding_for(doc)
+        columns = encoding.node_columns()
         result = self._execute(
-            f"SELECT {', '.join(columns)} FROM {self.node_table} "
+            f"SELECT {', '.join(columns)} FROM {encoding.node_table.name} "
             f"WHERE doc = ? AND id = ?",
             (doc, node_id),
         )
@@ -749,10 +885,11 @@ class XmlStore:
 
     def fetch_children(self, doc: int, parent_id: int) -> list[dict]:
         """Fetch the child rows of *parent_id*, in document order."""
-        columns = self.encoding.node_columns()
-        order = self.encoding.sibling_order_column
+        encoding = self.encoding_for(doc)
+        columns = encoding.node_columns()
+        order = encoding.sibling_order_column
         result = self._execute(
-            f"SELECT {', '.join(columns)} FROM {self.node_table} "
+            f"SELECT {', '.join(columns)} FROM {encoding.node_table.name} "
             f"WHERE doc = ? AND parent = ? ORDER BY {order}",
             (doc, parent_id),
         )
@@ -761,12 +898,13 @@ class XmlStore:
     def fetch_attributes(self, doc: int, owner_ids: Sequence[int]) -> list[tuple]:
         """Fetch (owner, name, value) for the given owners."""
         out: list[tuple] = []
+        attr_table = self.attr_table_for(doc)
         owner_list = list(owner_ids)
         for start in range(0, len(owner_list), _ID_BATCH):
             batch = owner_list[start : start + _ID_BATCH]
             placeholders = ", ".join("?" for _ in batch)
             result = self._execute(
-                f"SELECT owner, name, value FROM {self.attr_table} "
+                f"SELECT owner, name, value FROM {attr_table} "
                 f"WHERE doc = ? AND owner IN ({placeholders})",
                 (doc, *batch),
             )
@@ -779,7 +917,8 @@ class XmlStore:
 
     def node_count(self, doc: int) -> int:
         result = self._execute(
-            f"SELECT COUNT(*) FROM {self.node_table} WHERE doc = ?",
+            f"SELECT COUNT(*) FROM {self.node_table_for(doc)} "
+            f"WHERE doc = ?",
             (doc,),
         )
         return int(result.rows[0][0])

@@ -237,3 +237,129 @@ class TestExperimentsCommand:
         # Every experiment table renders with its id and title.
         for eid in ("E1:", "E3:", "E7:", "E11:", "E13:"):
             assert eid in out
+
+
+# Each CLI invocation opens an independent store handle on the db file;
+# handles opened *before* a migration keep their stale catalog cache (no
+# cross-connection invalidation), so the blanket teardown audit would
+# misread them.  The tests audit explicitly through `repro check`, which
+# opens a fresh handle.
+@pytest.mark.skip_audit
+class TestMigrateCommand:
+    def test_migrate_to_target(self, bib_file, db, capsys):
+        run(["load", bib_file, "--db", db, "--encoding", "global"])
+        assert run(["migrate", "--db", db, "--to", "dewey"]) == 0
+        out = capsys.readouterr().out
+        assert "migrated document 1: global -> dewey" in out
+        # The catalog survives reopen and info shows the new encoding.
+        assert run(["info", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "dewey" in out
+        assert run(["query", "/bib/book/title", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "TCP/IP" in out
+        assert run(["check", "--db", db]) == 0
+
+    def test_migrate_noop(self, bib_file, db, capsys):
+        run(["load", bib_file, "--db", db, "--encoding", "dewey"])
+        assert run(["migrate", "--db", db, "--to", "dewey"]) == 0
+        assert "nothing to do" in capsys.readouterr().out
+
+    def test_migrate_requires_a_mode(self, bib_file, db, capsys):
+        run(["load", bib_file, "--db", db])
+        assert run(["migrate", "--db", db]) == 1
+        assert "--to ENCODING" in capsys.readouterr().err
+
+    def test_migrate_to_conflicts_with_advise(self, bib_file, db, capsys):
+        run(["load", bib_file, "--db", db])
+        assert run(["migrate", "--db", db, "--to", "global",
+                    "--advise"]) == 1
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_advise_from_counters_file(self, bib_file, db, tmp_path,
+                                       capsys):
+        import json
+
+        run(["load", bib_file, "--db", db, "--encoding", "global"])
+        counters = tmp_path / "counters.json"
+        counters.write_text(json.dumps({
+            "counters": {
+                "query.executed": 40,
+                "updates.renumber_ops": 60,
+            }
+        }))
+        assert run(["migrate", "--db", db, "--advise",
+                    "--counters", str(counters)]) == 0
+        out = capsys.readouterr().out
+        assert "migrate -> local" in out
+        assert "E7 crossover" in out
+        # --advise only prints; the document is unchanged.
+        store = open_store(db)
+        assert store.encoding_for(1).name == "global"
+        store.close()
+
+    def test_auto_migrates_on_recommendation(self, bib_file, db,
+                                             tmp_path, capsys):
+        import json
+
+        run(["load", bib_file, "--db", db, "--encoding", "global"])
+        counters = tmp_path / "counters.json"
+        counters.write_text(json.dumps({
+            "counters": {
+                "query.executed": 40,
+                "updates.renumber_ops": 60,
+            }
+        }))
+        assert run(["migrate", "--db", db, "--auto",
+                    "--counters", str(counters)]) == 0
+        out = capsys.readouterr().out
+        assert "migrated document 1: global -> local" in out
+        store = open_store(db)
+        assert store.encoding_for(1).name == "local"
+        store.close()
+
+    def test_auto_holds_below_min_samples(self, bib_file, db, capsys):
+        run(["load", bib_file, "--db", db, "--encoding", "global"])
+        assert run(["migrate", "--db", db, "--auto"]) == 0
+        out = capsys.readouterr().out
+        assert "hold" in out
+        store = open_store(db)
+        assert store.encoding_for(1).name == "global"
+        store.close()
+
+    def test_stats_surfaces_migrate_counters(self, db, capsys):
+        assert run(["stats", "--db", db, "--repeat", "1"]) == 0
+        out = capsys.readouterr().out
+        for name in ("migrate.started", "migrate.completed",
+                     "migrate.aborted"):
+            assert name in out
+
+
+@pytest.mark.skip_audit  # the harnesses audit internally
+class TestMigrationHarnessCommands:
+    @pytest.mark.slow
+    def test_crashtest_migrate_flag(self, capsys):
+        assert run(["crashtest", "--migrate", "--seeds", "1",
+                    "--encodings", "global,dewey",
+                    "--backends", "sqlite",
+                    "--crashes-per-op", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "crashtest:" in out
+        assert "OK" in out
+
+    @pytest.mark.slow
+    def test_fuzz_migrate_during_flag(self, capsys):
+        assert run(["fuzz", "--migrate-during", "--seeds", "1",
+                    "--ops", "10", "--encodings", "global",
+                    "--check-every", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz:" in out
+        assert "OK" in out
+
+    def test_fuzz_migrate_during_rejects_minidb(self, capsys):
+        assert run(["fuzz", "--migrate-during", "--seeds", "1",
+                    "--ops", "5", "--encodings", "global",
+                    "--backends", "minidb"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "sqlite" in err

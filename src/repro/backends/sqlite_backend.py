@@ -20,6 +20,7 @@ from repro.core.dewey import (
     dewey_parent_bytes,
     dewey_successor_bytes,
 )
+from repro.core.numeric import xpath_number_value
 from repro.core.ordpath import (
     ordpath_depth_bytes,
     ordpath_parent_bytes,
@@ -69,6 +70,7 @@ def connect_sqlite(
         ("ordpath_parent", ordpath_parent_bytes, 1),
         ("ordpath_successor", ordpath_successor_bytes, 1),
         ("ordpath_depth", ordpath_depth_bytes, 1),
+        ("xpath_number", xpath_number_value, 1),
     ):
         conn.create_function(fn_name, arity, fn, deterministic=True)
     return conn

@@ -221,7 +221,7 @@ def random_xpath(rng: random.Random) -> str:
 
 
 def _random_predicate(rng: random.Random) -> str:
-    kind = rng.randint(0, 5)
+    kind = rng.randint(0, 6)
     if kind == 0:
         return str(rng.randint(1, 4))
     if kind == 1:
@@ -234,8 +234,17 @@ def _random_predicate(rng: random.Random) -> str:
     if kind == 4:
         op = rng.choice(("=", "!=", "<", ">"))
         return f"@{rng.choice(_ATTRS)} {op} {rng.randint(0, 9)}"
-    op = rng.choice(("=", "!=", "<", ">"))
-    return f"text() {op} {rng.randint(0, 99)}"
+    if kind == 5:
+        op = rng.choice(("=", "!=", "<", ">"))
+        return f"text() {op} {rng.randint(0, 99)}"
+    # Numeric comparison over child text values: with docgen and the
+    # insert pool both emitting non-numeric text ("t11"-style), these
+    # predicates keep hitting the CAST-vs-NaN divergence the
+    # xpath_number scalar fixed — NaN compares false except for !=.
+    # (Deliberately text(), not the bare element: element string-value
+    # comparisons still diverge on mixed content — see ROADMAP.)
+    op = rng.choice(("<=", "<", ">=", ">", "=", "!="))
+    return f"{rng.choice(_TAGS)}/text() {op} {rng.randint(0, 99)}"
 
 
 def plan_operation(rng: random.Random, reference: XmlStore, doc: int) -> dict:

@@ -384,6 +384,24 @@ def cmd_crashtest(args: argparse.Namespace) -> int:
 
     encodings, backends, gaps = _parse_matrix(args)
     report = CrashTestReport()
+    if args.shard_kill:
+        from repro.serve.crashtest import run_shard_kill_crashtest
+
+        report.merge(
+            run_shard_kill_crashtest(
+                seeds=args.seeds,
+                rounds=args.shard_rounds,
+                ops_per_round=max(args.ops, 2),
+                base_seed=args.base_seed,
+                encoding=encodings[0] if encodings else None,
+                gap=gaps[0] if gaps else None,
+            )
+        )
+        for failure in report.failures:
+            print(failure)
+            print()
+        print(report.summary())
+        return 0 if report.ok() else 1
     if args.migrate:
         from repro.robust.crashtest import run_migration_crashtest
 
@@ -482,7 +500,200 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the sharded serving daemon until SIGTERM/SIGINT (or a wire
+    ``shutdown`` request)."""
+    import signal as _signal
+
+    from repro.serve.frontdoor import ServeConfig, ServeDaemon
+
+    config = ServeConfig(
+        directory=args.dir,
+        shards=args.shards,
+        host=args.host,
+        port=args.port,
+        encoding=args.encoding,
+        gap=args.gap,
+        request_timeout=args.request_timeout,
+    )
+    daemon = ServeDaemon(config)
+
+    def stop(_signum, _frame) -> None:
+        daemon._request_stop()
+
+    _signal.signal(_signal.SIGTERM, stop)
+    _signal.signal(_signal.SIGINT, stop)
+
+    # Report the bound port as soon as the listener is up (port 0 is
+    # ephemeral) so scripts can scrape it from the first output line.
+    def report_started() -> None:
+        daemon._started.wait(config.shards * 20.0)
+        if daemon.bound_port is not None:
+            print(
+                f"serving {args.shards} shard(s) from {args.dir} "
+                f"on {args.host}:{daemon.bound_port}",
+                flush=True,
+            )
+
+    import threading as _threading
+
+    _threading.Thread(target=report_started, daemon=True).start()
+    daemon.run()
+    print("serve: stopped")
+    return 0
+
+
+def cmd_serve_smoke(args: argparse.Namespace) -> int:
+    """Scripted round trip against a serve daemon (the CI smoke).
+
+    With ``--port``, talks to an already-running daemon; without it,
+    spins up its own 2-shard cluster in a temporary directory, runs the
+    round trip, and shuts it down — one command, no plumbing.
+    """
+    import tempfile
+
+    from repro.serve.client import TcpClient
+    from repro.serve.frontdoor import ServeConfig, ServeDaemon
+    from repro.workload.docgen import random_document
+    from repro.xmldom import serialize
+
+    daemon = None
+    port = args.port
+    tmp = None
+    try:
+        if port is None:
+            tmp = tempfile.TemporaryDirectory(prefix="serve-smoke-")
+            daemon = ServeDaemon(
+                ServeConfig(directory=tmp.name, shards=args.shards)
+            )
+            port = daemon.start_in_background()
+            print(f"spawned {args.shards}-shard cluster on port {port}")
+        client = TcpClient(args.host, port)
+        try:
+            response = client.ping()
+            if not response.get("ok"):
+                print(f"ping failed: {response}", file=sys.stderr)
+                return 1
+            print(f"ping: ok ({response.get('shards')} shard(s))")
+            docs = [
+                client.load(serialize(random_document(seed)))
+                for seed in range(4)
+            ]
+            print(f"loaded documents: {docs}")
+            result = client.query("//a", doc=docs[0])
+            print(f"query doc {docs[0]}: {len(result['items'])} item(s)")
+            scattered = client.query("/*")
+            groups = scattered["groups"]
+            order = [g["doc"] for g in groups]
+            if order != sorted(order) or len(groups) != len(docs):
+                print(f"scatter order broken: {order}", file=sys.stderr)
+                return 1
+            print(f"scatter query: {len(groups)} group(s), "
+                  f"document order {order}")
+            root = int(groups[0]["items"][0][1])
+            update = client.update(
+                docs[0],
+                {"kind": "set_attr", "target": root,
+                 "name": "smoke", "value": "1"},
+            )
+            print(f"update: rows_touched={update.get('rows_touched')}")
+            stats = client.stats()
+            alive = [s for s in stats["shards"] if "error" not in s]
+            print(f"stats: {len(alive)} live shard(s), "
+                  f"generations {stats.get('generations')}")
+            if len(alive) != args.shards:
+                print("stats reported a dead shard", file=sys.stderr)
+                return 1
+            response = client.shutdown()
+            if not response.get("ok"):
+                print(f"shutdown failed: {response}", file=sys.stderr)
+                return 1
+            print("shutdown: acknowledged")
+        finally:
+            client.close()
+        if daemon is not None:
+            daemon.stop()
+            daemon = None
+        print("serve-smoke: OK")
+        return 0
+    finally:
+        if daemon is not None:
+            daemon.stop()
+        if tmp is not None:
+            tmp.cleanup()
+
+
+def _serve_bench_sharded(args: argparse.Namespace) -> int:
+    """serve-bench --shards: cluster + multi-process load generator."""
+    import tempfile
+
+    from repro.serve.client import TcpClient
+    from repro.serve.frontdoor import ServeConfig, ServeDaemon
+    from repro.serve.loadgen import run_load
+    from repro.workload.docgen import random_document
+    from repro.xmldom import serialize
+
+    queries = [
+        "//a[b/c]//d",
+        "//b[text() < 3]",
+        "//*[b][c]//a",
+        "//d[a/b]",
+    ]
+    with tempfile.TemporaryDirectory(prefix="serve-bench-") as tmp:
+        daemon = ServeDaemon(
+            ServeConfig(
+                directory=tmp,
+                shards=args.shards,
+                encoding=args.encoding,
+            )
+        )
+        try:
+            port = daemon.start_in_background()
+            setup = TcpClient("127.0.0.1", port)
+            try:
+                docs = [
+                    setup.load(
+                        serialize(
+                            random_document(
+                                seed, max_depth=10, max_children=6
+                            )
+                        )
+                    )
+                    for seed in range(args.docs)
+                ]
+            finally:
+                setup.close()
+            report = run_load(
+                "127.0.0.1",
+                port,
+                docs,
+                queries,
+                clients=args.readers,
+                duration=args.duration,
+                write_rate_hz=args.write_rate,
+            )
+        finally:
+            daemon.stop()
+    print(
+        f"shards={args.shards} clients={report.clients} "
+        f"duration={report.duration_s:.2f}s"
+    )
+    print(f"read throughput:  {report.read_ops_s:,.1f} ops/s "
+          f"({report.read_ops} ops, {report.read_errors} error(s))")
+    print(f"read latency:     p50 {report.p50_ms:.3f} ms, "
+          f"p99 {report.p99_ms:.3f} ms")
+    print(f"paced writes:     {report.writes} "
+          f"({report.write_errors} error(s))")
+    return 1 if report.read_errors or report.write_errors else 0
+
+
 def cmd_serve_bench(args: argparse.Namespace) -> int:
+    if args.shards is not None:
+        return _serve_bench_sharded(args)
+    if args.db is None:
+        print("error: serve-bench needs --db (thread mode) or "
+              "--shards (cluster mode)", file=sys.stderr)
+        return 2
     from repro.check import audit_store
     from repro.obs import METRICS
     from repro.workload import (
@@ -879,6 +1090,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "ordered pair of --encodings on every backend, "
                         "recovery must land exactly pre- or post-"
                         "migration")
+    p.add_argument("--shard-kill", action="store_true",
+                   help="kill a live serve shard worker (SIGKILL) in "
+                        "the middle of an update batch instead: the "
+                        "supervisor must respawn it and the recovered "
+                        "state must be exactly pre- or post-batch")
+    p.add_argument("--shard-rounds", type=int, default=3,
+                   help="kill/respawn rounds per seed with "
+                        "--shard-kill (default 3)")
     p.set_defaults(func=cmd_crashtest)
 
     p = sub.add_parser("experiments",
@@ -903,13 +1122,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
+        "serve",
+        help="run the sharded serving daemon: N shard worker "
+             "processes behind one asyncio front door",
+    )
+    p.add_argument("--dir", required=True,
+                   help="cluster directory (shard db + socket files)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="shard worker processes (default 2)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0 = ephemeral, printed on "
+                        "startup)")
+    p.add_argument("--encoding", choices=sorted(ENCODINGS), default=None,
+                   help="order encoding for fresh shard stores")
+    p.add_argument("--gap", type=int, default=None,
+                   help="gap factor for fresh shard stores")
+    p.add_argument("--request-timeout", type=float, default=30.0,
+                   help="per-request budget in seconds (default 30)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "serve-smoke",
+        help="scripted load/query/update/stats round trip against a "
+             "serve daemon (spawns its own 2-shard cluster unless "
+             "--port is given)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="talk to an already-running daemon instead of "
+                        "spawning one")
+    p.add_argument("--shards", type=int, default=2,
+                   help="shard count when spawning (default 2)")
+    p.set_defaults(func=cmd_serve_smoke)
+
+    p = sub.add_parser(
         "serve-bench",
         help="concurrent-serving throughput: N reader threads plus one "
-             "writer against a file-backed store",
+             "writer against a file-backed store, or (with --shards) a "
+             "closed-loop multi-process load against a live cluster",
     )
-    p.add_argument("--db", required=True,
-                   help="SQLite store file (created and seeded with an "
-                        "article corpus when empty)")
+    p.add_argument("--db", default=None,
+                   help="SQLite store file for thread mode (created "
+                        "and seeded with an article corpus when empty)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="cluster mode: spin up this many shard workers "
+                        "in a temp directory and drive them with the "
+                        "multi-process load generator")
+    p.add_argument("--docs", type=int, default=8,
+                   help="cluster mode: documents to load (default 8)")
+    p.add_argument("--write-rate", type=float, default=20.0,
+                   help="cluster mode: paced writer rate in Hz "
+                        "(default 20)")
     p.add_argument("--mode", choices=("pooled", "serialized"),
                    default="pooled",
                    help="pooled WAL connections + write queue, or the "

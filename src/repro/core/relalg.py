@@ -186,6 +186,15 @@ class Cast:
 
 
 @dataclass(frozen=True)
+class IsNull:
+    """``expr IS NULL`` — pairs with ``xpath_number``, whose NULL result
+    stands for XPath NaN (``NaN != x`` is true, so ``!=`` needs the
+    disjunct)."""
+
+    item: "RelExpr"
+
+
+@dataclass(frozen=True)
 class Exists:
     """(NOT) EXISTS subquery.
 
@@ -239,7 +248,7 @@ class UnionQuery:
 
 RelExpr = Union[
     Col, Const, Param, Bool, Cmp, And, Or, Not, Func, CountStar, Cast,
-    Exists, ScalarCount,
+    IsNull, Exists, ScalarCount,
 ]
 
 RelQuery = Union[Select, UnionQuery]
@@ -309,6 +318,8 @@ def _collect_stats(node: object, stats: TranslationStats) -> None:
         for arg in node.args:
             _collect_stats(arg, stats)
     elif isinstance(node, Cast):
+        _collect_stats(node.item, stats)
+    elif isinstance(node, IsNull):
         _collect_stats(node.item, stats)
     # Col/Const/Param/Bool/CountStar are leaves.
 
@@ -414,6 +425,8 @@ class SqlTextDialect:
             return "COUNT(*)"
         if isinstance(node, Cast):
             return f"CAST({self._expr(node.item, slots)} AS {node.type_name})"
+        if isinstance(node, IsNull):
+            return f"{self._expr(node.item, slots)} IS NULL"
         if isinstance(node, Exists):
             keyword = "NOT EXISTS" if node.negated else "EXISTS"
             return f"{keyword} ({self._select(node.query, slots)})"
@@ -522,6 +535,8 @@ class MiniDbDialect:
             return m.FunctionExpr("count", (), star=True)
         if isinstance(node, Cast):
             return m.Cast(self._expr(node.item, slots, m), node.type_name)
+        if isinstance(node, IsNull):
+            return m.IsNull(self._expr(node.item, slots, m), False)
         if isinstance(node, Exists):
             # NOT EXISTS compiles as Unary NOT over Exists — the same
             # shape the minidb SQL parser produces for the text form,

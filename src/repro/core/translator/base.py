@@ -53,7 +53,6 @@ from repro.core.relalg import (
     CTX,
     DOC,
     Bool,
-    Cast,
     Cmp,
     Col,
     CompiledPlan,
@@ -831,14 +830,16 @@ class SqlTranslator(ABC):
     ) -> RelExpr:
         """Compare a stored value column with a literal, XPath-style.
 
-        Numbers (and relational operators) compare numerically via CAST;
-        string equality compares as text.
+        Numbers (and relational operators) compare numerically through
+        the ``xpath_number`` scalar, which yields NULL for non-numeric
+        text where ``number()`` yields NaN — NULL comparisons are false
+        just as NaN comparisons are, except ``!=``, where NaN compares
+        true and needs the IS NULL disjunct.  String equality compares
+        as text.
         """
         if isinstance(literal, NumberLiteral):
-            return Cmp(
-                op,
-                Cast(value, "REAL"),
-                self._lit_param(literal, "num"),
+            return self._numeric_comparison(
+                value, op, self._lit_param(literal, "num")
             )
         if op in ("=", "!="):
             return Cmp(op, value, self._lit_param(literal, "raw"))
@@ -851,7 +852,19 @@ class SqlTranslator(ABC):
             number = float(literal.value)
         except ValueError:
             return Bool(False)
-        return Cmp(op, Cast(value, "REAL"), Const(number))
+        return self._numeric_comparison(value, op, Const(number))
+
+    def _numeric_comparison(
+        self, value: Col, op: str, number: RelExpr
+    ) -> RelExpr:
+        """``number(value) <op> number`` under XPath NaN semantics."""
+        from repro.core.relalg import IsNull, Or
+
+        guarded = Func("xpath_number", (value,))
+        comparison = Cmp(op, guarded, number)
+        if op == "!=":
+            return Or((comparison, IsNull(guarded)), expansion_arms=0)
+        return comparison
 
     # -- positional predicates -------------------------------------------------------------
 

@@ -63,6 +63,7 @@ class MiniDb:
         self._register_dewey_functions()
 
     def _register_dewey_functions(self) -> None:
+        from repro.core.numeric import xpath_number_value
         from repro.core.ordpath import (
             ordpath_depth_bytes,
             ordpath_parent_bytes,
@@ -76,6 +77,7 @@ class MiniDb:
         self.create_function("ordpath_parent", ordpath_parent_bytes)
         self.create_function("ordpath_successor", ordpath_successor_bytes)
         self.create_function("ordpath_depth", ordpath_depth_bytes)
+        self.create_function("xpath_number", xpath_number_value)
 
     def create_function(self, name: str, fn: Callable) -> None:
         """Register a scalar SQL function under *name* (lower-cased)."""

@@ -1,0 +1,228 @@
+"""The asyncio front door: `repro serve --shards N --port P`.
+
+One process accepts TCP connections and multiplexes requests onto the
+shard cluster.  The event loop owns only framing and timeouts; each
+request body runs in a thread-pool executor (the router's shard hop is
+blocking socket I/O), bounded by ``asyncio.wait_for`` so one stuck
+shard cannot wedge a connection's other requests past the deadline —
+the client gets a typed ``timeout`` error instead.
+
+A background task polls the supervisor every ``respawn_interval``
+seconds and respawns dead workers; between death and respawn the
+router's typed ``shard_unavailable`` errors keep the daemon itself
+alive (shard-failure isolation: a dead shard fails only requests for
+its own documents).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import obs
+from repro.obs import METRICS
+from repro.serve.protocol import (
+    ProtocolError,
+    error_response,
+    ok_response,
+    read_frame_async,
+    write_frame_async,
+)
+from repro.serve.router import ShardRouter
+from repro.serve.supervisor import Supervisor
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one serve daemon."""
+
+    directory: str
+    shards: int = 2
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral (the daemon reports what it got)
+    encoding: Optional[str] = None
+    gap: Optional[int] = None
+    #: Per-request budget before the client gets a `timeout` error.
+    request_timeout: float = 30.0
+    #: Supervisor poll cadence for dead-worker respawn.
+    respawn_interval: float = 0.5
+    #: Executor threads running blocking router calls.
+    executor_threads: int = 16
+
+
+class ServeDaemon:
+    """Cluster + router + asyncio server, with a clean shutdown path."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.supervisor = Supervisor(
+            config.directory,
+            config.shards,
+            encoding=config.encoding,
+            gap=config.gap,
+        )
+        self.router: Optional[ShardRouter] = None
+        self.bound_port: Optional[int] = None
+        self._started = threading.Event()
+        self._stop_requested = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_async: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    # -- request plumbing -------------------------------------------------
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "shutdown":
+            # Admin op: acknowledge, then stop accepting and tear the
+            # cluster down (the CI smoke asserts this exits cleanly).
+            self._request_stop()
+            return ok_response(request, stopping=True)
+        loop = asyncio.get_running_loop()
+        try:
+            return await asyncio.wait_for(
+                loop.run_in_executor(
+                    self._executor, self.router.handle, request
+                ),
+                timeout=self.config.request_timeout,
+            )
+        except asyncio.TimeoutError:
+            METRICS.inc("serve.timeouts")
+            return error_response(
+                request,
+                "timeout",
+                f"request exceeded {self.config.request_timeout}s",
+            )
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_frame_async(reader)
+                except ProtocolError as exc:
+                    await write_frame_async(
+                        writer,
+                        error_response({}, "protocol", str(exc)),
+                    )
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch(request)
+                await write_frame_async(writer, response)
+                if self._stop_requested.is_set():
+                    break
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # CancelledError: the event loop is tearing down around
+                # us (daemon stop) — the transport is going away anyway.
+                pass
+
+    async def _respawn_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while not self._stop_requested.is_set():
+            await asyncio.sleep(self.config.respawn_interval)
+            try:
+                await loop.run_in_executor(
+                    self._executor, self.supervisor.ensure_alive
+                )
+            except Exception:  # noqa: BLE001 - keep the nanny alive
+                METRICS.inc("serve.respawn_errors")
+
+    def _request_stop(self) -> None:
+        self._stop_requested.set()
+        if self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event_set)
+            except RuntimeError:
+                # The loop already closed — a wire-level shutdown op
+                # raced ahead of this out-of-band stop.  Nothing left
+                # to wake; the join in stop() observes the exit.
+                pass
+
+    def _stop_event_set(self) -> None:
+        if self._stop_async is not None:
+            self._stop_async.set()
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def _serve(self) -> None:
+        self._stop_async = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        if self._stop_requested.is_set():  # stop raced with startup
+            self._stop_async.set()
+        server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+        )
+        self.bound_port = server.sockets[0].getsockname()[1]
+        respawner = asyncio.create_task(self._respawn_loop())
+        self._started.set()
+        try:
+            async with server:
+                await self._stop_async.wait()
+        finally:
+            respawner.cancel()
+
+    def run(self) -> None:
+        """Start the cluster and serve until shutdown is requested."""
+        obs.enable()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_threads,
+            thread_name_prefix="serve",
+        )
+        self.supervisor.start()
+        self.router = ShardRouter(self.supervisor)
+        try:
+            asyncio.run(self._serve())
+        finally:
+            try:
+                self.router.close()
+            finally:
+                self.supervisor.stop()
+                self._executor.shutdown(wait=False)
+
+    def _run_reporting_errors(self) -> None:
+        try:
+            self.run()
+        except BaseException as exc:  # noqa: BLE001 - surfaced to starter
+            self._startup_error = exc
+            self._started.set()
+
+    def start_in_background(self, ready_timeout: float = 30.0) -> int:
+        """Run the daemon on a background thread; returns the port.
+
+        For tests and the bench driver: the calling thread gets a
+        listening daemon (with the cluster already spawned) or an
+        exception, never a half-started limbo.
+        """
+        self._thread = threading.Thread(
+            target=self._run_reporting_errors,
+            daemon=True,
+            name="serve-daemon",
+        )
+        self._thread.start()
+        if not self._started.wait(ready_timeout):
+            self._request_stop()
+            raise TimeoutError("serve daemon did not start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"serve daemon failed to start: {self._startup_error}"
+            ) from self._startup_error
+        assert self.bound_port is not None
+        return self.bound_port
+
+    def stop(self, timeout: float = 15.0) -> None:
+        """Stop a daemon started with :meth:`start_in_background`."""
+        self._request_stop()
+        thread = getattr(self, "_thread", None)
+        if thread is not None:
+            thread.join(timeout)

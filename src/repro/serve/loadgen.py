@@ -1,0 +1,262 @@
+"""Closed-loop multi-process load generator for the serve front door.
+
+Each client is a forked process running a closed loop against its own
+:class:`~repro.serve.client.TcpClient`: issue one read, wait for the
+response, record the latency, repeat.  Client processes cycle through a
+(query, document) pool so every shard sees traffic.  An optional paced
+writer issues updates at a fixed aggregate rate, round-robin over the
+documents — on a sharded cluster each write invalidates only its own
+shard's result caches, which is the effect experiment E17 measures.
+
+Latencies travel back over a pipe per process; the parent merges them
+and reports aggregate throughput plus p50/p99.  Processes (not threads)
+keep the measurement honest: the GIL of the bench driver never
+serialises the clients, so a closed loop measures the server, not the
+generator.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.serve.client import TcpClient
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """One load run's aggregate numbers."""
+
+    clients: int
+    duration_s: float
+    read_ops: int
+    read_errors: int
+    read_ops_s: float
+    p50_ms: float
+    p99_ms: float
+    writes: int
+    write_errors: int
+
+    def to_dict(self) -> dict:
+        return {
+            "clients": self.clients,
+            "duration_s": round(self.duration_s, 3),
+            "read_ops": self.read_ops,
+            "read_errors": self.read_errors,
+            "read_ops_s": round(self.read_ops_s, 1),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "writes": self.writes,
+            "write_errors": self.write_errors,
+        }
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted list (0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def _client_loop(
+    host: str,
+    port: int,
+    pool: list[tuple[str, int]],
+    start_offset: int,
+    duration: float,
+    conn,
+) -> None:
+    """One closed-loop client process: read, record, repeat."""
+    latencies: list[float] = []
+    errors = 0
+    try:
+        client = TcpClient(host, port, timeout=10.0, pool_size=1)
+        try:
+            # One throwaway request outside the measured window warms
+            # the connection (and the server's first-touch caches).
+            xpath, doc = pool[start_offset % len(pool)]
+            try:
+                client.query(xpath, doc=doc)
+            except Exception:  # noqa: BLE001 - warmup only
+                pass
+            # Random draws (seeded per client) instead of a fixed cycle:
+            # deterministic round-robin phase-locks the clients against
+            # the paced writer's invalidations, which makes short runs
+            # bimodal; random access smooths the expected hit rate.
+            rng = random.Random(start_offset * 2654435761 + 1)
+            deadline = time.perf_counter() + duration
+            while True:
+                now = time.perf_counter()
+                if now >= deadline:
+                    break
+                xpath, doc = pool[rng.randrange(len(pool))]
+                try:
+                    client.query(xpath, doc=doc)
+                    latencies.append(time.perf_counter() - now)
+                except Exception:  # noqa: BLE001 - counted, not fatal
+                    errors += 1
+        finally:
+            client.close()
+    finally:
+        conn.send((latencies, errors))
+        conn.close()
+
+
+class PacedWriter(threading.Thread):
+    """Issues updates at a fixed aggregate rate, round-robin over docs.
+
+    Runs in the parent (bench) process — a single paced thread spends
+    almost all its time sleeping, so it does not distort the client
+    processes' closed loops.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        targets: list[tuple[int, int]],
+        rate_hz: float,
+    ) -> None:
+        super().__init__(daemon=True, name="loadgen-writer")
+        self.host = host
+        self.port = port
+        self.targets = targets  # (global doc id, root element id)
+        self.rate_hz = rate_hz
+        self.writes = 0
+        self.errors = 0
+        self._halt = threading.Event()
+
+    def stop(self) -> None:
+        self._halt.set()
+
+    def run(self) -> None:
+        if not self.targets or self.rate_hz <= 0:
+            return
+        client = TcpClient(self.host, self.port, timeout=10.0, pool_size=1)
+        interval = 1.0 / self.rate_hz
+        index = 0
+        try:
+            next_tick = time.perf_counter()
+            while not self._halt.is_set():
+                doc, root = self.targets[index % len(self.targets)]
+                index += 1
+                change = {
+                    "kind": "set_attr",
+                    "target": root,
+                    "name": "load",
+                    "value": str(self.writes),
+                }
+                try:
+                    client.update(doc, change)
+                    self.writes += 1
+                except Exception:  # noqa: BLE001 - counted, not fatal
+                    self.errors += 1
+                next_tick += interval
+                delay = next_tick - time.perf_counter()
+                if delay > 0:
+                    self._halt.wait(delay)
+                else:
+                    next_tick = time.perf_counter()
+        finally:
+            client.close()
+
+
+def root_targets(
+    client: TcpClient, docs: list[int]
+) -> list[tuple[int, int]]:
+    """Resolve each document's root element id (the writer's target)."""
+    targets = []
+    for doc in docs:
+        response = client.query("/*", doc=doc)
+        items = response.get("items") or []
+        if items:
+            targets.append((doc, int(items[0][1])))
+    return targets
+
+
+def run_load(
+    host: str,
+    port: int,
+    docs: list[int],
+    queries: list[str],
+    clients: int = 4,
+    duration: float = 2.0,
+    write_rate_hz: float = 0.0,
+) -> LoadReport:
+    """Run a closed-loop read load (plus optional paced writes).
+
+    Blocks for roughly *duration* seconds and returns the merged
+    :class:`LoadReport`.  The caller owns the daemon's lifecycle.
+    """
+    if not docs or not queries:
+        raise ValueError("run_load needs at least one doc and one query")
+    pool = [(xpath, doc) for xpath in queries for doc in docs]
+
+    writer = None
+    if write_rate_hz > 0:
+        setup = TcpClient(host, port, timeout=10.0, pool_size=1)
+        try:
+            targets = root_targets(setup, docs)
+        finally:
+            setup.close()
+        writer = PacedWriter(host, port, targets, write_rate_hz)
+
+    # fork: the children only touch sockets + json, never the parent's
+    # daemon thread state, and fork avoids a per-client interpreter
+    # start-up tax that would eat a short measurement window.
+    ctx = multiprocessing.get_context("fork")
+    procs = []
+    pipes = []
+    # Stagger each client's starting offset so they do not ride the
+    # same (query, doc) phase in lockstep.
+    stride = max(1, len(pool) // max(1, clients))
+    for i in range(clients):
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_client_loop,
+            args=(host, port, pool, i * stride, duration, child_conn),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        procs.append(proc)
+        pipes.append(parent_conn)
+
+    if writer is not None:
+        writer.start()
+
+    started = time.perf_counter()
+    latencies: list[float] = []
+    read_errors = 0
+    for conn in pipes:
+        client_latencies, errors = conn.recv()
+        latencies.extend(client_latencies)
+        read_errors += errors
+        conn.close()
+    for proc in procs:
+        proc.join(timeout=15)
+        if proc.is_alive():
+            proc.terminate()
+    elapsed = max(time.perf_counter() - started, duration)
+
+    if writer is not None:
+        writer.stop()
+        writer.join(timeout=15)
+
+    latencies.sort()
+    return LoadReport(
+        clients=clients,
+        duration_s=elapsed,
+        read_ops=len(latencies),
+        read_errors=read_errors,
+        read_ops_s=len(latencies) / duration if duration > 0 else 0.0,
+        p50_ms=percentile(latencies, 0.50) * 1000.0,
+        p99_ms=percentile(latencies, 0.99) * 1000.0,
+        writes=writer.writes if writer is not None else 0,
+        write_errors=writer.errors if writer is not None else 0,
+    )

@@ -1,0 +1,188 @@
+"""Shard process lifecycle: spawn, health-check, respawn.
+
+Each shard is ``python -m repro.serve.worker`` on its own sqlite file
+and unix socket, all under one cluster directory::
+
+    cluster/
+      shard-0.db   shard-0.sock
+      shard-1.db   shard-1.sock
+
+The supervisor is deliberately dumb: it knows nothing about documents
+or queries, only processes.  :meth:`ensure_alive` is the whole failure
+model — a worker that died (crashed, OOM-killed, or SIGKILLed by the
+crashtest) is respawned on the same db file, whose WAL discards any
+half-committed batch; the router keeps serving the other shards in the
+meantime and retries this one after the respawn.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.obs import METRICS
+from repro.serve.client import ConnectionFailed, ShardClient
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Filesystem identity of one shard."""
+
+    index: int
+    db_path: str
+    socket_path: str
+
+
+def _repro_src_dir() -> str:
+    import repro
+
+    return str(Path(repro.__file__).resolve().parents[1])
+
+
+class Supervisor:
+    """Spawns and babysits the shard worker processes."""
+
+    def __init__(
+        self,
+        directory: str,
+        shards: int,
+        encoding: Optional[str] = None,
+        gap: Optional[int] = None,
+        spawn_timeout: float = 15.0,
+    ) -> None:
+        if shards < 1:
+            raise ReproError(f"need at least one shard, got {shards}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.encoding = encoding
+        self.gap = gap
+        self.spawn_timeout = spawn_timeout
+        self.specs = [
+            ShardSpec(
+                index=i,
+                db_path=str(self.directory / f"shard-{i}.db"),
+                socket_path=str(self.directory / f"shard-{i}.sock"),
+            )
+            for i in range(shards)
+        ]
+        self._procs: list[Optional[subprocess.Popen]] = [None] * shards
+        #: Bumped on every (re)spawn of the shard — the crashtest uses
+        #: it to assert a respawn actually happened.
+        self.generations = [0] * shards
+
+    @property
+    def shards(self) -> int:
+        return len(self.specs)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        for spec in self.specs:
+            self._spawn(spec.index)
+        self.wait_ready()
+
+    def _spawn(self, index: int) -> None:
+        spec = self.specs[index]
+        env = dict(os.environ)
+        src = _repro_src_dir()
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.serve.worker",
+            "--db", spec.db_path,
+            "--socket", spec.socket_path,
+            "--shard-index", str(index),
+        ]
+        if self.encoding is not None:
+            argv += ["--encoding", self.encoding]
+        if self.gap is not None:
+            argv += ["--gap", str(self.gap)]
+        self._procs[index] = subprocess.Popen(env=env, args=argv)
+        self.generations[index] += 1
+
+    def wait_ready(self, indexes: Optional[list[int]] = None) -> None:
+        """Block until the given shards (default: all) answer ping."""
+        deadline = time.monotonic() + self.spawn_timeout
+        for index in indexes if indexes is not None else range(self.shards):
+            spec = self.specs[index]
+            while True:
+                proc = self._procs[index]
+                if proc is not None and proc.poll() is not None:
+                    raise ReproError(
+                        f"shard {index} exited with {proc.returncode} "
+                        "during startup"
+                    )
+                try:
+                    client = ShardClient(spec.socket_path, timeout=2.0)
+                    try:
+                        response = client.request({"op": "ping"})
+                    finally:
+                        client.close()
+                    if response.get("ok"):
+                        break
+                except (ConnectionFailed, OSError):
+                    pass
+                if time.monotonic() > deadline:
+                    raise ReproError(
+                        f"shard {index} not ready within "
+                        f"{self.spawn_timeout}s"
+                    )
+                time.sleep(0.02)
+
+    def alive(self, index: int) -> bool:
+        proc = self._procs[index]
+        return proc is not None and proc.poll() is None
+
+    def pid(self, index: int) -> Optional[int]:
+        proc = self._procs[index]
+        return proc.pid if proc is not None else None
+
+    def ensure_alive(self) -> list[int]:
+        """Respawn every dead shard; returns the respawned indexes."""
+        respawned = []
+        for index in range(self.shards):
+            if not self.alive(index):
+                self._spawn(index)
+                respawned.append(index)
+                METRICS.inc("serve.respawns")
+        if respawned:
+            self.wait_ready(respawned)
+        return respawned
+
+    def kill(self, index: int) -> None:
+        """SIGKILL one worker (the crashtest's fault injection)."""
+        proc = self._procs[index]
+        if proc is not None and proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=10)
+
+    def stop(self) -> None:
+        """Terminate all workers (SIGTERM, then SIGKILL stragglers)."""
+        for proc in self._procs:
+            if proc is not None and proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + 5.0
+        for index, proc in enumerate(self._procs):
+            if proc is None:
+                continue
+            while proc.poll() is None and time.monotonic() < deadline:
+                time.sleep(0.02)
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+            self._procs[index] = None
+
+    def __enter__(self) -> "Supervisor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -151,7 +151,15 @@ def random_document(
                 element.children[-1], Text
             )
             if (depth >= max_depth or roll < 0.3) and not last_is_text:
-                element.append(Text(str(rng.randint(0, 99))))
+                # Mix non-numeric text in: XPath number() of "t11" is
+                # NaN while SQL CAST would say 0, so numeric-predicate
+                # queries over these values keep the translators honest
+                # (the CAST-vs-NaN regression of PR 8).
+                number = rng.randint(0, 99)
+                text = (
+                    f"t{number}" if rng.random() < 0.3 else str(number)
+                )
+                element.append(Text(text))
             elif allow_comments and roll < 0.35:
                 element.append(Comment(_sentence(rng, 2)))
             elif depth < max_depth:

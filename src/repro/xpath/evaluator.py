@@ -13,6 +13,7 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Optional, Union
 
+from repro.core.numeric import xpath_number_value
 from repro.errors import XPathError
 from repro.xpath.ast import (
     AXES,
@@ -98,10 +99,11 @@ def to_number(value: XPathValue) -> float:
     if isinstance(value, float):
         return value
     if isinstance(value, str):
-        try:
-            return float(value.strip())
-        except ValueError:
-            return math.nan
+        # Shared with the backends' xpath_number scalar function, so
+        # the SQL path and this oracle can never disagree on what
+        # counts as a number (the scalar returns None where we say NaN).
+        number = xpath_number_value(value)
+        return math.nan if number is None else number
     if value:
         return to_number(string_value(value[0]))
     return math.nan

@@ -93,8 +93,18 @@ class TestCommonShape:
 
     @pytest.mark.parametrize("encoding", ["global", "local", "dewey"])
     def test_value_comparison_against_number_casts(self, encoding):
+        # xpath_number, not CAST: CAST('t11' AS REAL) is 0, but XPath
+        # number('t11') is NaN and every NaN comparison is false.
         translated = translate(encoding, "/bib/book[price < 10]")
-        assert "CAST(" in translated.sql
+        assert "xpath_number(" in translated.sql
+        assert "CAST(" not in translated.sql
+
+    @pytest.mark.parametrize("encoding", ["global", "local", "dewey"])
+    def test_numeric_not_equal_keeps_nan_semantics(self, encoding):
+        # NaN != x is *true*, so the != comparison needs an IS NULL
+        # disjunct (xpath_number maps NaN to NULL).
+        translated = translate(encoding, "/bib/book[price != 10]")
+        assert "IS NULL" in translated.sql
 
     @pytest.mark.parametrize("encoding", ["global", "local", "dewey"])
     def test_string_equality_parameterised(self, encoding):

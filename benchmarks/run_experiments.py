@@ -1,4 +1,4 @@
-"""Regenerate EXPERIMENTS.md from the experiment suite E1-E15.
+"""Regenerate EXPERIMENTS.md from the experiment suite E1-E18.
 
 Usage:
     python benchmarks/run_experiments.py [--fast] [--output PATH]

@@ -21,6 +21,7 @@ from repro.core.dewey import (
     dewey_successor_bytes,
 )
 from repro.core.numeric import xpath_number_value
+from repro.core.pathmatch import path_match
 from repro.core.ordpath import (
     ordpath_depth_bytes,
     ordpath_parent_bytes,
@@ -71,6 +72,7 @@ def connect_sqlite(
         ("ordpath_successor", ordpath_successor_bytes, 1),
         ("ordpath_depth", ordpath_depth_bytes, 1),
         ("xpath_number", xpath_number_value, 1),
+        ("path_match", path_match, 2),
     ):
         conn.create_function(fn_name, arity, fn, deterministic=True)
     return conn

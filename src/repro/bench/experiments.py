@@ -1,4 +1,4 @@
-"""The reconstructed evaluation: experiments E1-E15.
+"""The reconstructed evaluation: experiments E1-E18.
 
 Each ``run_eN_*`` function executes one experiment and returns an
 :class:`~repro.bench.harness.ExperimentTable`.  ``run_all`` executes the
@@ -1084,6 +1084,160 @@ def run_e17_sharding(
     return table
 
 
+# ---------------------------------------------------------------------------
+# E18: secondary indexes
+# ---------------------------------------------------------------------------
+
+
+def _e18_document(products: int, seed: int = 99):
+    """A product catalogue with a rare deep element sprinkled in.
+
+    Indexes pay off on *selective* queries: an unselective descent like
+    ``//product//comment`` returns a constant fraction of the document,
+    so result materialization dominates both access paths and nothing
+    can win big.  We plant a ``warranty`` element inside a nested
+    review under ~1% of products — the deep-descent queries then return
+    a handful of rows out of thousands of nodes, which is the regime
+    where a pathid probe beats per-step structural joins.
+    """
+    import random
+
+    from repro.workload import catalog_corpus
+    from repro.xmldom.dom import Element, Text
+
+    document = catalog_corpus(products=products)
+    rng = random.Random(seed)
+    catalog = document.children[0]
+    for product in catalog.children:
+        if rng.random() < 0.01:
+            review = Element("review", {"rating": "5"})
+            warranty = Element("warranty")
+            warranty.append(Text(str(rng.randint(1, 5))))
+            review.append(warranty)
+            product.append(review)
+    return document
+
+
+def run_e18_indexing(
+    products: int = 480,
+    repeat: int = 4,
+    backends: Sequence[str] = ("sqlite", "minidb"),
+) -> ExperimentTable:
+    """Deep descent and value predicates, indexed vs. unindexed.
+
+    Two stores per (backend, encoding) cell hold the same data-centric
+    catalogue; one has the secondary indexes (path, value, statistics)
+    forced on, the other forced off.  The query mix is exactly the
+    workload the indexes target: selective deep ``//`` descents that
+    the path index answers with a pathid probe instead of per-step
+    structural joins, and value predicates that the value index
+    answers with a typed-column probe instead of a string-value
+    aggregation over every candidate.
+
+    Both stores keep their plan/catalog caches (translation overhead
+    would otherwise swamp execution for the fast encodings) but run
+    with the result cache disabled, so every pass executes its plan —
+    the comparison isolates the access path, not result caching (E15
+    measures that).  Each cell also byte-compares the two stores'
+    answers on the full mix: the index rewrite must be
+    answer-preserving, so mismatches must be zero.
+    """
+    from repro.cache import StoreCache
+
+    #: Selective deep ``//`` descents first, value predicates second;
+    #: both shapes must clear the cost crossover at the default size.
+    deep_queries = (
+        "//product//warranty",
+        "//review//warranty",
+        "//catalog//warranty",
+    )
+    value_queries = (
+        "//product[price < 20]/name",
+        "//product[stock > 950]",
+        "//product[stock = '500']",
+    )
+    queries = deep_queries + value_queries
+
+    document = _e18_document(products)
+    table = ExperimentTable(
+        "E18",
+        "Secondary indexes: deep // and value predicates, "
+        "indexed vs unindexed",
+        ("backend", "encoding", "unindexed q/s", "indexed q/s",
+         "speedup", "access paths", "mismatches"),
+    )
+
+    def run_mix(store: XmlStore, doc: int) -> int:
+        answered = 0
+        for xpath in queries:
+            store.query(xpath, doc)
+            answered += 1
+        return answered
+
+    for backend in backends:
+        for name in (*ENCODING_NAMES, "ordpath"):
+            indexed = XmlStore(backend=backend, encoding=name)
+            plain = XmlStore(backend=backend, encoding=name)
+            for store in (indexed, plain):
+                # Plan/catalog caches on, result cache off (capacity
+                # 0: every insert immediately evicts).
+                store.cache = StoreCache(
+                    enabled=True, result_capacity=0
+                )
+            indexed.indexes.force_mode = "on"
+            plain.indexes.force_mode = "off"
+            doc_i = indexed.load(document)
+            doc_p = plain.load(document)
+
+            mismatches = 0
+            for xpath in queries:
+                got = [
+                    (i.kind, i.node_id, i.label, i.value)
+                    for i in indexed.query(xpath, doc_i)
+                ]
+                want = [
+                    (i.kind, i.node_id, i.label, i.value)
+                    for i in plain.query(xpath, doc_p)
+                ]
+                if got != want:
+                    mismatches += 1
+
+            rates = {}
+            for store, doc in ((plain, doc_p), (indexed, doc_i)):
+                answered = 0
+                started = time.perf_counter()
+                for _ in range(repeat):
+                    answered += run_mix(store, doc)
+                elapsed = time.perf_counter() - started
+                rates[store] = answered / elapsed if elapsed else 0.0
+
+            paths = sorted({
+                indexed.translate(xpath, doc_i).access_path
+                for xpath in queries
+            })
+            speedup = (
+                rates[indexed] / rates[plain] if rates[plain] else 0.0
+            )
+            table.add_row(
+                backend,
+                name,
+                round(rates[plain], 1),
+                round(rates[indexed], 1),
+                round(speedup, 2),
+                "+".join(paths),
+                mismatches,
+            )
+            indexed.close()
+            plain.close()
+    table.add_note(
+        f"{products}-product catalogue, {repeat} passes of "
+        f"{len(queries)} queries ({len(deep_queries)} deep descents, "
+        f"{len(value_queries)} value predicates); result caching off "
+        "on both stores so the comparison isolates the access path."
+    )
+    return table
+
+
 def _observed(run) -> ExperimentTable:
     """Run one experiment with metrics enabled; attach the snapshot.
 
@@ -1145,6 +1299,7 @@ def run_all(fast: bool = False) -> list[ExperimentTable]:
             lambda: run_e17_sharding(
                 shard_counts=(1, 4), duration=2.5
             ),
+            lambda: run_e18_indexing(products=240, repeat=2),
         ]
     else:
         runs = [
@@ -1166,5 +1321,6 @@ def run_all(fast: bool = False) -> list[ExperimentTable]:
             run_e15_cache,
             run_e16_adaptive_migration,
             run_e17_sharding,
+            run_e18_indexing,
         ]
     return [_observed(run) for run in runs]

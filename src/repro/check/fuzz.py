@@ -88,6 +88,14 @@ class FuzzConfig:
     #: fixed pool is what makes the warming real: the same plan/result
     #: keys recur across updates, so every invalidation path is hit.
     cache_twin: bool = False
+    #: Differential index checking: pair every store (secondary
+    #: indexes forced on, built at load and maintained through every
+    #: update) with an indexes-off twin, bias the fixed per-cell query
+    #: pool toward indexable shapes (absolute paths, ``//`` descents,
+    #: child-value predicates) so the value/path rewrites actually
+    #: fire, and require byte-identical results after every check
+    #: round — the planner may only change access paths, never answers.
+    index_twin: bool = False
     #: Live-migration mode: while the seeded update/query stream runs,
     #: a background thread migrates the document to the next encoding
     #: (``batch_size=1`` to stretch the copy window).  Every query must
@@ -119,13 +127,17 @@ class FuzzFailure:
     #: Human-readable description of that operation.
     op: str
     #: invariant | oracle | roundtrip | cross-store | cost-mismatch |
-    #: cache-twin | crash
+    #: cache-twin | index-twin | crash
     kind: str
     detail: str
 
     def repro_command(self) -> str:
         """A CLI line that replays exactly this cell, checking every op."""
-        flags = " --cache-twin" if self.kind == "cache-twin" else ""
+        flags = ""
+        if self.kind == "cache-twin":
+            flags += " --cache-twin"
+        if self.kind == "index-twin":
+            flags += " --index-twin"
         encoding = self.encoding
         if "->" in encoding:  # migrate-during cells record source->target
             flags += " --migrate-during"
@@ -237,14 +249,41 @@ def _random_predicate(rng: random.Random) -> str:
     if kind == 5:
         op = rng.choice(("=", "!=", "<", ">"))
         return f"text() {op} {rng.randint(0, 99)}"
-    # Numeric comparison over child text values: with docgen and the
-    # insert pool both emitting non-numeric text ("t11"-style), these
+    # Numeric comparison over child values: with docgen and the insert
+    # pool both emitting non-numeric text ("t11"-style), these
     # predicates keep hitting the CAST-vs-NaN divergence the
     # xpath_number scalar fixed — NaN compares false except for !=.
-    # (Deliberately text(), not the bare element: element string-value
-    # comparisons still diverge on mixed content — see ROADMAP.)
+    # The bare-element form compares the *string-value* (concatenated
+    # descendant text), which the update stream regularly turns into
+    # mixed content — the exact shape the first-text-child shortcut
+    # used to get wrong, so the pool leans on it.
     op = rng.choice(("<=", "<", ">=", ">", "=", "!="))
+    if rng.random() < 0.6:
+        return f"{rng.choice(_TAGS)} {op} {rng.randint(0, 99)}"
     return f"{rng.choice(_TAGS)}/text() {op} {rng.randint(0, 99)}"
+
+
+def indexable_xpath(rng: random.Random) -> str:
+    """A query shape the secondary indexes can serve.
+
+    Absolute child/descendant name paths feed the path-index rewrite;
+    single child-element value predicates feed the value-index rewrite.
+    Whether the cost model actually *picks* the index depends on the
+    document's statistics — both outcomes are worth fuzzing, since the
+    decision must never change the answer.
+    """
+    tag, other = rng.choice(_TAGS), rng.choice(_TAGS)
+    kind = rng.randint(0, 4)
+    if kind == 0:
+        return f"//{tag}"
+    if kind == 1:
+        return f"//{tag}//{other}"
+    if kind == 2:
+        return f"/{tag}/{other}"
+    op = rng.choice(("=", "!=", "<", ">"))
+    if kind == 3:
+        return f"//{tag}[{other} {op} {rng.randint(0, 99)}]"
+    return f"/{tag}//{other}[{rng.choice(_TAGS)} {op} {rng.randint(0, 99)}]"
 
 
 def plan_operation(rng: random.Random, reference: XmlStore, doc: int) -> dict:
@@ -424,13 +463,17 @@ def _twin_mismatch(
     store: XmlStore, doc: int,
     twin: XmlStore, twin_doc: int,
     queries: list[str],
+    store_label: str = "caching store",
+    twin_label: str = "REPRO_CACHE=off twin",
 ) -> Optional[str]:
-    """Compare the caching store against its caching-off twin.
+    """Compare a store against its feature-off twin.
 
-    Each query runs twice on the caching store — the first pass may
+    Each query runs twice on the primary store — the first pass may
     fill the plan/result caches, the second must serve from them — and
     both passes must match the twin byte for byte (kind, id, label,
-    and value, not just identity).
+    and value, not just identity).  The same discipline covers the
+    index twin: plans there are cached per statistics fingerprint, so
+    the second pass exercises the fingerprint-keyed cache hit.
     """
     for xpath in queries:
         try:
@@ -447,9 +490,8 @@ def _twin_mismatch(
             ]
             if got != want:
                 return (
-                    f"query {xpath!r} ({attempt} pass): caching store "
-                    f"returned {got}, REPRO_CACHE=off twin returned "
-                    f"{want}"
+                    f"query {xpath!r} ({attempt} pass): {store_label} "
+                    f"returned {got}, {twin_label} returned {want}"
                 )
     return None
 
@@ -470,6 +512,7 @@ def _run_cell(
         seed, max_depth=config.max_depth,
         max_children=config.max_children,
     )
+    twin_mode = config.cache_twin or config.index_twin
     stores: list[tuple[str, str, XmlStore, int]] = []
     twins: list[Optional[tuple[XmlStore, int]]] = []
     for backend in config.backends:
@@ -480,26 +523,38 @@ def _run_cell(
                 # primary forces caching on regardless of REPRO_CACHE.
                 cache=True if config.cache_twin else None,
             )
+            if config.index_twin:
+                # Likewise the index twin pins the primary to indexed
+                # plans regardless of REPRO_INDEX (built at load,
+                # maintained through every update op).
+                store.indexes.force_mode = "on"
             doc = store.load(document)
             stores.append((backend, encoding, store, doc))
-            if config.cache_twin:
+            if twin_mode:
                 twin = XmlStore(
                     backend=backend, encoding=encoding, gap=gap,
-                    cache=False,
+                    cache=False if config.cache_twin else None,
                 )
+                if config.index_twin:
+                    twin.indexes.force_mode = "off"
                 twins.append((twin, twin.load(document)))
             else:
                 twins.append(None)
 
-    # The cache-warming pool is fixed for the whole cell so the same
-    # plan/result keys recur before and after every update.
+    # The twin query pool is fixed for the whole cell so the same
+    # plan/result keys recur before and after every update; index twins
+    # lean the pool toward shapes the index rewrites can serve.
     warm_queries: list[str] = []
-    if config.cache_twin:
+    if twin_mode:
         wrng = random.Random(seed * 424243 + gap * 31)
-        warm_queries = [
-            random_xpath(wrng)
-            for _ in range(max(4, config.queries_per_check))
-        ]
+        pool = max(4, config.queries_per_check)
+        if config.index_twin:
+            pool += pool // 2  # room for the indexable extras
+        for n in range(pool):
+            if config.index_twin and n % 2 == 0:
+                warm_queries.append(indexable_xpath(wrng))
+            else:
+                warm_queries.append(random_xpath(wrng))
 
     rng = random.Random(seed * 7919 + gap)
     reference = stores[0]
@@ -526,14 +581,20 @@ def _run_cell(
             twin_entry = twins[index]
             if twin_entry is not None:
                 twin, twin_doc = twin_entry
+                if config.cache_twin:
+                    twin_kind = "cache-twin"
+                    labels = ("caching store", "REPRO_CACHE=off twin")
+                else:
+                    twin_kind = "index-twin"
+                    labels = ("indexed store", "REPRO_INDEX=off twin")
                 detail = _twin_mismatch(
-                    store, doc, twin, twin_doc, warm_queries
+                    store, doc, twin, twin_doc, warm_queries, *labels
                 )
                 if detail is not None:
                     return FuzzFailure(
                         seed=seed, gap=gap, backend=backend,
                         encoding=encoding, op_index=op_index,
-                        op=op_describe, kind="cache-twin",
+                        op=op_describe, kind=twin_kind,
                         detail=detail,
                     )
             if reference_tree is None:

@@ -288,6 +288,116 @@ def cmd_migrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_index(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.index import IndexAdvisor
+
+    if sum((args.create, args.drop, args.advise or args.auto)) > 1:
+        raise ReproError(
+            "--create, --drop and --advise/--auto are mutually exclusive"
+        )
+    store = open_store(args.db)
+
+    if args.create:
+        doc = _resolve_doc(store, args.doc)
+        report = store.indexes.create(doc)
+        _commit(store)
+        print(
+            f"indexed document {doc}: {report['elements']} element "
+            f"value(s), {report['paths']} distinct path(s), "
+            f"statistics version {report['stats_version']}"
+        )
+        return 0
+
+    if args.drop:
+        doc = _resolve_doc(store, args.doc)
+        present = store.indexes.drop(doc)
+        _commit(store)
+        if present:
+            print(f"dropped the index of document {doc}")
+        else:
+            print(f"document {doc} had no index; nothing to do")
+        return 0
+
+    if args.advise or args.auto:
+        from repro.obs import METRICS, slow_log
+
+        if args.counters:
+            counters = json_module.loads(Path(args.counters).read_text())
+        else:
+            counters = METRICS.snapshot()
+        documents = store.documents()
+        unindexed = [
+            d.doc for d in documents if not store.indexes.exists(d.doc)
+        ]
+        stale = [
+            d.doc
+            for d in documents
+            if d.doc not in unindexed and store.indexes.stats_stale(d.doc)
+        ]
+        log = slow_log()
+        slow_xpaths = (
+            [entry.xpath for entry in log.entries()] if log else []
+        )
+        recommendation = IndexAdvisor().decide(
+            counters, unindexed, stale, slow_xpaths
+        )
+        targets = (
+            " " + ",".join(str(d) for d in recommendation.documents)
+            if recommendation.documents else ""
+        )
+        print(f"advisor: {recommendation.action}{targets} "
+              f"({recommendation.reason})")
+        if not args.auto or not recommendation.act:
+            return 0
+        for doc in recommendation.documents:
+            report = store.indexes.create(doc)
+            verb = ("refreshed statistics of"
+                    if recommendation.action == "refresh"
+                    else "indexed")
+            print(
+                f"{verb} document {doc}: {report['elements']} element "
+                f"value(s), {report['paths']} distinct path(s), "
+                f"statistics version {report['stats_version']}"
+            )
+        _commit(store)
+        return 0
+
+    # Default (and --stats): describe the stored documents' indexes.
+    documents = store.documents()
+    if args.doc is not None:
+        documents = [d for d in documents if d.doc == args.doc]
+        if not documents:
+            raise ReproError(f"no document {args.doc} in the store")
+    summaries = [store.indexes.describe(d.doc) for d in documents]
+    if args.json:
+        print(json_module.dumps(summaries, indent=2))
+        return 0
+    if not summaries:
+        print("the store holds no documents")
+        return 0
+    for summary in summaries:
+        if not summary["present"]:
+            print(f"document {summary['doc']}: no index")
+            continue
+        stale_marker = " [statistics stale]" if summary["stale"] else ""
+        print(
+            f"document {summary['doc']}: indexed, "
+            f"{summary['element_count']} element value(s), "
+            f"{summary['path_count']} distinct path(s), "
+            f"statistics version {summary['stats_version']} "
+            f"({summary['updates_since']} update(s) since refresh)"
+            f"{stale_marker}"
+        )
+        if summary["tags"]:
+            tags = ", ".join(
+                f"{tag}={count}" for tag, count in summary["tags"].items()
+            )
+            print(f"  top tags: {tags}")
+    return 0
+
+
 def cmd_sql(args: argparse.Namespace) -> int:
     store = open_store(args.db)
     result = store.backend.execute(args.statement)
@@ -335,6 +445,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         check_every=args.check_every,
         queries_per_check=args.queries_per_check,
         cache_twin=args.cache_twin,
+        index_twin=args.index_twin,
         migrate_during=args.migrate_during,
     )
     try:
@@ -397,6 +508,23 @@ def cmd_crashtest(args: argparse.Namespace) -> int:
                 gap=gaps[0] if gaps else None,
             )
         )
+        for failure in report.failures:
+            print(failure)
+            print()
+        print(report.summary())
+        return 0 if report.ok() else 1
+    if args.index:
+        from repro.robust.crashtest import run_index_crashtest
+
+        config = CrashTestConfig(
+            seeds=args.seeds,
+            encodings=encodings,
+            backends=backends,
+            gaps=gaps,
+            base_seed=args.base_seed,
+            crashes_per_op=0 if args.sweep else args.crashes_per_op,
+        )
+        report.merge(run_index_crashtest(config))
         for failure in report.failures:
             print(failure)
             print()
@@ -1001,6 +1129,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser(
+        "index",
+        help="create, drop, describe or advise on per-document "
+             "secondary indexes",
+    )
+    add_db(p)
+    p.add_argument("--doc", type=int, default=None)
+    p.add_argument("--create", action="store_true",
+                   help="(re)build the document's value/path indexes "
+                        "and statistics")
+    p.add_argument("--drop", action="store_true",
+                   help="remove the document's index rows")
+    p.add_argument("--stats", action="store_true",
+                   help="print index state and statistics (default "
+                        "action)")
+    p.add_argument("--advise", action="store_true",
+                   help="print the index advisor's recommendation and "
+                        "stop")
+    p.add_argument("--auto", action="store_true",
+                   help="create/refresh indexes when the advisor "
+                        "recommends it")
+    p.add_argument("--counters", default=None,
+                   help="JSON metrics snapshot for the advisor (as "
+                        "written by 'repro stats --json'); default: "
+                        "this process's live counters")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable --stats output")
+    p.set_defaults(func=cmd_index)
+
+    p = sub.add_parser(
         "migrate",
         help="re-encode a live document between order encodings "
              "(online, crash-safe)",
@@ -1046,6 +1203,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-twin", action="store_true",
                    help="pair every store with a caching-off twin and "
                         "require byte-identical query results")
+    p.add_argument("--index-twin", action="store_true",
+                   help="pair every store (secondary indexes forced "
+                        "on) with an indexes-off twin and require "
+                        "byte-identical query results")
     p.add_argument("--migrate-during", action="store_true",
                    help="run a live encoding migration in the "
                         "background while fuzzing; every query must "
@@ -1090,6 +1251,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "ordered pair of --encodings on every backend, "
                         "recovery must land exactly pre- or post-"
                         "migration")
+    p.add_argument("--index", action="store_true",
+                   help="crash index creates and drops instead: the "
+                        "recovered index must be either absent or "
+                        "byte-identical to the complete one, never "
+                        "partial")
     p.add_argument("--shard-kill", action="store_true",
                    help="kill a live serve shard worker (SIGKILL) in "
                         "the middle of an update batch instead: the "

@@ -22,7 +22,7 @@ documents and across differing predicate literals.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Union
 
 from repro.errors import TranslationError
@@ -216,6 +216,27 @@ class ScalarCount:
 
 
 @dataclass(frozen=True)
+class StringValueAgg:
+    """The XPath *string-value* of an element, computed in SQL.
+
+    ``query`` is a correlated subquery yielding the element's descendant
+    text values in document order as a column named ``v`` (plus any sort
+    keys); the aggregate concatenates them:
+
+    ``COALESCE((SELECT GROUP_CONCAT(v, '') FROM (<query>) <alias>), '')``
+
+    The inner derived table keeps the ORDER BY effective: both engines
+    feed the aggregate rows in derived-table order (sqlite cannot
+    flatten an ordered subquery under an aggregate), so concatenation
+    happens in document order.  Elements with no descendant text
+    coalesce to ``''`` — the string-value of an empty element.
+    """
+
+    query: "RelQuery"
+    alias: str
+
+
+@dataclass(frozen=True)
 class SelectItem:
     expr: "RelExpr"
     as_name: Optional[str] = None
@@ -248,7 +269,7 @@ class UnionQuery:
 
 RelExpr = Union[
     Col, Const, Param, Bool, Cmp, And, Or, Not, Func, CountStar, Cast,
-    IsNull, Exists, ScalarCount,
+    IsNull, Exists, ScalarCount, StringValueAgg,
 ]
 
 RelQuery = Union[Select, UnionQuery]
@@ -321,7 +342,10 @@ def _collect_stats(node: object, stats: TranslationStats) -> None:
         _collect_stats(node.item, stats)
     elif isinstance(node, IsNull):
         _collect_stats(node.item, stats)
-    # Col/Const/Param/Bool/CountStar are leaves.
+    # Col/Const/Param/Bool/CountStar are leaves.  StringValueAgg is
+    # deliberately a leaf too: it is a scalar evaluation detail of one
+    # comparison, not part of the E9 structural-complexity accounting
+    # (counting its internal arms would shift the historical baselines).
 
 
 # ---------------------------------------------------------------------------
@@ -432,6 +456,12 @@ class SqlTextDialect:
             return f"{keyword} ({self._select(node.query, slots)})"
         if isinstance(node, ScalarCount):
             return f"({self._select(node.query, slots)})"
+        if isinstance(node, StringValueAgg):
+            inner = self._query(node.query, slots)
+            return (
+                "COALESCE((SELECT GROUP_CONCAT(v, '') "
+                f"FROM ({inner}) {node.alias}), '')"
+            )
         raise TranslationError(f"cannot render node {node!r}")
 
 
@@ -466,6 +496,10 @@ class MiniDbDialect:
                 m.OrderItem(m.ColumnRef(None, name))
                 for name in query.order_by
             )
+            if len(arms) == 1:
+                # The minidb SQL parser folds a one-arm compound into a
+                # plain Select; dialect parity requires the same shape.
+                return replace(arms[0], order_by=order)
             return m.Union_(arms=arms, order_by=order)
         return self._select(query, slots, m)
 
@@ -547,6 +581,25 @@ class MiniDbDialect:
             return inner
         if isinstance(node, ScalarCount):
             return m.ScalarSubquery(self._select(node.query, slots, m))
+        if isinstance(node, StringValueAgg):
+            inner = self._query(node.query, slots, m)
+            agg = m.Select(
+                items=(
+                    m.SelectItem(
+                        m.FunctionExpr(
+                            "group_concat",
+                            (m.ColumnRef(None, "v"), m.Literal("")),
+                        ),
+                        None,
+                    ),
+                ),
+                from_items=(
+                    m.FromItem(m.SubquerySource(inner), node.alias),
+                ),
+            )
+            return m.FunctionExpr(
+                "coalesce", (m.ScalarSubquery(agg), m.Literal(""))
+            )
         raise TranslationError(f"cannot compile node {node!r} for minidb")
 
 
@@ -579,6 +632,12 @@ class TranslatedQuery:
     columns: tuple[str, ...]
     stats: TranslationStats
     statement: object = None
+    #: Access path the cost model picked: "scan" (translated joins over
+    #: the node table) or an ``*-index`` plan over the secondary-index
+    #: side tables; ``index_names``/``est_rows`` describe the choice.
+    access_path: str = "scan"
+    index_names: tuple[str, ...] = ()
+    est_rows: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -598,6 +657,12 @@ class CompiledPlan:
     columns: tuple[str, ...]
     stats: TranslationStats
     statement: object = None
+    #: Cost-model outcome (see :mod:`repro.index.cost`): which access
+    #: path this plan uses, which secondary indexes it touches, and the
+    #: estimated result cardinality (``None`` when no estimate exists).
+    access_path: str = "scan"
+    index_names: tuple[str, ...] = ()
+    est_rows: Optional[int] = None
 
     def bind(
         self,
@@ -639,4 +704,7 @@ class CompiledPlan:
             columns=self.columns,
             stats=self.stats,
             statement=self.statement,
+            access_path=self.access_path,
+            index_names=self.index_names,
+            est_rows=self.est_rows,
         )

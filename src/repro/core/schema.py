@@ -208,6 +208,85 @@ def documents_table() -> Table:
     )
 
 
+#: Prefix of the secondary-index side tables (:mod:`repro.index`).
+INDEX_PREFIX = "idx_"
+
+
+def index_tables() -> tuple[Table, Table, Table, Table]:
+    """Side tables of the per-document secondary indexes.
+
+    Encoding-independent (they key on the surrogate ``id``, which
+    survives migrations), created empty at schema bootstrap; per-
+    document index create/drop is plain transactional DML over them, so
+    crash safety comes from transaction rollback, not DDL recovery.
+
+    * ``idx_sval`` — the **value index**: one row per element with its
+      full XPath string-value (``sval``) and its numeric interpretation
+      (``nval``, NULL for NaN), covering string and numeric predicates;
+    * ``idx_paths`` — the **path index** dictionary: every distinct
+      root-to-element path of the document;
+    * ``idx_pathmap`` — path occurrences: ``pathid -> element id``;
+    * ``idx_stats`` — catalog statistics and index metadata: tag
+      counts, depth histogram, distinct-value estimates, and the
+      ``meta`` rows (presence marker, counters, stats version).
+    """
+    sval = Table(
+        "idx_sval",
+        (
+            Column("doc", "INTEGER"),
+            Column("id", "INTEGER"),
+            Column("parent", "INTEGER"),
+            Column("tag", "TEXT"),
+            Column("sval", "TEXT"),
+            Column("nval", "REAL"),
+        ),
+        (
+            Index("ix_idx_sval_parent", "idx_sval",
+                  ("doc", "parent", "tag", "sval")),
+            Index("ix_idx_sval_str", "idx_sval", ("doc", "tag", "sval")),
+            Index("ix_idx_sval_num", "idx_sval", ("doc", "tag", "nval")),
+        ),
+    )
+    paths = Table(
+        "idx_paths",
+        (
+            Column("doc", "INTEGER"),
+            Column("pathid", "INTEGER"),
+            Column("path", "TEXT"),
+        ),
+        (
+            Index("ux_idx_paths", "idx_paths", ("doc", "pathid"),
+                  unique=True),
+        ),
+    )
+    pathmap = Table(
+        "idx_pathmap",
+        (
+            Column("doc", "INTEGER"),
+            Column("pathid", "INTEGER"),
+            Column("id", "INTEGER"),
+        ),
+        (
+            Index("ix_idx_pathmap", "idx_pathmap",
+                  ("doc", "pathid", "id")),
+        ),
+    )
+    stats = Table(
+        "idx_stats",
+        (
+            Column("doc", "INTEGER"),
+            Column("kind", "TEXT"),
+            Column("skey", "TEXT"),
+            Column("value", "TEXT"),
+        ),
+        (
+            Index("ux_idx_stats", "idx_stats", ("doc", "kind", "skey"),
+                  unique=True),
+        ),
+    )
+    return sval, paths, pathmap, stats
+
+
 #: Prefix of migration shadow tables (and their indexes).  Anything
 #: with this prefix is transient migration state: dropped at cutover,
 #: on abort, and by recovery when a store re-opens after a crash.

@@ -70,6 +70,7 @@ from repro.core.relalg import (
     Select,
     SelectItem,
     SqlTextDialect,
+    StringValueAgg,
     TranslatedQuery,
     UnionQuery,
     compute_stats,
@@ -252,6 +253,13 @@ class SqlTranslator(ABC):
         self.max_depth = max_depth
         self.node_table = encoding.node_table.name
         self.attr_table = encoding.attr_table.name
+        # Per-compile() index state (see compile()): the document's
+        # IndexContext (or None) plus the rewrites the current
+        # compilation actually used.
+        self._index = None
+        self._access: set = set()
+        self._index_names: list = []
+        self._est_rows: Optional[int] = None
 
     # -- per-encoding hooks ------------------------------------------------
 
@@ -315,12 +323,22 @@ class SqlTranslator(ABC):
         self,
         path: Union[LocationPath, UnionPath, str],
         dialect: str = "sqlite",
+        index=None,
     ) -> CompiledPlan:
         """Compile a (possibly shape-extracted) path for one dialect.
 
         The result is document-independent: ``doc``/context/literal
         values become parameter slots resolved by
         :meth:`~repro.core.relalg.CompiledPlan.bind`.
+
+        *index* is the document's :class:`repro.index.IndexContext`
+        (or ``None`` for plain scan plans).  With statistics in hand,
+        eligible fragments rewrite to probes over the ``idx_*`` side
+        tables when the cost model favours them — structural paths to
+        the path index, value predicates to the value index — and the
+        plan records the chosen access path.  Index-aware plans are
+        *statistics-dependent*: the store caches them under the index
+        fingerprint, never across it.
         """
         if isinstance(path, str):
             from repro.xpath.parser import parse_xpath
@@ -328,16 +346,31 @@ class SqlTranslator(ABC):
             path = parse_xpath(path)
         if dialect not in DIALECTS:
             raise TranslationError(f"unknown SQL dialect {dialect!r}")
-        if isinstance(path, UnionPath):
-            query, kind, needs_client_order, columns = (
-                self._compile_union(path)
+        self._index = index
+        self._access = set()
+        self._index_names = []
+        self._est_rows = None
+        try:
+            if isinstance(path, UnionPath):
+                query, kind, needs_client_order, columns = (
+                    self._compile_union(path)
+                )
+            else:
+                arm = self._compile_arm(path, with_order_by=True)
+                query = arm.select
+                kind = arm.result_kind
+                needs_client_order = arm.needs_client_order
+                columns = arm.columns
+            access_path = (
+                "+".join(sorted(self._access)) if self._access else "scan"
             )
-        else:
-            arm = self._compile_arm(path, with_order_by=True)
-            query = arm.select
-            kind = arm.result_kind
-            needs_client_order = arm.needs_client_order
-            columns = arm.columns
+            index_names = tuple(dict.fromkeys(self._index_names))
+            est_rows = self._est_rows
+        finally:
+            self._index = None
+            self._access = set()
+            self._index_names = []
+            self._est_rows = None
         stats = compute_stats(query)
         sql, slots = SqlTextDialect().compile(query)
         statement = None
@@ -364,6 +397,9 @@ class SqlTranslator(ABC):
             columns=columns,
             stats=stats,
             statement=statement,
+            access_path=access_path,
+            index_names=index_names,
+            est_rows=est_rows,
         )
 
     def _compile_union(
@@ -423,6 +459,9 @@ class SqlTranslator(ABC):
             raise TranslationError(
                 "the bare document path '/' has no relational result"
             )
+        indexed = self._path_index_arm(path, with_order_by)
+        if indexed is not None:
+            return indexed
         t = _Translation(self)
         builder = SelectBuilder()
         builder.distinct = True
@@ -482,6 +521,159 @@ class SqlTranslator(ABC):
             needs_client_order=needs_client_order,
             columns=columns,
         )
+
+    # -- index-aware access paths ------------------------------------------
+
+    def _path_index_pattern(
+        self, path: LocationPath
+    ) -> Optional[tuple[str, Optional[str], int]]:
+        """``(pattern, last_tag, step_count)`` when *path* is a pure
+        structural path the path index can answer: absolute, every step
+        a predicate-free child/descendant element name (or wildcard)
+        test.  ``last_tag`` is ``None`` for a trailing wildcard."""
+        if not path.absolute or not path.steps:
+            return None
+        pieces: list[str] = []
+        last_tag: Optional[str] = None
+        steps = normalize_steps(path.steps)
+        for step in steps:
+            if step.predicates or step.axis not in ("child", "descendant"):
+                return None
+            if step.test.kind == "name":
+                name = step.test.name
+            elif step.test.kind == "wildcard":
+                name = "*"
+            else:
+                return None
+            separator = "//" if step.axis == "descendant" else "/"
+            pieces.append(separator + name)
+            last_tag = None if name == "*" else name
+        return "".join(pieces), last_tag, len(steps)
+
+    def _path_index_arm(
+        self, path: LocationPath, with_order_by: bool
+    ) -> Optional[_Arm]:
+        """The path-index access path for an eligible structural arm.
+
+        ``idx_paths`` (the root-path dictionary) is filtered by the
+        ``path_match`` scalar against a pattern derived from the steps,
+        ``idx_pathmap`` expands matching paths to element ids, and a
+        final join against the node table re-projects the ordinary
+        node columns — result rows are identical to the scan plan's.
+        """
+        ictx = self._index
+        if ictx is None:
+            return None
+        derived = self._path_index_pattern(path)
+        if derived is None:
+            return None
+        from repro.index import cost as _cost
+
+        pattern, last_tag, step_count = derived
+        choice = _cost.choose_path_plan(
+            ictx.node_count,
+            step_count,
+            ictx.path_count,
+            ictx.tag_count(last_tag),
+        )
+        if not choice.use_index:
+            return None
+        t = _Translation(self)
+        builder = SelectBuilder()
+        builder.distinct = True
+        p = t.aliases.next()
+        m = t.aliases.next()
+        n = t.aliases.next()
+        builder.add_from("idx_paths", p)
+        builder.add_from("idx_pathmap", m)
+        builder.add_from(self.node_table, n)
+        builder.add_where(t.doc_cond(p))
+        builder.add_where(t.doc_cond(m))
+        builder.add_where(t.doc_cond(n))
+        builder.add_where(
+            Cmp(
+                "=",
+                Func(
+                    "path_match",
+                    (Col(p, "path"), Param(FixedSlot(pattern))),
+                ),
+                Const(1),
+            )
+        )
+        builder.add_where(Cmp("=", Col(m, "pathid"), Col(p, "pathid")))
+        builder.add_where(Cmp("=", Col(n, "id"), Col(m, "id")))
+        columns = NODE_PROJECTION + self.encoding.order_columns
+        builder.select = [SelectItem(Col(n, c), c) for c in columns]
+        order_cols = self.order_by_columns(n)
+        if order_cols is not None:
+            if with_order_by:
+                builder.order_by = list(order_cols)
+            needs_client_order = False
+        else:
+            needs_client_order = True
+        self._access.add(_cost.PATH_INDEX)
+        self._index_names.extend(choice.index_names)
+        self._est_rows = (self._est_rows or 0) + (choice.est_rows or 0)
+        METRICS.inc("index.rewrite_path")
+        return _Arm(
+            select=builder.build(),
+            result_kind="node",
+            needs_client_order=needs_client_order,
+            columns=columns,
+        )
+
+    def _value_index_exists(
+        self,
+        path: LocationPath,
+        context: Optional[str],
+        t: "_Translation",
+        value_cond: Callable[[RelExpr], RelExpr],
+    ) -> Optional[Exists]:
+        """The value-index access path for an eligible value predicate.
+
+        ``[tag = literal]`` (one predicate-free child element name step
+        plus a value condition) probes ``idx_sval`` instead of running
+        the correlated string-value aggregation: ``sval`` holds exactly
+        the XPath string-value the scan plan would aggregate.
+        """
+        ictx = self._index
+        if ictx is None:
+            return None
+        if len(path.steps) != 1:
+            return None
+        step = path.steps[0]
+        if (
+            step.axis != "child"
+            or step.predicates
+            or step.test.kind != "name"
+        ):
+            return None
+        from repro.index import cost as _cost
+
+        tag = step.test.name
+        choice = _cost.choose_value_plan(
+            ictx.node_count, ictx.tag_count(tag), ictx.distinct_count(tag)
+        )
+        if not choice.use_index:
+            return None
+        parent: RelExpr = (
+            Const(0)
+            if path.absolute or context is None
+            else Col(context, "id")
+        )
+        v = t.aliases.next()
+        sub = SelectBuilder()
+        sub.select = [SelectItem(Const(1))]
+        sub.add_from("idx_sval", v)
+        sub.add_where(t.doc_cond(v))
+        sub.add_where(Cmp("=", Col(v, "parent"), parent))
+        sub.add_where(Cmp("=", Col(v, "tag"), Param(FixedSlot(tag))))
+        sub.add_where(value_cond(Col(v, "sval")))
+        self._access.add(_cost.VALUE_INDEX)
+        self._index_names.extend(choice.index_names)
+        self._est_rows = (self._est_rows or 0) + (choice.est_rows or 0)
+        METRICS.inc("index.rewrite_value")
+        return exists(sub)
 
     # -- step pipeline -----------------------------------------------------------
 
@@ -739,14 +931,14 @@ class SqlTranslator(ABC):
                 f"{call.name}() requires a string-literal second argument"
             )
         if call.name == "contains":
-            def value_cond(value: Col) -> RelExpr:
+            def value_cond(value: RelExpr) -> RelExpr:
                 return Cmp(
                     ">",
                     Func("INSTR", (value, self._lit_param(literal, "raw"))),
                     Const(0),
                 )
         else:
-            def value_cond(value: Col) -> RelExpr:
+            def value_cond(value: RelExpr) -> RelExpr:
                 return Cmp(
                     "=",
                     Func(
@@ -824,7 +1016,7 @@ class SqlTranslator(ABC):
 
     def _value_comparison(
         self,
-        value: Col,
+        value: RelExpr,
         op: str,
         literal: Union[NumberLiteral, StringLiteral],
     ) -> RelExpr:
@@ -855,7 +1047,7 @@ class SqlTranslator(ABC):
         return self._numeric_comparison(value, op, Const(number))
 
     def _numeric_comparison(
-        self, value: Col, op: str, number: RelExpr
+        self, value: RelExpr, op: str, number: RelExpr
     ) -> RelExpr:
         """``number(value) <op> number`` under XPath NaN semantics."""
         from repro.core.relalg import IsNull, Or
@@ -993,24 +1185,63 @@ class SqlTranslator(ABC):
         path: LocationPath,
         context: str,
         t: "_Translation",
-        value_cond: Optional[Callable[[Col], RelExpr]] = None,
+        value_cond: Optional[Callable[[RelExpr], RelExpr]] = None,
     ) -> Exists:
         """EXISTS subquery: *path* (from *context*) selects something.
 
-        ``value_cond``, when given, maps the final node's value column
-        to an extra condition (used for value comparisons and string
-        functions).
+        ``value_cond``, when given, maps the final node's comparable
+        value (string-value aggregate for elements, stored column
+        otherwise — see :meth:`_value_expr`) to an extra condition
+        (used for value comparisons and string functions).
         """
+        if value_cond is not None:
+            rewritten = self._value_index_exists(
+                path, context, t, value_cond
+            )
+            if rewritten is not None:
+                return rewritten
         sub = SelectBuilder()
         sub.select = [SelectItem(Const(1))]
         start = None if path.absolute else context
         steps = normalize_steps(path.steps)
         if not steps:
             raise UnsupportedXPathError("empty predicate path")
-        alias, _kind = self._compile_steps(steps, start, sub, t)
+        alias, kind = self._compile_steps(steps, start, sub, t)
         if value_cond is not None:
-            sub.add_where(value_cond(Col(alias, "value")))
+            sub.add_where(
+                value_cond(self._value_expr(alias, kind, steps[-1], t))
+            )
         return exists(sub)
+
+    def _value_expr(
+        self, alias: str, kind: str, last: NormStep, t: "_Translation"
+    ) -> RelExpr:
+        """The comparable XPath value of the final step's result.
+
+        Attributes and ``text()``/``comment()`` results compare their
+        stored ``value`` column directly.  *Element* results compare
+        their string-value — the concatenation of all descendant text in
+        document order — which the stored column (direct text only) gets
+        wrong for mixed content like ``<p>a<b>x</b>c</p>``; those
+        compile to a correlated descendant-text aggregation instead.
+        """
+        if kind == "node" and last.test.kind in ("name", "wildcard"):
+            return StringValueAgg(
+                self.string_value_query(alias, t), t.aliases.next()
+            )
+        return Col(alias, "value")
+
+    @abstractmethod
+    def string_value_query(
+        self, cand: str, t: "_Translation"
+    ) -> RelQuery:
+        """Correlated query over *cand*'s descendant text, in doc order.
+
+        Must project each text value as a column named ``v`` (plus any
+        order-key columns) and order rows in document order, so that
+        ``GROUP_CONCAT(v, '')`` over the result is exactly the element's
+        XPath string-value.
+        """
 
     def _count_path(
         self, path: LocationPath, context: str, t: "_Translation"

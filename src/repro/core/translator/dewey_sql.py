@@ -12,7 +12,19 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.encodings import DeweyEncoding
-from repro.core.relalg import And, Bool, Cmp, Col, Const, Func, RelExpr
+from repro.core.relalg import (
+    And,
+    Bool,
+    Cmp,
+    Col,
+    Const,
+    Func,
+    RelExpr,
+    RelQuery,
+    SelectItem,
+)
+from repro.core.schema import KIND_TEXT
+from repro.core.sqlgen import SelectBuilder
 from repro.core.translator.base import SqlTranslator, _Translation
 from repro.errors import TranslationError
 
@@ -102,6 +114,22 @@ class DeweySqlTranslator(SqlTranslator):
 
     def order_by_columns(self, alias: str) -> Optional[list[Col]]:
         return [Col(alias, "dkey")]
+
+    def string_value_query(
+        self, cand: str, t: _Translation
+    ) -> RelQuery:
+        """Descendant text of *cand* as a key-range scan in key order."""
+        s = t.aliases.next()
+        sub = SelectBuilder()
+        sub.select = [SelectItem(Col(s, "value"), "v")]
+        sub.count_joins = False
+        sub.add_from(self.node_table, s)
+        sub.add_where(t.doc_cond(s))
+        sub.add_where(Cmp("=", Col(s, "kind"), Const(KIND_TEXT)))
+        sub.add_where(Cmp(">", Col(s, "dkey"), Col(cand, "dkey")))
+        sub.add_where(Cmp("<", Col(s, "dkey"), _succ(cand)))
+        sub.order_by = [Col(s, "dkey")]
+        return sub.build()
 
 
 def _document_axis(axis: str, cand: str) -> Optional[RelExpr]:

@@ -11,8 +11,17 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.encodings import GlobalEncoding
-from repro.core.relalg import Bool, Cmp, Col, Const, RelExpr
-from repro.core.sqlgen import all_of
+from repro.core.relalg import (
+    Bool,
+    Cmp,
+    Col,
+    Const,
+    RelExpr,
+    RelQuery,
+    SelectItem,
+)
+from repro.core.schema import KIND_TEXT
+from repro.core.sqlgen import SelectBuilder, all_of
 from repro.core.translator.base import SqlTranslator, _Translation
 from repro.errors import TranslationError
 
@@ -82,6 +91,22 @@ class GlobalSqlTranslator(SqlTranslator):
 
     def order_by_columns(self, alias: str) -> Optional[list[Col]]:
         return [Col(alias, "pos")]
+
+    def string_value_query(
+        self, cand: str, t: _Translation
+    ) -> RelQuery:
+        """Descendant text of *cand* as an interval scan ordered by pos."""
+        s = t.aliases.next()
+        sub = SelectBuilder()
+        sub.select = [SelectItem(Col(s, "value"), "v")]
+        sub.count_joins = False
+        sub.add_from(self.node_table, s)
+        sub.add_where(t.doc_cond(s))
+        sub.add_where(Cmp("=", Col(s, "kind"), Const(KIND_TEXT)))
+        sub.add_where(Cmp(">", Col(s, "pos"), Col(cand, "pos")))
+        sub.add_where(Cmp("<=", Col(s, "pos"), Col(cand, "endpos")))
+        sub.order_by = [Col(s, "pos")]
+        return sub.build()
 
 
 def _document_axis(axis: str, cand: str) -> Optional[RelExpr]:

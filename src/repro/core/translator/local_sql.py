@@ -25,7 +25,17 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.encodings import LocalEncoding
-from repro.core.relalg import Cmp, Col, Const, Exists, RelExpr, SelectItem
+from repro.core.relalg import (
+    Cmp,
+    Col,
+    Const,
+    Exists,
+    RelExpr,
+    RelQuery,
+    SelectItem,
+    UnionQuery,
+)
+from repro.core.schema import KIND_TEXT
 from repro.core.sqlgen import SelectBuilder, any_of, exists
 from repro.core.translator.base import SqlTranslator, _Translation
 from repro.errors import TranslationError
@@ -155,6 +165,49 @@ class LocalSqlTranslator(SqlTranslator):
 
     def order_by_columns(self, alias: str) -> Optional[list[Col]]:
         return None  # client-side order resolution required
+
+    def string_value_query(
+        self, cand: str, t: _Translation
+    ) -> RelQuery:
+        """Descendant text of *cand* via depth-bounded chain arms.
+
+        Arm *d* walks *d* parent-pointer hops below *cand* and projects
+        the text value plus the chain's ``lpos`` path as sort keys
+        ``k1..kD`` (missing levels padded with ``-1``, which sorts
+        before every real ``lpos`` >= 1).  Text nodes are leaves, so no
+        key path is a prefix of another and the padded lexicographic
+        order is document order within the subtree; the full key paths
+        are also unique, which makes the UNION's set semantics safe.
+        """
+        depth_limit = max(self.max_depth - 1, 1)
+        key_names = tuple(f"k{i}" for i in range(1, depth_limit + 1))
+        arms = []
+        for distance in range(1, depth_limit + 1):
+            chain = [t.aliases.next() for _ in range(distance)]
+            sub = SelectBuilder()
+            sub.count_joins = False
+            previous = cand
+            for hop in chain:
+                sub.add_from(self.node_table, hop)
+                sub.add_where(t.doc_cond(hop))
+                sub.add_where(
+                    Cmp("=", Col(hop, "parent"), Col(previous, "id"))
+                )
+                previous = hop
+            sub.add_where(
+                Cmp("=", Col(chain[-1], "kind"), Const(KIND_TEXT))
+            )
+            items = [SelectItem(Col(chain[-1], "value"), "v")]
+            for index, name in enumerate(key_names):
+                if index < distance:
+                    items.append(
+                        SelectItem(Col(chain[index], "lpos"), name)
+                    )
+                else:
+                    items.append(SelectItem(Const(-1), name))
+            sub.select = items
+            arms.append(sub.build())
+        return UnionQuery(selects=tuple(arms), order_by=key_names)
 
 
 def all_of_siblings(cand: str, ctx: str, op: str) -> RelExpr:

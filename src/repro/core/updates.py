@@ -122,6 +122,11 @@ class UpdateManager:
         finally:
             tls.depth = depth
         if depth == 0 and not self.store.is_shadow:
+            # Secondary-index maintenance rides the same transaction as
+            # the update itself: a crash rolls both back together, so
+            # the index can never be observed out of step with the node
+            # tables.  No-op for unindexed documents.
+            self.store.indexes.maintain_in_transaction(doc)
             migration = self.store._migration
             if migration is not None and migration.doc == doc:
                 migration.journal.stage(entry)

@@ -1,0 +1,55 @@
+"""Per-document secondary indexes over the shredded node tables.
+
+Three index families (see DESIGN.md, "Indexing"):
+
+* the **value index** — element string-values, probed by rewritten
+  value predicates;
+* the **path index** — the root-path dictionary plus occurrences,
+  probed by rewritten structural queries;
+* **catalog statistics** — tag counts, depth histograms and
+  distinct-value estimates feeding the scan-vs-index cost model.
+
+``REPRO_INDEX`` (``on`` / ``off`` / unset = ``auto``) is the escape
+hatch the differential plan-testing harness flips: index-on and
+index-off runs of the same query must return byte-identical results.
+"""
+
+from repro.index.advisor import (
+    IndexAdvisor,
+    IndexRecommendation,
+    is_indexable_xpath,
+)
+from repro.index.cost import (
+    INDEX_PROBE_COST,
+    PATH_INDEX,
+    SCAN,
+    VALUE_INDEX,
+    PlanChoice,
+    choose_path_plan,
+    choose_value_plan,
+    estimate_value_matches,
+)
+from repro.index.manager import (
+    STATS_REFRESH_THRESHOLD,
+    IndexContext,
+    IndexManager,
+    index_mode_from_env,
+)
+
+__all__ = [
+    "INDEX_PROBE_COST",
+    "PATH_INDEX",
+    "SCAN",
+    "STATS_REFRESH_THRESHOLD",
+    "VALUE_INDEX",
+    "IndexAdvisor",
+    "IndexContext",
+    "IndexManager",
+    "IndexRecommendation",
+    "PlanChoice",
+    "choose_path_plan",
+    "choose_value_plan",
+    "estimate_value_matches",
+    "index_mode_from_env",
+    "is_indexable_xpath",
+]

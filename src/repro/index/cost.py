@@ -1,0 +1,108 @@
+"""Deterministic scan-vs-index cost model.
+
+The model mirrors the textbook System-R shape at paper scale: a scan
+pays a constant per node row it must visit, an index access pays a
+fixed probe overhead plus one unit per row the index is estimated to
+return.  All inputs come from the catalog statistics collected at index
+build time (:mod:`repro.index.manager`), so the same statistics produce
+the same plan on both backends — the choice is part of the compiled
+plan, not of the engine.
+
+The constants are deliberately plain integers: the unit tests pin the
+decision on both sides of each crossover, and any retuning must move
+the pinned points consciously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Fixed cost of one index access: B-tree descent plus row fetch setup.
+INDEX_PROBE_COST = 24.0
+
+#: Per-row cost of scanning the node table (the unit of the model).
+SCAN_ROW_COST = 1.0
+
+#: Per-row cost of reading an index entry (sorted side table probe).
+INDEX_ROW_COST = 1.0
+
+#: Access-path labels recorded on compiled plans.
+SCAN = "scan"
+VALUE_INDEX = "value-index"
+PATH_INDEX = "path-index"
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """One scan-vs-index decision with the numbers behind it."""
+
+    access_path: str  # SCAN | VALUE_INDEX | PATH_INDEX
+    index_names: tuple[str, ...]
+    est_rows: Optional[int]
+    scan_cost: float
+    index_cost: float
+
+    @property
+    def use_index(self) -> bool:
+        return self.access_path != SCAN
+
+
+def estimate_value_matches(tag_count: int, distinct: int) -> int:
+    """Estimated elements of a tag matching one literal value.
+
+    The classic uniformity assumption: tag cardinality divided by the
+    distinct-value estimate, never below one when any row exists.
+    """
+    if tag_count <= 0:
+        return 0
+    return max(1, round(tag_count / max(distinct, 1)))
+
+
+def choose_value_plan(
+    node_count: int, tag_count: int, distinct: int
+) -> PlanChoice:
+    """Value predicate ``[tag = literal]``: string-value scan vs
+    ``idx_sval`` probe.
+
+    The scan side re-aggregates descendant text per candidate — its
+    cost scales with the whole node table — while the index side probes
+    ``(doc, parent, tag, sval)`` and touches only the estimated
+    matches.  Tiny documents stay below the probe overhead and keep the
+    scan plan.
+    """
+    matches = estimate_value_matches(tag_count, distinct)
+    scan_cost = SCAN_ROW_COST * max(node_count, 1)
+    index_cost = INDEX_PROBE_COST + INDEX_ROW_COST * matches
+    if index_cost < scan_cost:
+        return PlanChoice(
+            VALUE_INDEX, ("ix_idx_sval_parent",), matches,
+            scan_cost, index_cost,
+        )
+    return PlanChoice(SCAN, (), None, scan_cost, index_cost)
+
+
+def choose_path_plan(
+    node_count: int,
+    step_count: int,
+    path_count: int,
+    est_rows: int,
+) -> PlanChoice:
+    """Structural path ``/a//b``: per-step self-joins vs path index.
+
+    The scan side pays one pass over the node table per location step;
+    the index side pattern-matches the (small) path dictionary once and
+    then fetches exactly the occurrence rows.
+    """
+    scan_cost = SCAN_ROW_COST * max(node_count, 1) * max(step_count, 1)
+    index_cost = (
+        INDEX_PROBE_COST
+        + INDEX_ROW_COST * max(path_count, 0)
+        + INDEX_ROW_COST * max(est_rows, 0)
+    )
+    if index_cost < scan_cost:
+        return PlanChoice(
+            PATH_INDEX, ("ux_idx_paths", "ix_idx_pathmap"), est_rows,
+            scan_cost, index_cost,
+        )
+    return PlanChoice(SCAN, (), None, scan_cost, index_cost)

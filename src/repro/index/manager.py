@@ -1,0 +1,483 @@
+"""Per-document secondary indexes and catalog statistics.
+
+:class:`IndexManager` owns the ``idx_*`` side tables declared in
+:func:`repro.core.schema.index_tables`:
+
+* **value index** (``idx_sval``) — one row per element carrying its full
+  XPath string-value and numeric interpretation, probed by rewritten
+  value predicates;
+* **path index** (``idx_paths`` + ``idx_pathmap``) — the dictionary of
+  distinct root-to-element paths plus the occurrence map, probed by
+  rewritten structural queries through the ``path_match`` scalar;
+* **catalog statistics** (``idx_stats``) — tag counts, a depth
+  histogram, distinct-value estimates and index metadata, feeding the
+  cost model (:mod:`repro.index.cost`).
+
+The side tables are created empty at schema bootstrap and keyed on the
+surrogate ``id``, so they are encoding-independent and index create /
+drop / maintenance is plain transactional DML — crash safety falls out
+of transaction rollback, with no DDL recovery path.
+
+Maintenance is *eager*: every update operation rebuilds the document's
+index rows inside the same transaction (the workloads are the paper's
+query-heavy ones, where correct-but-simple beats incremental).  The
+statistics refresh lazily: ``updates_since`` counts update operations
+since the last refresh, and crossing :data:`STATS_REFRESH_THRESHOLD`
+(or an explicit ``refresh_stats``) recomputes them and bumps the stats
+version — the component of the plan-cache fingerprint that keeps cost
+decisions aligned with the statistics that justified them.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Optional
+
+from repro.core.numeric import xpath_number_value
+from repro.core.schema import KIND_ELEMENT, KIND_TEXT
+from repro.obs import METRICS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store import XmlStore
+
+#: Update operations between automatic statistics refreshes.
+STATS_REFRESH_THRESHOLD = 32
+
+_OFF_VALUES = frozenset({"off", "0", "false", "no", "disabled"})
+_ON_VALUES = frozenset({"on", "1", "true", "yes", "enabled"})
+
+
+def index_mode_from_env() -> str:
+    """The ``REPRO_INDEX`` escape hatch: ``on`` | ``off`` | ``auto``.
+
+    ``on`` builds indexes at load time and uses them; ``off`` never
+    uses them (existing index rows are kept but ignored); ``auto`` —
+    the default — uses an index when the document has one and never
+    builds one implicitly.
+    """
+    value = os.environ.get("REPRO_INDEX", "").strip().lower()
+    if value in _ON_VALUES:
+        return "on"
+    if value in _OFF_VALUES:
+        return "off"
+    return "auto"
+
+
+@dataclass(frozen=True)
+class IndexContext:
+    """A document's index statistics, as the planner consumes them.
+
+    ``fingerprint`` keys compiled plans: it changes exactly when the
+    statistics behind a cost decision change (stats refresh, rebuild),
+    so the plan cache can never serve a plan justified by statistics
+    that no longer exist.
+    """
+
+    doc: int
+    stats_version: int
+    node_count: int
+    element_count: int
+    max_depth: int
+    path_count: int
+    updates_since: int
+    tag_counts: Mapping[str, int] = field(default_factory=dict)
+    distinct_counts: Mapping[str, int] = field(default_factory=dict)
+    depth_histogram: Mapping[int, int] = field(default_factory=dict)
+
+    @property
+    def fingerprint(self) -> tuple[int, int]:
+        return (self.doc, self.stats_version)
+
+    def tag_count(self, tag: Optional[str]) -> int:
+        """Elements with *tag* (``None`` = wildcard: every element)."""
+        if tag is None:
+            return self.element_count
+        return int(self.tag_counts.get(tag, 0))
+
+    def distinct_count(self, tag: Optional[str]) -> int:
+        if tag is None:
+            return max(self.element_count, 1)
+        return int(self.distinct_counts.get(tag, 1))
+
+
+class IndexManager:
+    """Create, drop, maintain and describe per-document indexes."""
+
+    def __init__(self, store: "XmlStore") -> None:
+        self.store = store
+        #: Per-store override of the ``REPRO_INDEX`` mode; the
+        #: differential harnesses use it to pin one store of a twin
+        #: pair to ``on`` and the other to ``off`` within one process.
+        self.force_mode: Optional[str] = None
+        # context() memo: doc -> (cache epoch, IndexContext | None).
+        self._contexts: dict[int, tuple[int, Optional[IndexContext]]] = {}
+
+    # -- mode --------------------------------------------------------------
+
+    def mode(self) -> str:
+        if self.force_mode is not None:
+            return self.force_mode
+        return index_mode_from_env()
+
+    def auto_create(self) -> bool:
+        """Should loads build the index implicitly (mode ``on``)?"""
+        return self.mode() == "on"
+
+    # -- presence ----------------------------------------------------------
+
+    def exists(self, doc: int) -> bool:
+        result = self.store._execute(
+            "SELECT value FROM idx_stats "
+            "WHERE doc = ? AND kind = 'meta' AND skey = 'present'",
+            (doc,),
+        )
+        return bool(result.rows)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def create(self, doc: int) -> dict:
+        """(Re)build *doc*'s indexes and statistics; returns a report."""
+        self.store.document_info(doc)  # raises StorageError if unknown
+
+        def build() -> dict:
+            survey = self._rebuild_rows(doc)
+            meta = self._read_meta(doc)
+            version = int(meta.get("stats_version", 0)) + 1
+            self._write_stats(doc, survey, version)
+            return {
+                "doc": doc,
+                "elements": survey["element_count"],
+                "paths": survey["path_count"],
+                "nodes": survey["node_count"],
+                "stats_version": version,
+            }
+
+        report = self.store.transactionally(build)
+        METRICS.inc("index.created")
+        METRICS.inc("index.rows", report["elements"])
+        return report
+
+    def drop(self, doc: int) -> bool:
+        """Remove *doc*'s index rows; True if an index was present."""
+        present = self.exists(doc)
+
+        def purge() -> None:
+            self.purge_in_transaction(doc)
+
+        self.store.transactionally(purge)
+        if present:
+            METRICS.inc("index.dropped")
+        return present
+
+    def purge_in_transaction(self, doc: int) -> None:
+        """Delete every ``idx_*`` row of *doc* (caller owns the txn)."""
+        backend = self.store.backend
+        for table in ("idx_sval", "idx_paths", "idx_pathmap", "idx_stats"):
+            backend.execute(f"DELETE FROM {table} WHERE doc = ?", (doc,))
+
+    def _purge_data_in_transaction(self, doc: int) -> None:
+        """Delete *doc*'s index data rows, keeping ``idx_stats``."""
+        backend = self.store.backend
+        for table in ("idx_sval", "idx_paths", "idx_pathmap"):
+            backend.execute(f"DELETE FROM {table} WHERE doc = ?", (doc,))
+
+    def refresh_stats(self, doc: int) -> dict:
+        """Recompute *doc*'s statistics (and rows) unconditionally."""
+        return self.create(doc)
+
+    # -- in-transaction maintenance ---------------------------------------
+
+    def maintain_in_transaction(self, doc: int) -> None:
+        """Bring *doc*'s index rows up to date after an update.
+
+        Runs inside the update's own transaction (called from the
+        update manager's outermost tracked scope), so the index can
+        never be observed out of step with the node tables: a crash
+        rolls both back together.  Statistics refresh only when the
+        update counter crosses the threshold; in between, the recorded
+        statistics go stale on purpose (see :meth:`stats_stale`).
+        """
+        if not self._present_in_transaction(doc):
+            return
+        survey = self._rebuild_rows(doc)
+        meta = self._read_meta(doc)
+        updates = int(meta.get("updates_since", 0)) + 1
+        version = int(meta.get("stats_version", 1))
+        if updates >= STATS_REFRESH_THRESHOLD:
+            self._write_stats(doc, survey, version + 1)
+            METRICS.inc("index.stats_refreshed")
+        else:
+            self._set_meta(doc, "updates_since", updates)
+        METRICS.inc("index.maintained")
+
+    def _present_in_transaction(self, doc: int) -> bool:
+        result = self.store.backend.execute(
+            "SELECT value FROM idx_stats "
+            "WHERE doc = ? AND kind = 'meta' AND skey = 'present'",
+            (doc,),
+        )
+        return bool(result.rows)
+
+    # -- staleness ---------------------------------------------------------
+
+    def stats_stale(self, doc: int) -> bool:
+        """Have the recorded statistics drifted from the live document?
+
+        Two triggers: the update counter reached the refresh threshold
+        (refresh pending), or the document has deepened past the depth
+        recorded at the last refresh — the drift that silently skews
+        path-index estimates.
+        """
+        meta = self._read_meta(doc)
+        if not meta:
+            return False
+        if int(meta.get("updates_since", 0)) >= STATS_REFRESH_THRESHOLD:
+            return True
+        live = self.store.document_info(doc)
+        return live.max_depth > int(meta.get("max_depth", live.max_depth))
+
+    # -- planner interface -------------------------------------------------
+
+    def context(self, doc: int) -> Optional[IndexContext]:
+        """The planner's view of *doc*'s index, or ``None``.
+
+        ``None`` means compile scan plans: mode ``off``, or no index
+        present (mode ``on`` builds one on first use so pre-existing
+        stores pick indexes up without a reload).  Memoized per cache
+        epoch — the same epoch discipline as the plan cache itself.
+        """
+        mode = self.mode()
+        if mode == "off":
+            return None
+        cache = self.store.cache
+        memo_ok = cache.enabled and not self.store._in_own_transaction()
+        if memo_ok:
+            epoch = cache.current_epoch()
+            hit = self._contexts.get(doc)
+            if hit is not None and hit[0] == epoch:
+                return hit[1]
+        ctx = self._load_context(doc)
+        if ctx is None and mode == "on":
+            self.create(doc)
+            ctx = self._load_context(doc)
+        if memo_ok:
+            # Re-read the epoch: create() above bumped it.
+            self._contexts[doc] = (cache.current_epoch(), ctx)
+        return ctx
+
+    def _load_context(self, doc: int) -> Optional[IndexContext]:
+        result = self.store._execute(
+            "SELECT kind, skey, value FROM idx_stats WHERE doc = ?",
+            (doc,),
+        )
+        if not result.rows:
+            return None
+        meta: dict[str, str] = {}
+        tags: dict[str, int] = {}
+        distinct: dict[str, int] = {}
+        depths: dict[int, int] = {}
+        for kind, skey, value in result.rows:
+            if kind == "meta":
+                meta[skey] = value
+            elif kind == "tag":
+                tags[skey] = int(value)
+            elif kind == "distinct":
+                distinct[skey] = int(value)
+            elif kind == "depth":
+                depths[int(skey)] = int(value)
+        if "present" not in meta:
+            return None
+        ctx = IndexContext(
+            doc=doc,
+            stats_version=int(meta.get("stats_version", 1)),
+            node_count=int(meta.get("node_count", 0)),
+            element_count=int(meta.get("element_count", 0)),
+            max_depth=int(meta.get("max_depth", 0)),
+            path_count=int(meta.get("path_count", 0)),
+            updates_since=int(meta.get("updates_since", 0)),
+            tag_counts=tags,
+            distinct_counts=distinct,
+            depth_histogram=depths,
+        )
+        if self.stats_stale(doc):
+            METRICS.inc("index.stale_stats")
+        return ctx
+
+    # -- CLI / reporting ---------------------------------------------------
+
+    def describe(self, doc: int) -> dict:
+        """A JSON-friendly summary of *doc*'s index state."""
+        ctx = self._load_context(doc)
+        if ctx is None:
+            return {"doc": doc, "present": False}
+        return {
+            "doc": doc,
+            "present": True,
+            "stats_version": ctx.stats_version,
+            "node_count": ctx.node_count,
+            "element_count": ctx.element_count,
+            "max_depth": ctx.max_depth,
+            "path_count": ctx.path_count,
+            "updates_since": ctx.updates_since,
+            "stale": self.stats_stale(doc),
+            "tags": dict(
+                sorted(ctx.tag_counts.items(),
+                       key=lambda kv: (-kv[1], kv[0]))[:10]
+            ),
+        }
+
+    # -- the build pass ----------------------------------------------------
+
+    def _rebuild_rows(self, doc: int) -> dict:
+        """Recompute every ``idx_*`` data row of *doc* (txn caller-owned).
+
+        One pass over the node table: children sorted by the encoding's
+        sibling-order column, a preorder walk assigning root paths and
+        a reverse-preorder pass accumulating XPath string-values (every
+        descendant sits after its ancestor in preorder, so reversed
+        preorder sees children before parents).  Iterative throughout —
+        document depth must not be bounded by the Python stack.
+        """
+        backend = self.store.backend
+        encoding = self.store.encoding_for(doc)
+        table = encoding.node_table.name
+        order = encoding.sibling_order_column
+        rows = backend.execute(
+            f"SELECT id, parent, kind, tag, value, depth, {order} "
+            f"FROM {table} WHERE doc = ?",
+            (doc,),
+        ).rows
+        nodes: dict[int, tuple] = {}
+        children: dict[int, list] = {}
+        for node_id, parent, kind, tag, value, depth, okey in rows:
+            nodes[node_id] = (parent, kind, tag, value, depth)
+            children.setdefault(parent, []).append((okey, node_id))
+        for siblings in children.values():
+            siblings.sort(key=lambda pair: pair[0])
+
+        preorder: list[int] = []
+        paths: dict[str, int] = {}
+        node_path: dict[int, int] = {}
+        stack = [
+            (node_id, "")
+            for _okey, node_id in reversed(children.get(0, []))
+        ]
+        while stack:
+            node_id, parent_path = stack.pop()
+            preorder.append(node_id)
+            _parent, kind, tag, _value, _depth = nodes[node_id]
+            child_path = parent_path
+            if kind == KIND_ELEMENT:
+                child_path = f"{parent_path}/{tag}"
+                pathid = paths.setdefault(child_path, len(paths) + 1)
+                node_path[node_id] = pathid
+            for _okey, child in reversed(children.get(node_id, [])):
+                stack.append((child, child_path))
+
+        svals: dict[int, str] = {}
+        for node_id in reversed(preorder):
+            _parent, kind, _tag, value, _depth = nodes[node_id]
+            if kind == KIND_TEXT:
+                svals[node_id] = value or ""
+            elif kind == KIND_ELEMENT:
+                svals[node_id] = "".join(
+                    svals[child]
+                    for _okey, child in children.get(node_id, [])
+                )
+            else:  # comments and PIs contribute nothing upward
+                svals[node_id] = ""
+
+        tag_counts: Counter = Counter()
+        depth_histogram: Counter = Counter()
+        tag_values: dict[str, set] = {}
+        sval_rows = []
+        max_depth = 0
+        for node_id in preorder:
+            parent, kind, tag, _value, depth = nodes[node_id]
+            max_depth = max(max_depth, depth)
+            if kind != KIND_ELEMENT:
+                continue
+            sval = svals[node_id]
+            sval_rows.append(
+                (doc, node_id, parent, tag, sval,
+                 xpath_number_value(sval))
+            )
+            tag_counts[tag] += 1
+            depth_histogram[depth] += 1
+            tag_values.setdefault(tag, set()).add(sval)
+
+        self._purge_data_in_transaction(doc)
+        backend.executemany(
+            "INSERT INTO idx_sval VALUES (?, ?, ?, ?, ?, ?)", sval_rows
+        )
+        backend.executemany(
+            "INSERT INTO idx_paths VALUES (?, ?, ?)",
+            ((doc, pathid, path) for path, pathid in paths.items()),
+        )
+        backend.executemany(
+            "INSERT INTO idx_pathmap VALUES (?, ?, ?)",
+            (
+                (doc, pathid, node_id)
+                for node_id, pathid in node_path.items()
+            ),
+        )
+        return {
+            "node_count": len(rows),
+            "element_count": len(sval_rows),
+            "path_count": len(paths),
+            "max_depth": max_depth,
+            "tag_counts": tag_counts,
+            "depth_histogram": depth_histogram,
+            "distinct_counts": {
+                tag: len(values) for tag, values in tag_values.items()
+            },
+        }
+
+    # -- statistics rows ---------------------------------------------------
+
+    def _write_stats(self, doc: int, survey: dict, version: int) -> None:
+        """Replace *doc*'s statistics rows (txn caller-owned)."""
+        backend = self.store.backend
+        backend.execute("DELETE FROM idx_stats WHERE doc = ?", (doc,))
+        meta_rows = [
+            (doc, "meta", "present", "1"),
+            (doc, "meta", "stats_version", str(version)),
+            (doc, "meta", "node_count", str(survey["node_count"])),
+            (doc, "meta", "element_count",
+             str(survey["element_count"])),
+            (doc, "meta", "path_count", str(survey["path_count"])),
+            (doc, "meta", "max_depth", str(survey["max_depth"])),
+            (doc, "meta", "updates_since", "0"),
+        ]
+        meta_rows.extend(
+            (doc, "tag", tag, str(count))
+            for tag, count in survey["tag_counts"].items()
+        )
+        meta_rows.extend(
+            (doc, "distinct", tag, str(count))
+            for tag, count in survey["distinct_counts"].items()
+        )
+        meta_rows.extend(
+            (doc, "depth", str(depth), str(count))
+            for depth, count in survey["depth_histogram"].items()
+        )
+        backend.executemany(
+            "INSERT INTO idx_stats VALUES (?, ?, ?, ?)", meta_rows
+        )
+
+    def _read_meta(self, doc: int) -> dict[str, str]:
+        result = self.store.backend.execute(
+            "SELECT skey, value FROM idx_stats "
+            "WHERE doc = ? AND kind = 'meta'",
+            (doc,),
+        )
+        return {skey: value for skey, value in result.rows}
+
+    def _set_meta(self, doc: int, skey: str, value) -> None:
+        self.store.backend.execute(
+            "UPDATE idx_stats SET value = ? "
+            "WHERE doc = ? AND kind = 'meta' AND skey = ?",
+            (str(value), doc, skey),
+        )

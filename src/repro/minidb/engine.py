@@ -69,6 +69,7 @@ class MiniDb:
             ordpath_parent_bytes,
             ordpath_successor_bytes,
         )
+        from repro.core.pathmatch import path_match
 
         self.create_function("dewey_parent", dewey_parent_bytes)
         self.create_function("dewey_successor", dewey_successor_bytes)
@@ -78,6 +79,7 @@ class MiniDb:
         self.create_function("ordpath_successor", ordpath_successor_bytes)
         self.create_function("ordpath_depth", ordpath_depth_bytes)
         self.create_function("xpath_number", xpath_number_value)
+        self.create_function("path_match", path_match)
 
     def create_function(self, name: str, fn: Callable) -> None:
         """Register a scalar SQL function under *name* (lower-cased)."""

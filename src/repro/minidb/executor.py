@@ -574,12 +574,22 @@ class Compiler:
                 left=from_item.join_type == "left",
                 width=len(source.columns),
             )
-        # Derived table: materialised once per execution.
+        # Derived table: materialised once per execution — unless the
+        # subquery is correlated (it references an outer alias or any
+        # unqualified name, conservatively), in which case its rows
+        # depend on the current environment and must be recomputed per
+        # outer row.  Caching a correlated derived table would replay
+        # the first outer row's rows for every subsequent one.
         subplan = source
+        free_refs: set = set()
+        planner._collect_select_refs(
+            from_item.source.select, frozenset(), free_refs
+        )
         residual_fns = [self.compile_expr(c, scope) for c in conjuncts]
         return _JoinStep(
             alias=alias,
             subplan=subplan,  # type: ignore[arg-type]
+            correlated=bool(free_refs),
             residual_fns=residual_fns,
             on_fns=on_fns,
             left=from_item.join_type == "left",
@@ -673,6 +683,7 @@ class Compiler:
         _collect_aggregates(select, agg_nodes)
         slots: dict[int, int] = {}
         agg_arg_fns: list[Optional[ExprFn]] = []
+        agg_separators: list[str] = []
         for node in agg_nodes:
             slots[id(node)] = len(agg_arg_fns)
             if node.star:
@@ -681,6 +692,15 @@ class Compiler:
                 agg_arg_fns.append(
                     self.compile_expr(node.args[0], scope)
                 )
+            separator = ","
+            if node.name == "group_concat" and len(node.args) > 1:
+                sep_expr = node.args[1]
+                if not isinstance(sep_expr, Literal):
+                    raise ExecutionError(
+                        "group_concat separator must be a literal"
+                    )
+                separator = str(sep_expr.value)
+            agg_separators.append(separator)
 
         post = _PostAggregateCompiler(self, scope, slots)
         columns: list[str] = []
@@ -732,8 +752,8 @@ class Compiler:
             out = []
             for _key, group_envs in groups.items():
                 accumulators = [
-                    make_aggregate(node.name, node.star)
-                    for node in agg_nodes
+                    make_aggregate(node.name, node.star, separator)
+                    for node, separator in zip(agg_nodes, agg_separators)
                 ]
                 for e in group_envs:
                     for accumulator, arg_fn in zip(
@@ -992,6 +1012,7 @@ class _JoinStep:
     alias: str
     table: Optional[HeapTable] = None
     subplan: Optional["CompiledSelect"] = None
+    correlated: bool = False  # derived table references outer aliases
     index: Optional[object] = None  # TableIndex
     eq_fns: list[ExprFn] = field(default_factory=list)
     in_fns: Optional[list[ExprFn]] = None
@@ -1040,6 +1061,12 @@ class _JoinStep:
         self, env: Env, state: ExecState
     ) -> Iterator[tuple[Optional[int], tuple]]:
         if self.subplan is not None:
+            if self.correlated:
+                # Rows depend on the current outer environment: never
+                # serve one outer row's materialisation to another.
+                for row in self.subplan.rows(env, state):
+                    yield None, row
+                return
             cache_key = id(self)
             rows = state.derived_cache.get(cache_key)
             if rows is None:

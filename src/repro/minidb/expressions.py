@@ -115,9 +115,15 @@ BUILTIN_SCALARS: dict[str, Callable[..., SqlValue]] = {
 class Aggregate:
     """Incremental aggregate computation over a group."""
 
-    def __init__(self, kind: str, distinct: bool = False) -> None:
+    def __init__(
+        self,
+        kind: str,
+        distinct: bool = False,
+        separator: str = ",",
+    ) -> None:
         self.kind = kind
         self.distinct = distinct
+        self.separator = separator
         self._values: list[SqlValue] = []
         self._seen: set = set()
         self._count = 0
@@ -149,16 +155,28 @@ class Aggregate:
             return min(self._values, key=sort_key)
         if self.kind == "max":
             return max(self._values, key=sort_key)
+        if self.kind == "group_concat":
+            # Like SQLite: NULLs skipped (in add()), concatenation in
+            # arrival order, NULL when no non-NULL value was seen.
+            return self.separator.join(
+                v if isinstance(v, str) else _stringify(v)
+                for v in self._values
+            )
         raise ExecutionError(f"unknown aggregate {self.kind!r}")
 
 
 #: Aggregate names as they appear in parsed FunctionExpr nodes.
 AGGREGATE_NAMES = frozenset(
-    {"count", "sum", "avg", "min", "max", "count distinct", "total"}
+    {
+        "count", "sum", "avg", "min", "max", "count distinct", "total",
+        "group_concat",
+    }
 )
 
 
-def make_aggregate(name: str, star: bool) -> Aggregate:
+def make_aggregate(
+    name: str, star: bool, separator: str = ","
+) -> Aggregate:
     """Create an aggregate accumulator for a parsed function name."""
     if name == "count" and star:
         return Aggregate("count_star")
@@ -166,6 +184,8 @@ def make_aggregate(name: str, star: bool) -> Aggregate:
         return Aggregate("count", distinct=True)
     if name == "total":
         return Aggregate("sum")
+    if name == "group_concat":
+        return Aggregate("group_concat", separator=separator)
     return Aggregate(name)
 
 

@@ -128,7 +128,8 @@ class CrashFailure:
     #: invariant | atomicity | determinism | replay | transient | crash
     kind: str
     detail: str
-    #: "ops" = per-operation harness, "writer" = writer-crash harness.
+    #: "ops" = per-operation harness, "writer" = writer-crash harness,
+    #: "migrate" = migration sweep, "index" = index-lifecycle sweep.
     mode: str = "ops"
 
     def repro_command(self) -> str:
@@ -145,6 +146,13 @@ class CrashFailure:
                 f"repro crashtest --migrate --seeds 1 "
                 f"--base-seed {self.seed} "
                 f"--encodings {encodings} --backends {self.backend} "
+                "--sweep"
+            )
+        if self.mode == "index":
+            return (
+                f"repro crashtest --index --seeds 1 "
+                f"--base-seed {self.seed} --gaps {self.gap} "
+                f"--encodings {self.encoding} --backends {self.backend} "
                 "--sweep"
             )
         return (
@@ -543,6 +551,11 @@ def _run_transient_stream(
                 f"{type(exc).__name__}: {exc}",
             )
 
+    # The stream is over; the audit and the twin comparison are
+    # measurements, not part of the faulted workload — they run
+    # directly on the backend (no retry), so the plan must be disarmed
+    # or a late fault would surface as a spurious audit error.
+    injected.arm(None)
     detail = _audit_detail(faulty, doc)
     if detail is not None:
         return failure(config.ops, "end of stream", "invariant", detail)
@@ -784,6 +797,234 @@ def _run_migration_cell(
             0, "replay",
             "final migration diverged from the measured post state",
         )
+    return None
+
+
+# -- index-lifecycle crash harness (create/drop atomicity) ----------------
+
+
+def _index_signature(store: XmlStore, doc: int) -> Optional[tuple]:
+    """The complete durable index state of *doc*, or ``None`` if absent.
+
+    Sorted full contents of every ``idx_*`` table: a crashed create or
+    drop must recover to exactly one of the two signatures — never a
+    populated value index without its path dictionary, or statistics
+    without rows.
+    """
+    if not store.indexes.exists(doc):
+        return None
+    return tuple(
+        tuple(sorted(store.backend.execute(
+            f"SELECT * FROM {table} WHERE doc = ?", (doc,)
+        ).rows))
+        for table in ("idx_sval", "idx_paths", "idx_pathmap", "idx_stats")
+    )
+
+
+def run_index_crashtest(
+    config: CrashTestConfig,
+    workdir: Optional[Union[str, Path]] = None,
+) -> CrashTestReport:
+    """Crash index creates and drops at sampled statement boundaries.
+
+    Per ``(seed, gap, backend, encoding)`` cell the harness loads a
+    seeded document (plus a couple of seeded updates, so the string
+    values and path dictionary are non-trivial), measures a full
+    ``indexes.create`` on a scratch clone, then kills the store at each
+    crash point mid-create, reopens, and asserts the document audits
+    clean, the node tables are untouched, and the recovered index is
+    either **absent or byte-identical to the measured complete index**
+    — never partial.  A second phase does the same for ``drop`` from a
+    fully indexed baseline: recovery must land on exactly the complete
+    or the empty index state.
+    """
+    report = CrashTestReport()
+    for seed, gap, backend_name, encoding in config.cells():
+        report.cells += 1
+        with tempfile.TemporaryDirectory(
+            dir=None if workdir is None else str(workdir),
+            prefix="index-crash-",
+        ) as cell_dir:
+            cell_failure = _run_index_cell(
+                config, seed, gap, backend_name, encoding,
+                Path(cell_dir), report,
+            )
+        if cell_failure is not None:
+            report.failures.append(cell_failure)
+    return report
+
+
+def _index_crash_points(
+    config: CrashTestConfig, seed: int, salt: int, statements: int
+) -> list[int]:
+    if config.crashes_per_op <= 0 or config.crashes_per_op >= statements:
+        return list(range(1, statements + 1))
+    crash_rng = random.Random(seed * 104729 + salt)
+    return sorted(
+        crash_rng.sample(range(1, statements + 1), config.crashes_per_op)
+    )
+
+
+def _run_index_cell(
+    config: CrashTestConfig,
+    seed: int,
+    gap: int,
+    backend_name: str,
+    encoding: str,
+    workdir: Path,
+    report: CrashTestReport,
+) -> Optional[CrashFailure]:
+    def failure(crash_at, op, kind, detail) -> CrashFailure:
+        return CrashFailure(
+            seed=seed, gap=gap, backend=backend_name, encoding=encoding,
+            op_index=1, crash_at=crash_at, op=op, kind=kind,
+            detail=detail, mode="index",
+        )
+
+    medium = _medium(backend_name, workdir, encoding, gap)
+    document = random_document(
+        seed, max_depth=config.max_depth,
+        max_children=config.max_children,
+    )
+
+    # Durable baseline: document + two seeded updates, unindexed.
+    # Mode is pinned to auto: under REPRO_INDEX=on the load itself
+    # would build the index and the unindexed baseline would not be.
+    rng = random.Random(seed * 6389 + 17)
+    store, _ = medium.open()
+    store.indexes.force_mode = "auto"
+    doc = store.load(document)
+    for _ in range(2):
+        op = plan_operation(rng, store, doc)
+        apply_operation(store, doc, op)
+    medium.checkpoint(store, rng, 0.0)
+    pre_doc = _state(store, doc)
+    detail = _audit_detail(store, doc)
+    medium.close(store)
+    if detail is not None:
+        return failure(0, "baseline", "invariant", detail)
+    medium.save_baseline()
+
+    # Measure a clean create on a scratch clone.
+    scratch, counter = medium.open_clone()
+    scratch.indexes.create(doc)
+    statements = counter.statements_executed
+    post_sig = _index_signature(scratch, doc)
+    medium.close(scratch)
+    report.operations += 1
+    if post_sig is None:
+        return failure(0, "create index", "replay",
+                       "clean create left no index behind")
+
+    for crash_at in _index_crash_points(config, seed, 37, statements):
+        medium.restore_baseline()
+        store, injector = medium.open()
+        injector.arm(FaultPlan(crash_at_statement=crash_at))
+        crashed = False
+        try:
+            store.indexes.create(doc)
+        except SimulatedCrash:
+            crashed = True
+        report.crashes += 1
+        if not crashed:
+            return failure(
+                crash_at, "create index", "determinism",
+                f"crash point {crash_at} <= measured statement count "
+                f"{statements} but the create completed",
+            )
+        recovered, _ = medium.open()
+        detail = _audit_detail(recovered, doc)
+        if detail is not None:
+            medium.close(recovered)
+            return failure(crash_at, "create index", "invariant", detail)
+        state = _state(recovered, doc)
+        sig = _index_signature(recovered, doc)
+        medium.close(recovered)
+        report.recoveries += 1
+        if state != pre_doc:
+            return failure(
+                crash_at, "create index", "atomicity",
+                "a crashed index create changed the node tables",
+            )
+        if sig is not None and sig != post_sig:
+            return failure(
+                crash_at, "create index", "atomicity",
+                "recovered index is neither absent nor identical to "
+                "the complete index",
+            )
+
+    # Build the index for real: the durable state must land on post.
+    medium.restore_baseline()
+    store, _ = medium.open()
+    store.indexes.create(doc)
+    medium.checkpoint(store, rng, 0.0)
+    pre_sig = _index_signature(store, doc)
+    medium.close(store)
+    if pre_sig != post_sig:
+        return failure(0, "create index", "replay",
+                       "real create diverged from the measured clone")
+    medium.save_baseline()
+
+    # Phase 2: crash drops from the fully indexed baseline.
+    scratch, counter = medium.open_clone()
+    scratch.indexes.drop(doc)
+    statements = counter.statements_executed
+    drop_sig = _index_signature(scratch, doc)
+    medium.close(scratch)
+    report.operations += 1
+    if drop_sig is not None:
+        return failure(0, "drop index", "replay",
+                       "clean drop left index rows behind")
+
+    for crash_at in _index_crash_points(config, seed, 53, statements):
+        medium.restore_baseline()
+        store, injector = medium.open()
+        injector.arm(FaultPlan(crash_at_statement=crash_at))
+        crashed = False
+        try:
+            store.indexes.drop(doc)
+        except SimulatedCrash:
+            crashed = True
+        report.crashes += 1
+        if not crashed:
+            return failure(
+                crash_at, "drop index", "determinism",
+                f"crash point {crash_at} <= measured statement count "
+                f"{statements} but the drop completed",
+            )
+        recovered, _ = medium.open()
+        detail = _audit_detail(recovered, doc)
+        if detail is not None:
+            medium.close(recovered)
+            return failure(crash_at, "drop index", "invariant", detail)
+        state = _state(recovered, doc)
+        sig = _index_signature(recovered, doc)
+        medium.close(recovered)
+        report.recoveries += 1
+        if state != pre_doc:
+            return failure(
+                crash_at, "drop index", "atomicity",
+                "a crashed index drop changed the node tables",
+            )
+        if sig is not None and sig != pre_sig:
+            return failure(
+                crash_at, "drop index", "atomicity",
+                "recovered index is neither complete nor fully dropped",
+            )
+
+    # Drop for real; durably absent afterwards.
+    medium.restore_baseline()
+    store, _ = medium.open()
+    store.indexes.drop(doc)
+    medium.checkpoint(store, rng, 0.0)
+    sig = _index_signature(store, doc)
+    detail = _audit_detail(store, doc)
+    medium.close(store)
+    if detail is not None:
+        return failure(0, "drop index", "invariant", detail)
+    if sig is not None:
+        return failure(0, "drop index", "replay",
+                       "real drop left index rows behind")
     return None
 
 

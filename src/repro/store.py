@@ -37,7 +37,7 @@ from repro.cache import StoreCache, cache_enabled_from_env
 from repro.core.dewey import DeweyKey
 from repro.obs import METRICS, slow_log, span
 from repro.core.encodings import OrderEncoding, get_encoding
-from repro.core.schema import SHADOW_PREFIX, documents_table
+from repro.core.schema import SHADOW_PREFIX, documents_table, index_tables
 from repro.core.shredder import ShreddedDocument, shred
 from repro.core.translator import (
     TranslatedQuery,
@@ -193,9 +193,13 @@ class XmlStore:
         self._migration_epoch = 0
         self._create_schema()
         from repro.core.updates import UpdateManager
+        from repro.index import IndexManager
 
         #: Ordered update operations (insert/delete with renumbering).
         self.updates = UpdateManager(self)
+        #: Per-document secondary indexes and catalog statistics
+        #: (see :mod:`repro.index`); ``REPRO_INDEX`` gates their use.
+        self.indexes = IndexManager(self)
 
     # -- schema ----------------------------------------------------------
 
@@ -204,6 +208,11 @@ class XmlStore:
         for statement in (
             *self.encoding.create_statements(if_not_exists),
             *self._docs_table.create_statements(if_not_exists),
+            *(
+                stmt
+                for table in index_tables()
+                for stmt in table.create_statements(if_not_exists)
+            ),
         ):
             try:
                 self.backend.execute(statement)
@@ -463,6 +472,9 @@ class XmlStore:
 
             with span("bulk_insert"):
                 doc_id = self.transactionally(load_in_transaction)
+            if self.indexes.auto_create():
+                with span("index"):
+                    self.indexes.create(doc_id)
             with span("analyze"):
                 self.backend.analyze()
             METRICS.inc("load.documents")
@@ -549,6 +561,7 @@ class XmlStore:
             self.backend.execute(
                 "DELETE FROM documents WHERE doc = ?", (doc,)
             )
+            self.indexes.purge_in_transaction(doc)
             return max(nodes.rowcount, 0) + max(attrs.rowcount, 0)
 
         return self.transactionally(drop_in_transaction)
@@ -585,37 +598,61 @@ class XmlStore:
         shaped, shape_key, literals = _parse_and_extract(xpath)
         cache = self.cache
         if not cache.enabled or self._in_own_transaction():
-            plan = self._compile_uncached(shaped, doc)
+            ictx = self.indexes.context(doc)
+            plan = self._compile_uncached(shaped, doc, ictx)
+            self._note_access_path(plan, xpath, ictx is not None)
             return plan.bind(doc, context_id, literals)
+        ictx = self.indexes.context(doc)
+        fingerprint = None if ictx is None else ictx.fingerprint
         epoch = cache.current_epoch()
         info = self.document_info(doc)
         encoding_name = info.encoding or self.encoding.name
         depth = max(info.max_depth, 2)
         dialect = self.backend.dialect
-        key = (dialect, encoding_name, shape_key, depth)
+        key = (dialect, encoding_name, shape_key, depth, fingerprint)
         plan = cache.get_plan(key)
         if plan is None:
             translator = make_translator(encoding_name, max_depth=depth)
-            plan = translator.compile(shaped, dialect=dialect)
+            plan = translator.compile(shaped, dialect=dialect, index=ictx)
             cache.put_plan(key, plan, epoch)
         else:
             METRICS.inc("translate.plan_shared")
+        self._note_access_path(plan, xpath, ictx is not None)
         return plan.bind(doc, context_id, literals)
+
+    def _note_access_path(
+        self, plan, xpath: str, indexed: bool
+    ) -> None:
+        """Record the chosen access path (and missed opportunities).
+
+        ``index.miss`` feeds the advisor: an indexable-looking query
+        compiled for a document without an index (mode permitting).
+        """
+        METRICS.inc(f"translate.access.{plan.access_path}")
+        if not indexed and self.indexes.mode() != "off":
+            from repro.index import is_indexable_xpath
+
+            if is_indexable_xpath(xpath):
+                METRICS.inc("index.miss")
 
     def _translate_uncached(
         self, xpath: str, doc: int, context_id: Optional[int] = None
     ) -> TranslatedQuery:
         shaped, _shape_key, literals = _parse_and_extract(xpath)
-        plan = self._compile_uncached(shaped, doc)
+        plan = self._compile_uncached(
+            shaped, doc, self.indexes.context(doc)
+        )
         return plan.bind(doc, context_id, literals)
 
-    def _compile_uncached(self, shaped, doc: int):
+    def _compile_uncached(self, shaped, doc: int, index=None):
         info = self.document_info(doc)
         translator = make_translator(
             info.encoding or self.encoding.name,
             max_depth=max(info.max_depth, 2),
         )
-        return translator.compile(shaped, dialect=self.backend.dialect)
+        return translator.compile(
+            shaped, dialect=self.backend.dialect, index=index
+        )
 
     def query(
         self, xpath: str, doc: int, context_id: Optional[int] = None
@@ -694,6 +731,13 @@ class XmlStore:
             result = self._execute_plan(translated)
         rows = result.rows
         METRICS.inc("query.rows", len(rows))
+        if translated.access_path != "scan":
+            # Estimated-vs-actual feedback for the cost model: the two
+            # counters drift apart exactly when statistics go stale.
+            METRICS.inc("index.plan_queries")
+            if translated.est_rows is not None:
+                METRICS.inc("index.est_rows", int(translated.est_rows))
+                METRICS.inc("index.actual_rows", len(rows))
         if translated.result_kind == "attribute":
             with span("materialize", collect):
                 items, owner_ids = self._attribute_items(rows)

@@ -23,6 +23,7 @@ import pytest
 
 from repro.core.translator import make_translator
 from repro.core.translator.shape import extract_shape
+from repro.index import IndexContext
 from repro.xpath import parse_xpath
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_sql.json"
@@ -89,12 +90,55 @@ LOCAL_OVERRIDES = {
 }
 
 
+#: Synthetic catalog statistics large enough that every indexable query
+#: in the corpus lands on the index side of the cost crossover — the
+#: snapshots pin the *plan shape*, the crossover itself is pinned by
+#: the cost-model unit tests.
+INDEX_STATS = IndexContext(
+    doc=1, stats_version=3, node_count=100_000, element_count=60_000,
+    max_depth=6, path_count=40, updates_since=0,
+    tag_counts={"bib": 1, "book": 2_000, "title": 2_000,
+                "author": 3_000, "price": 2_000},
+    distinct_counts={"book": 1, "title": 1_800, "author": 900,
+                     "price": 400},
+)
+
+#: Indexable corpus: structural paths (path index), value predicates
+#: (value index), and one positional query that must stay a scan even
+#: with indexes available.
+INDEX_SNAPSHOT_QUERIES = (
+    "/bib/book/title",
+    "/bib//title",
+    "//price",
+    "/bib/book[author = 'Smith']/title",
+    "/bib/book[price < 10]",
+    "/bib/book[2]",
+)
+
+
 def snapshot_sql(encoding: str) -> dict:
     translator = make_translator(encoding, MAX_DEPTH)
     return {
         xpath: translator.translate(xpath, doc=1).sql
         for xpath in SNAPSHOT_QUERIES
     }
+
+
+def snapshot_index_plans(encoding: str) -> dict:
+    """Access-path choice, index names, and SQL under INDEX_STATS."""
+    translator = make_translator(encoding, MAX_DEPTH)
+    out = {}
+    for xpath in INDEX_SNAPSHOT_QUERIES:
+        shaped, _literals = extract_shape(parse_xpath(xpath))
+        plan = translator.compile(
+            shaped, dialect="sqlite", index=INDEX_STATS
+        )
+        out[xpath] = {
+            "access_path": plan.access_path,
+            "index_names": list(plan.index_names),
+            "sql": plan.sql,
+        }
+    return out
 
 
 class TestGoldenSql:
@@ -125,6 +169,58 @@ class TestGoldenSql:
                 assert literal not in sql, (xpath, literal)
 
 
+class TestGoldenIndexPlans:
+    @pytest.fixture(scope="class")
+    def golden(self) -> dict:
+        payload = json.loads(GOLDEN_PATH.read_text())
+        assert "index_plans" in payload, (
+            "index-plan snapshots missing; regenerate with "
+            "PYTHONPATH=src python tests/test_golden_sql.py --regen"
+        )
+        return payload["index_plans"]
+
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    def test_index_plans_match_golden(self, golden, encoding):
+        got = snapshot_index_plans(encoding)
+        want = golden[encoding]
+        assert set(got) == set(want)
+        for xpath in INDEX_SNAPSHOT_QUERIES:
+            assert got[xpath] == want[xpath], (
+                f"{encoding}: index plan drifted for {xpath!r}; if "
+                "intentional, regenerate tests/data/golden_sql.json"
+            )
+
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    def test_expected_access_paths(self, golden, encoding):
+        """Under INDEX_STATS the corpus splits exactly as designed:
+        structural paths use the path index, value predicates the
+        value index, and the positional query stays a scan."""
+        plans = golden[encoding]
+        assert plans["/bib/book/title"]["access_path"] == "path-index"
+        assert plans["/bib//title"]["access_path"] == "path-index"
+        assert plans["//price"]["access_path"] == "path-index"
+        assert plans["/bib/book[author = 'Smith']/title"][
+            "access_path"] == "value-index"
+        assert plans["/bib/book[price < 10]"][
+            "access_path"] == "value-index"
+        assert plans["/bib/book[2]"]["access_path"] == "scan"
+        for xpath, plan in plans.items():
+            if plan["access_path"] == "scan":
+                assert plan["index_names"] == [], xpath
+            else:
+                assert plan["index_names"], xpath
+
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    def test_no_literals_in_index_plans(self, golden, encoding):
+        # Neither predicate literals nor the path-match pattern may be
+        # embedded in the SQL text: both arrive as bound parameters, so
+        # the plan cache can share one plan across literal values.
+        for xpath, plan in golden[encoding].items():
+            sql = plan["sql"]
+            for literal in ("Smith", "'10'", "'/bib", "'//"):
+                assert literal not in sql, (xpath, literal)
+
+
 class TestDialectParity:
     @pytest.mark.parametrize("encoding", ENCODINGS)
     def test_minidb_statement_equals_parsed_text(self, encoding):
@@ -139,6 +235,30 @@ class TestDialectParity:
             plan = translator.compile(shaped, dialect="minidb")
             assert plan.statement is not None, xpath
             assert plan.statement == parse_sql(plan.sql), xpath
+
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    def test_minidb_index_plans_equal_parsed_text(self, encoding):
+        """Dialect parity holds for index-rewritten plans too, and both
+        dialects make the same access-path choice from the same
+        statistics — the cost decision lives in the translator, not
+        the engine."""
+        from repro.minidb.sql_parser import parse_sql
+
+        translator = make_translator(encoding, MAX_DEPTH)
+        for xpath in INDEX_SNAPSHOT_QUERIES:
+            shaped, _literals = extract_shape(parse_xpath(xpath))
+            sqlite_plan = translator.compile(
+                shaped, dialect="sqlite", index=INDEX_STATS
+            )
+            minidb_plan = translator.compile(
+                shaped, dialect="minidb", index=INDEX_STATS
+            )
+            assert minidb_plan.access_path == sqlite_plan.access_path
+            assert minidb_plan.index_names == sqlite_plan.index_names
+            assert minidb_plan.statement is not None, xpath
+            assert minidb_plan.statement == parse_sql(
+                minidb_plan.sql
+            ), xpath
 
 
 class TestStatsBaseline:
@@ -167,6 +287,9 @@ if __name__ == "__main__":
     if "--regen" in sys.argv:
         GOLDEN_PATH.parent.mkdir(exist_ok=True)
         payload = {enc: snapshot_sql(enc) for enc in ENCODINGS}
+        payload["index_plans"] = {
+            enc: snapshot_index_plans(enc) for enc in ENCODINGS
+        }
         GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {GOLDEN_PATH}")
     else:

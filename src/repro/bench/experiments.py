@@ -1141,6 +1141,16 @@ def run_e18_indexing(
     measures that).  Each cell also byte-compares the two stores'
     answers on the full mix: the index rewrite must be
     answer-preserving, so mismatches must be zero.
+
+    An update-heavy phase then bursts structural updates (text
+    rewrites plus subtree inserts) at two *indexed* twins of the same
+    document — one maintaining incrementally from each op's touched
+    set, one eagerly rebuilding every ``idx_*`` row — timing both and
+    byte-comparing their index tables afterwards.  The maintenance
+    speedup is the tentpole claim: repair cost tracks the touched
+    rows, not the document, so incremental must beat eager by at
+    least 2x on a large document (any table divergence counts into
+    the mismatches column).
     """
     from repro.cache import StoreCache
 
@@ -1164,7 +1174,8 @@ def run_e18_indexing(
         "Secondary indexes: deep // and value predicates, "
         "indexed vs unindexed",
         ("backend", "encoding", "unindexed q/s", "indexed q/s",
-         "speedup", "access paths", "mismatches"),
+         "speedup", "access paths", "incr upd/s", "eager upd/s",
+         "maint speedup", "mismatches"),
     )
 
     def run_mix(store: XmlStore, doc: int) -> int:
@@ -1173,6 +1184,55 @@ def run_e18_indexing(
             store.query(xpath, doc)
             answered += 1
         return answered
+
+    #: Update burst of the maintenance phase: op k rewrites the text
+    #: of a product's first child, every third op inserts a review
+    #: subtree instead.  Expressed against surrogate ids, which both
+    #: twins assign identically.
+    burst_ops = 24
+
+    def plan_burst(store: XmlStore, doc: int) -> list[tuple]:
+        catalog = store.fetch_children(doc, 0)[0]
+        product_ids = [
+            child["id"]
+            for child in store.fetch_children(doc, catalog["id"])
+            if child["kind"] == "elem"
+        ]
+        ops: list[tuple] = []
+        for k in range(burst_ops):
+            product = product_ids[(k * 37) % len(product_ids)]
+            if k % 3 == 0:
+                ops.append((
+                    "insert", product,
+                    f'<review rating="{k}"><warranty>{k}</warranty>'
+                    f"</review>",
+                ))
+            else:
+                first = next(
+                    child
+                    for child in store.fetch_children(doc, product)
+                    if child["kind"] == "elem"
+                )
+                ops.append(("set_text", first["id"], f"v{k}"))
+        return ops
+
+    def run_burst(store: XmlStore, doc: int, ops: list[tuple]) -> float:
+        started = time.perf_counter()
+        for op in ops:
+            if op[0] == "insert":
+                store.updates.insert(doc, op[1], 0, op[2])
+            else:
+                store.updates.set_text(doc, op[1], op[2])
+        return time.perf_counter() - started
+
+    def index_tables(store: XmlStore, doc: int) -> tuple:
+        return tuple(
+            tuple(sorted(store.backend.execute(
+                f"SELECT * FROM {t} WHERE doc = ?", (doc,)
+            ).rows))
+            for t in ("idx_sval", "idx_paths", "idx_pathmap",
+                      "idx_stats")
+        )
 
     for backend in backends:
         for name in (*ENCODING_NAMES, "ordpath"):
@@ -1218,6 +1278,35 @@ def run_e18_indexing(
             speedup = (
                 rates[indexed] / rates[plain] if rates[plain] else 0.0
             )
+
+            # Update-heavy phase: identical burst at an incremental
+            # and an eager indexed twin, then byte-compare the tables.
+            incr = XmlStore(
+                backend=backend, encoding=name, index_incremental=True
+            )
+            eager = XmlStore(
+                backend=backend, encoding=name, index_incremental=False
+            )
+            for store in (incr, eager):
+                store.cache = StoreCache(enabled=True, result_capacity=0)
+                store.indexes.force_mode = "on"
+            doc_n = incr.load(document)
+            doc_e = eager.load(document)
+            ops = plan_burst(incr, doc_n)
+            incr_elapsed = run_burst(incr, doc_n, ops)
+            eager_elapsed = run_burst(eager, doc_e, ops)
+            if index_tables(incr, doc_n) != index_tables(eager, doc_e):
+                mismatches += 1
+            incr_rate = (
+                burst_ops / incr_elapsed if incr_elapsed else 0.0
+            )
+            eager_rate = (
+                burst_ops / eager_elapsed if eager_elapsed else 0.0
+            )
+            maint_speedup = (
+                incr_rate / eager_rate if eager_rate else 0.0
+            )
+
             table.add_row(
                 backend,
                 name,
@@ -1225,15 +1314,23 @@ def run_e18_indexing(
                 round(rates[indexed], 1),
                 round(speedup, 2),
                 "+".join(paths),
+                round(incr_rate, 1),
+                round(eager_rate, 1),
+                round(maint_speedup, 2),
                 mismatches,
             )
             indexed.close()
             plain.close()
+            incr.close()
+            eager.close()
     table.add_note(
         f"{products}-product catalogue, {repeat} passes of "
         f"{len(queries)} queries ({len(deep_queries)} deep descents, "
         f"{len(value_queries)} value predicates); result caching off "
-        "on both stores so the comparison isolates the access path."
+        "on both stores so the comparison isolates the access path. "
+        f"Maintenance phase: {burst_ops}-op structural burst at an "
+        "incremental-maintenance twin vs an eager-rebuild twin, index "
+        "tables byte-compared afterwards."
     )
     return table
 

@@ -89,7 +89,11 @@ EXPECTED_SHAPES = {
            "byte-identical answers; the win is largest for Local "
            "(whose unindexed descents pay depth-expansion joins) and "
            "smallest for Global (whose pos/endpos range scan is "
-           "already one predicate).",
+           "already one predicate).  On the update-heavy burst, "
+           "incremental maintenance from the touched set sustains at "
+           "least 2x the eager rebuild-everything rate while leaving "
+           "byte-identical index tables — repair cost tracks the "
+           "touched rows, not the document.",
 }
 
 
@@ -255,11 +259,13 @@ def compute_verdicts(
             "E18",
             "Indexed >= 2x unindexed on the deep-descent and "
             "value-predicate mix for every encoding on both backends, "
-            "both index kinds used, zero mismatches",
+            "both index kinds used, incremental maintenance >= 2x the "
+            "eager rebuild on the update burst, zero mismatches",
             all(
                 r[4] >= 2.0
                 and r[5] == "path-index+value-index"
-                and r[6] == 0
+                and r[8] >= 2.0
+                and r[9] == 0
                 for r in t.rows
             )
             and {r[0] for r in t.rows} == {"sqlite", "minidb"},

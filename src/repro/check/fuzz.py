@@ -96,6 +96,11 @@ class FuzzConfig:
     #: fire, and require byte-identical results after every check
     #: round — the planner may only change access paths, never answers.
     index_twin: bool = False
+    #: Update-heavy round mix: bias the op stream toward structural
+    #: churn (subtree inserts, deletes, text rewrites) and away from
+    #: attribute tweaks — the mix that exercises incremental index
+    #: maintenance's touched-set repair and its fallback path hardest.
+    update_heavy: bool = False
     #: Live-migration mode: while the seeded update/query stream runs,
     #: a background thread migrates the document to the next encoding
     #: (``batch_size=1`` to stretch the copy window).  Every query must
@@ -130,6 +135,9 @@ class FuzzFailure:
     #: cache-twin | index-twin | crash
     kind: str
     detail: str
+    #: The cell ran the update-heavy op mix (changes the op stream, so
+    #: the repro command must carry it).
+    update_heavy: bool = False
 
     def repro_command(self) -> str:
         """A CLI line that replays exactly this cell, checking every op."""
@@ -138,6 +146,8 @@ class FuzzFailure:
             flags += " --cache-twin"
         if self.kind == "index-twin":
             flags += " --index-twin"
+        if self.update_heavy:
+            flags += " --update-heavy"
         encoding = self.encoding
         if "->" in encoding:  # migrate-during cells record source->target
             flags += " --migrate-during"
@@ -286,13 +296,20 @@ def indexable_xpath(rng: random.Random) -> str:
     return f"/{tag}//{other}[{rng.choice(_TAGS)} {op} {rng.randint(0, 99)}]"
 
 
-def plan_operation(rng: random.Random, reference: XmlStore, doc: int) -> dict:
+def plan_operation(
+    rng: random.Random,
+    reference: XmlStore,
+    doc: int,
+    update_heavy: bool = False,
+) -> dict:
     """Decide the next operation from the reference store's structure.
 
     The plan is expressed in surrogate ids, which are assigned
     identically by every store in the cell, so one plan applies to all.
     (Also reused by :mod:`repro.robust.crashtest`, which replays the
-    same seeded streams under injected crashes.)
+    same seeded streams under injected crashes.)  *update_heavy* biases
+    the mix toward structural churn (see
+    :attr:`FuzzConfig.update_heavy`).
     """
     columns = reference.encoding.node_columns()
     result = reference.backend.execute(
@@ -304,11 +321,18 @@ def plan_operation(rng: random.Random, reference: XmlStore, doc: int) -> dict:
     elements = sorted(r["id"] for r in rows if r["kind"] == "elem")
     deletable = sorted(r["id"] for r in rows if r["parent"] != 0)
 
-    choices = ["insert_elem", "insert_elem", "insert_elem",
-               "insert_text", "insert_text", "set_text", "rename",
-               "set_attr"]
-    if deletable:
-        choices += ["delete", "delete"]
+    if update_heavy:
+        choices = ["insert_elem", "insert_elem", "insert_elem",
+                   "insert_elem", "insert_text", "insert_text",
+                   "set_text", "set_text", "set_text", "rename"]
+        if deletable:
+            choices += ["delete", "delete", "delete", "delete"]
+    else:
+        choices = ["insert_elem", "insert_elem", "insert_elem",
+                   "insert_text", "insert_text", "set_text", "rename",
+                   "set_attr"]
+        if deletable:
+            choices += ["delete", "delete"]
     kind = rng.choice(choices)
 
     if kind == "delete":
@@ -577,6 +601,7 @@ def _run_cell(
                     seed=seed, gap=gap, backend=backend,
                     encoding=encoding, op_index=op_index,
                     op=op_describe, kind=kind, detail=detail,
+                    update_heavy=config.update_heavy,
                 )
             twin_entry = twins[index]
             if twin_entry is not None:
@@ -596,6 +621,7 @@ def _run_cell(
                         encoding=encoding, op_index=op_index,
                         op=op_describe, kind=twin_kind,
                         detail=detail,
+                        update_heavy=config.update_heavy,
                     )
             if reference_tree is None:
                 reference_tree = tree
@@ -607,7 +633,10 @@ def _run_cell(
         return failure
 
     for op_index in range(1, max_ops + 1):
-        op = plan_operation(rng, reference[2], reference[3])
+        op = plan_operation(
+            rng, reference[2], reference[3],
+            update_heavy=config.update_heavy,
+        )
         last_describe = op["describe"]
         costs: list[tuple[int, int]] = []
         for index, (backend, encoding, store, doc) in enumerate(stores):
@@ -622,6 +651,7 @@ def _run_cell(
                     encoding=encoding, op_index=op_index,
                     op=last_describe, kind="crash",
                     detail=f"{type(exc).__name__}: {exc}",
+                    update_heavy=config.update_heavy,
                 )
             costs.append((result.inserted, result.deleted))
         report.operations += 1
@@ -631,6 +661,7 @@ def _run_cell(
                 seed=seed, gap=gap, backend=backend, encoding=encoding,
                 op_index=op_index, op=last_describe,
                 kind="cost-mismatch",
+                update_heavy=config.update_heavy,
                 detail=(
                     "insert/delete counts diverge across stores: "
                     + ", ".join(
@@ -699,6 +730,7 @@ def _run_migrate_pair(
         return FuzzFailure(
             seed=seed, gap=gap, backend=backend, encoding=pair,
             op_index=op_index, op=op, kind=kind, detail=detail,
+            update_heavy=config.update_heavy,
         )
 
     migration_error: list[BaseException] = []
@@ -719,7 +751,9 @@ def _run_migrate_pair(
         for op_index in range(1, config.ops + 1):
             # Plan from the twin: its encoding is stable, so the
             # surrogate-id plan is identical for both stores.
-            op = plan_operation(rng, twin, twin_doc)
+            op = plan_operation(
+                rng, twin, twin_doc, update_heavy=config.update_heavy
+            )
             last_describe = op["describe"]
             try:
                 result = apply_operation(store, doc, op)

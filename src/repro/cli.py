@@ -352,10 +352,12 @@ def cmd_index(args: argparse.Namespace) -> int:
         if not args.auto or not recommendation.act:
             return 0
         for doc in recommendation.documents:
-            report = store.indexes.create(doc)
-            verb = ("refreshed statistics of"
-                    if recommendation.action == "refresh"
-                    else "indexed")
+            if recommendation.action == "refresh":
+                report = store.indexes.refresh_stats(doc)
+                verb = "refreshed statistics of"
+            else:
+                report = store.indexes.create(doc)
+                verb = "indexed"
             print(
                 f"{verb} document {doc}: {report['elements']} element "
                 f"value(s), {report['paths']} distinct path(s), "
@@ -446,6 +448,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         queries_per_check=args.queries_per_check,
         cache_twin=args.cache_twin,
         index_twin=args.index_twin,
+        update_heavy=args.update_heavy,
         migrate_during=args.migrate_during,
     )
     try:
@@ -1207,6 +1210,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pair every store (secondary indexes forced "
                         "on) with an indexes-off twin and require "
                         "byte-identical query results")
+    p.add_argument("--update-heavy", action="store_true",
+                   help="bias the op mix toward structural churn "
+                        "(subtree inserts, deletes, text rewrites) — "
+                        "the rounds that stress incremental index "
+                        "maintenance")
     p.add_argument("--migrate-during", action="store_true",
                    help="run a live encoding migration in the "
                         "background while fuzzing; every query must "

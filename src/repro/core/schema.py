@@ -245,6 +245,8 @@ def index_tables() -> tuple[Table, Table, Table, Table]:
                   ("doc", "parent", "tag", "sval")),
             Index("ix_idx_sval_str", "idx_sval", ("doc", "tag", "sval")),
             Index("ix_idx_sval_num", "idx_sval", ("doc", "tag", "nval")),
+            # Incremental maintenance repairs rows by surrogate id.
+            Index("ix_idx_sval_id", "idx_sval", ("doc", "id")),
         ),
     )
     paths = Table(
@@ -269,6 +271,8 @@ def index_tables() -> tuple[Table, Table, Table, Table]:
         (
             Index("ix_idx_pathmap", "idx_pathmap",
                   ("doc", "pathid", "id")),
+            # Incremental maintenance repairs rows by surrogate id.
+            Index("ix_idx_pathmap_id", "idx_pathmap", ("doc", "id")),
         ),
     )
     stats = Table(

@@ -27,7 +27,7 @@ benchmarks chart alongside wall-clock time.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Union
 
 from repro.core.dewey import DeweyKey
@@ -47,19 +47,49 @@ _ID_BATCH = 400
 
 @dataclass
 class UpdateReport:
-    """Cost accounting for one update operation."""
+    """Cost accounting for one update operation.
+
+    Beyond the row counts, a report carries the *touched set* the
+    secondary-index layer maintains itself from: ids whose ``idx_*``
+    rows must go away, subtree roots whose rows must be (re)shredded,
+    and the anchors whose ancestor chains need their aggregated
+    string-values recomputed.  Relabels are deliberately absent from
+    the touched set — index rows carry no order columns, so a
+    renumber never invalidates them (it only feeds the fallback
+    budget via :attr:`relabeled`).
+    """
 
     inserted: int = 0
     deleted: int = 0
     relabeled: int = 0
     value_updates: int = 0  # direct-text maintenance on the parent
     new_root_id: Optional[int] = None
+    # Touched-set accounting for incremental index maintenance.
+    removed_ids: list = field(default_factory=list)
+    reshred_roots: list = field(default_factory=list)
+    sval_anchors: list = field(default_factory=list)
+    # False signals the op could not account precisely for what it
+    # touched; the index layer then falls back to an eager rebuild.
+    index_exact: bool = True
 
     def rows_touched(self) -> int:
         return (
             self.inserted + self.deleted + self.relabeled
             + self.value_updates
         )
+
+    def absorb(self, other: "UpdateReport") -> None:
+        """Fold a nested operation's report into this one (compound
+        ops such as ``set_text``).  ``new_root_id`` is left alone — it
+        names the outer operation's own insertion, if any."""
+        self.inserted += other.inserted
+        self.deleted += other.deleted
+        self.relabeled += other.relabeled
+        self.value_updates += other.value_updates
+        self.removed_ids.extend(other.removed_ids)
+        self.reshred_roots.extend(other.reshred_roots)
+        self.sval_anchors.extend(other.sval_anchors)
+        self.index_exact = self.index_exact and other.index_exact
 
 
 class UpdateManager:
@@ -125,8 +155,12 @@ class UpdateManager:
             # Secondary-index maintenance rides the same transaction as
             # the update itself: a crash rolls both back together, so
             # the index can never be observed out of step with the node
-            # tables.  No-op for unindexed documents.
-            self.store.indexes.maintain_in_transaction(doc)
+            # tables.  No-op for unindexed documents.  The outermost
+            # report carries the update's touched set, which lets the
+            # index layer repair only the affected rows instead of
+            # rebuilding the document.
+            report = result if isinstance(result, UpdateReport) else None
+            self.store.indexes.maintain_in_transaction(doc, report)
             migration = self.store._migration
             if migration is not None and migration.doc == doc:
                 migration.journal.stage(entry)
@@ -228,6 +262,15 @@ class UpdateManager:
                 doc, parent_id, enc
             )
 
+        # Touched set: the new subtree needs index rows, and the
+        # ancestors of the insertion point need their aggregated
+        # string-values repaired (any text inside the fragment now
+        # contributes to them).
+        if report.new_root_id is not None:
+            report.reshred_roots.append(report.new_root_id)
+        if parent_id != 0:
+            report.sval_anchors.append(parent_id)
+
         info.node_count += shredded.node_count()
         parent_depth = parent_row["depth"] if parent_row else 0
         info.max_depth = max(
@@ -264,13 +307,8 @@ class UpdateManager:
             report = UpdateReport()
             for child in self.store.fetch_children(doc, element_id):
                 if child["kind"] == KIND_TEXT:
-                    child_report = self.delete(doc, child["id"])
-                    report.deleted += child_report.deleted
-                    report.value_updates += child_report.value_updates
-            insert_report = self.insert(doc, element_id, 0, Text(text))
-            report.inserted += insert_report.inserted
-            report.relabeled += insert_report.relabeled
-            report.value_updates += insert_report.value_updates
+                    report.absorb(self.delete(doc, child["id"]))
+            report.absorb(self.insert(doc, element_id, 0, Text(text)))
             return report
 
         with span("update.set_text"):
@@ -290,21 +328,28 @@ class UpdateManager:
             raise UpdateError(f"no node {element_id} in document {doc}")
         if row["kind"] != KIND_ELEMENT:
             raise UpdateError(f"node {element_id} is not an element")
+        def rename_in_transaction() -> UpdateReport:
+            # Resolve the table inside the transaction: the document
+            # may have migrated since the fetch above.
+            self.store.backend.execute(
+                f"UPDATE {self.store.node_table_for(doc)} "
+                f"SET tag = ? WHERE doc = ? AND id = ?",
+                (tag, doc, element_id),
+            )
+            report = UpdateReport(value_updates=1)
+            # The tag is part of every descendant's rooted path, so the
+            # whole subtree's index rows must be reshredded.  String
+            # values are unaffected — no sval anchor.
+            report.reshred_roots.append(element_id)
+            return report
+
         with span("update.rename"):
-            self.store.transactionally(
+            report = self.store.transactionally(
                 lambda: self._tracked(
-                    doc,
-                    ("rename", element_id, tag),
-                    # Resolve the table inside the transaction: the
-                    # document may have migrated since the fetch above.
-                    lambda: self.store.backend.execute(
-                        f"UPDATE {self.store.node_table_for(doc)} "
-                        f"SET tag = ? WHERE doc = ? AND id = ?",
-                        (tag, doc, element_id),
-                    ),
+                    doc, ("rename", element_id, tag), rename_in_transaction
                 )
             )
-        return self._record("renames", UpdateReport(value_updates=1))
+        return self._record("renames", report)
 
     def set_attribute(
         self, doc: int, element_id: int, name: str, value: Optional[str]
@@ -378,6 +423,13 @@ class UpdateManager:
                 report.value_updates += self._refresh_direct_text(
                     doc, parent_id, enc
                 )
+
+            # Touched set: every row of the subtree loses its index
+            # rows, and the former parent's ancestor chain loses the
+            # subtree's text contribution.
+            report.removed_ids.extend(subtree_ids)
+            if parent_id != 0:
+                report.sval_anchors.append(parent_id)
 
             info.node_count -= deleted
             self.store.update_document_info(info)

@@ -12,6 +12,10 @@ Three index families (see DESIGN.md, "Indexing"):
 ``REPRO_INDEX`` (``on`` / ``off`` / unset = ``auto``) is the escape
 hatch the differential plan-testing harness flips: index-on and
 index-off runs of the same query must return byte-identical results.
+``REPRO_INDEX_INCR`` (on unless ``off``) picks between incremental
+maintenance from each update's touched set and the eager
+rebuild-everything fallback; the two must produce byte-identical
+``idx_*`` tables.
 """
 
 from repro.index.advisor import (
@@ -30,13 +34,16 @@ from repro.index.cost import (
     estimate_value_matches,
 )
 from repro.index.manager import (
+    INCR_FALLBACK_FRACTION,
     STATS_REFRESH_THRESHOLD,
     IndexContext,
     IndexManager,
+    index_incremental_from_env,
     index_mode_from_env,
 )
 
 __all__ = [
+    "INCR_FALLBACK_FRACTION",
     "INDEX_PROBE_COST",
     "PATH_INDEX",
     "SCAN",
@@ -50,6 +57,7 @@ __all__ = [
     "choose_path_plan",
     "choose_value_plan",
     "estimate_value_matches",
+    "index_incremental_from_env",
     "index_mode_from_env",
     "is_indexable_xpath",
 ]

@@ -18,14 +18,26 @@ surrogate ``id``, so they are encoding-independent and index create /
 drop / maintenance is plain transactional DML — crash safety falls out
 of transaction rollback, with no DDL recovery path.
 
-Maintenance is *eager*: every update operation rebuilds the document's
-index rows inside the same transaction (the workloads are the paper's
-query-heavy ones, where correct-but-simple beats incremental).  The
-statistics refresh lazily: ``updates_since`` counts update operations
-since the last refresh, and crossing :data:`STATS_REFRESH_THRESHOLD`
-(or an explicit ``refresh_stats``) recomputes them and bumps the stats
-version — the component of the plan-cache fingerprint that keeps cost
-decisions aligned with the statistics that justified them.
+Maintenance is *incremental* by default: each update operation hands
+its touched set (removed ids, reshred subtree roots, string-value
+anchors — see :class:`repro.core.updates.UpdateReport`) down into the
+same transaction, and only those rows are repaired.  Index rows carry
+no order columns, so renumbering never invalidates them; relabels only
+feed the fallback budget.  Ops that invalidate more than
+:data:`INCR_FALLBACK_FRACTION` of the document (or that cannot account
+exactly for what they touched) fall back to the eager
+:meth:`IndexManager._rebuild_rows` full pass, and the whole incremental
+path sits behind the ``REPRO_INDEX_INCR=on|off`` hatch.  The path
+dictionary is append-only in both modes — path ids are stable across
+rebuilds, which is what makes incremental and eager maintenance produce
+byte-identical tables.
+
+The statistics refresh lazily: ``updates_since`` counts update
+operations since the last refresh, and crossing
+:data:`STATS_REFRESH_THRESHOLD` (or an explicit ``refresh_stats``)
+recomputes them and bumps the stats version — the component of the
+plan-cache fingerprint that keeps cost decisions aligned with the
+statistics that justified them.
 """
 
 from __future__ import annotations
@@ -45,8 +57,19 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Update operations between automatic statistics refreshes.
 STATS_REFRESH_THRESHOLD = 32
 
+#: Incremental maintenance falls back to an eager rebuild once an
+#: update invalidates more than this fraction of the document's rows
+#: (removed + reshredded) — past that point a single full pass is
+#: cheaper than piecewise repair.  Relabeled rows don't count: the
+#: idx_* tables carry no order columns, so renumbering never
+#: invalidates an index row.
+INCR_FALLBACK_FRACTION = 0.25
+
 _OFF_VALUES = frozenset({"off", "0", "false", "no", "disabled"})
 _ON_VALUES = frozenset({"on", "1", "true", "yes", "enabled"})
+
+#: Ids per ``IN (...)`` batch in incremental-maintenance DML.
+_ID_BATCH = 400
 
 
 def index_mode_from_env() -> str:
@@ -63,6 +86,17 @@ def index_mode_from_env() -> str:
     if value in _OFF_VALUES:
         return "off"
     return "auto"
+
+
+def index_incremental_from_env() -> bool:
+    """The ``REPRO_INDEX_INCR`` escape hatch: incremental maintenance
+    is on by default; ``off`` forces the eager full rebuild on every
+    update (the pre-incremental behaviour, kept as a safety valve and
+    as the differential twin for the equivalence tests)."""
+    value = os.environ.get("REPRO_INDEX_INCR", "").strip().lower()
+    if value in _OFF_VALUES:
+        return False
+    return True
 
 
 @dataclass(frozen=True)
@@ -111,6 +145,14 @@ class IndexManager:
         #: differential harnesses use it to pin one store of a twin
         #: pair to ``on`` and the other to ``off`` within one process.
         self.force_mode: Optional[str] = None
+        #: Per-store override of ``REPRO_INDEX_INCR``; the equivalence
+        #: tests pin one store of a twin pair to incremental and the
+        #: other to eager within one process.
+        self.force_incremental: Optional[bool] = None
+        #: Per-store override of :data:`INCR_FALLBACK_FRACTION`
+        #: (tests raise it to 1.0 to keep tiny documents on the
+        #: incremental path).
+        self.fallback_fraction: Optional[float] = None
         # context() memo: doc -> (cache epoch, IndexContext | None).
         self._contexts: dict[int, tuple[int, Optional[IndexContext]]] = {}
 
@@ -120,6 +162,12 @@ class IndexManager:
         if self.force_mode is not None:
             return self.force_mode
         return index_mode_from_env()
+
+    def incremental(self) -> bool:
+        """Is incremental maintenance enabled for this store?"""
+        if self.force_incremental is not None:
+            return self.force_incremental
+        return index_incremental_from_env()
 
     def auto_create(self) -> bool:
         """Should loads build the index implicitly (mode ``on``)?"""
@@ -184,28 +232,85 @@ class IndexManager:
             backend.execute(f"DELETE FROM {table} WHERE doc = ?", (doc,))
 
     def refresh_stats(self, doc: int) -> dict:
-        """Recompute *doc*'s statistics (and rows) unconditionally."""
-        return self.create(doc)
+        """Recompute *doc*'s statistics unconditionally.
+
+        A stats refresh surveys the live document and replaces only the
+        ``idx_stats`` rows — the data rows are already maintained by
+        every update and are left untouched (``create`` is the
+        rebuild-everything path, and is still used when no index exists
+        yet).  Counts ``index.stats_refreshed``, never
+        ``index.created``.
+        """
+        self.store.document_info(doc)  # raises StorageError if unknown
+        if not self.exists(doc):
+            return self.create(doc)
+
+        def refresh() -> dict:
+            survey = self._survey(doc)
+            meta = self._read_meta(doc)
+            version = int(meta.get("stats_version", 0)) + 1
+            self._write_stats(doc, survey, version)
+            return {
+                "doc": doc,
+                "elements": survey["element_count"],
+                "paths": survey["path_count"],
+                "nodes": survey["node_count"],
+                "stats_version": version,
+            }
+
+        report = self.store.transactionally(refresh)
+        METRICS.inc("index.stats_refreshed")
+        return report
 
     # -- in-transaction maintenance ---------------------------------------
 
-    def maintain_in_transaction(self, doc: int) -> None:
+    def maintain_in_transaction(self, doc: int, report=None) -> None:
         """Bring *doc*'s index rows up to date after an update.
 
         Runs inside the update's own transaction (called from the
         update manager's outermost tracked scope), so the index can
         never be observed out of step with the node tables: a crash
-        rolls both back together.  Statistics refresh only when the
-        update counter crosses the threshold; in between, the recorded
-        statistics go stale on purpose (see :meth:`stats_stale`).
+        rolls both back together.
+
+        *report* is the outermost operation's
+        :class:`~repro.core.updates.UpdateReport` carrying the touched
+        set.  When incremental maintenance is enabled and the report
+        accounts exactly for what it touched, only the affected rows
+        are repaired (``index.incremental``); otherwise — no report,
+        inexact accounting, or a touched set past the fallback budget —
+        the eager full rebuild runs (``index.fallback_rebuild``).  A
+        zero-row no-op (removing an absent attribute, an empty batch
+        entry) skips maintenance entirely: no row writes, no
+        ``updates_since`` bump.
+
+        Statistics refresh only when the update counter crosses the
+        threshold; in between, the recorded statistics go stale on
+        purpose (see :meth:`stats_stale`).
         """
+        if report is not None and report.rows_touched() == 0:
+            return
         if not self._present_in_transaction(doc):
             return
-        survey = self._rebuild_rows(doc)
+        survey = None
+        applied = False
+        if (
+            self.incremental()
+            and report is not None
+            and report.index_exact
+        ):
+            applied = self._apply_delta_in_transaction(doc, report)
+            if applied:
+                METRICS.inc("index.incremental")
+            else:
+                METRICS.inc("index.fallback_rebuild")
+        if not applied:
+            survey = self._rebuild_rows(doc)
         meta = self._read_meta(doc)
         updates = int(meta.get("updates_since", 0)) + 1
         version = int(meta.get("stats_version", 1))
         if updates >= STATS_REFRESH_THRESHOLD:
+            if survey is None:
+                survey = self._survey(doc)
             self._write_stats(doc, survey, version + 1)
             METRICS.inc("index.stats_refreshed")
         else:
@@ -235,8 +340,13 @@ class IndexManager:
             return False
         if int(meta.get("updates_since", 0)) >= STATS_REFRESH_THRESHOLD:
             return True
+        recorded_depth = meta.get("max_depth")
+        if recorded_depth is None:
+            # Lost or absent depth meta must read as stale, not as
+            # "matches whatever the live document says".
+            return True
         live = self.store.document_info(doc)
-        return live.max_depth > int(meta.get("max_depth", live.max_depth))
+        return live.max_depth > int(recorded_depth)
 
     # -- planner interface -------------------------------------------------
 
@@ -322,6 +432,9 @@ class IndexManager:
             "path_count": ctx.path_count,
             "updates_since": ctx.updates_since,
             "stale": self.stats_stale(doc),
+            "maintenance": (
+                "incremental" if self.incremental() else "eager"
+            ),
             "tags": dict(
                 sorted(ctx.tag_counts.items(),
                        key=lambda kv: (-kv[1], kv[0]))[:10]
@@ -330,15 +443,23 @@ class IndexManager:
 
     # -- the build pass ----------------------------------------------------
 
-    def _rebuild_rows(self, doc: int) -> dict:
-        """Recompute every ``idx_*`` data row of *doc* (txn caller-owned).
+    def _scan_document(self, doc: int) -> tuple[dict, list, dict, dict]:
+        """One full pass over *doc*'s node table (txn caller-owned).
 
-        One pass over the node table: children sorted by the encoding's
-        sibling-order column, a preorder walk assigning root paths and
-        a reverse-preorder pass accumulating XPath string-values (every
-        descendant sits after its ancestor in preorder, so reversed
-        preorder sees children before parents).  Iterative throughout —
-        document depth must not be bounded by the Python stack.
+        Children sorted by the encoding's sibling-order column, a
+        preorder walk assigning root paths and a reverse-preorder pass
+        accumulating XPath string-values (every descendant sits after
+        its ancestor in preorder, so reversed preorder sees children
+        before parents).  Iterative throughout — document depth must
+        not be bounded by the Python stack.
+
+        The path dictionary is seeded from the stored ``idx_paths``
+        rows and only ever appended to: path ids are stable across
+        rebuilds (orphaned paths are retained — a probe for one simply
+        finds no occurrences), which keeps eager and incremental
+        maintenance byte-identical.
+
+        Returns ``(survey, sval_rows, paths, node_path)``.
         """
         backend = self.store.backend
         encoding = self.store.encoding_for(doc)
@@ -358,7 +479,7 @@ class IndexManager:
             siblings.sort(key=lambda pair: pair[0])
 
         preorder: list[int] = []
-        paths: dict[str, int] = {}
+        paths = self._load_paths(doc)
         node_path: dict[int, int] = {}
         stack = [
             (node_id, "")
@@ -408,6 +529,28 @@ class IndexManager:
             depth_histogram[depth] += 1
             tag_values.setdefault(tag, set()).add(sval)
 
+        survey = {
+            "node_count": len(rows),
+            "element_count": len(sval_rows),
+            "path_count": len(paths),
+            "max_depth": max_depth,
+            "tag_counts": tag_counts,
+            "depth_histogram": depth_histogram,
+            "distinct_counts": {
+                tag: len(values) for tag, values in tag_values.items()
+            },
+        }
+        return survey, sval_rows, paths, node_path
+
+    def _survey(self, doc: int) -> dict:
+        """Survey *doc* without touching any rows (txn caller-owned)."""
+        survey, _sval_rows, _paths, _node_path = self._scan_document(doc)
+        return survey
+
+    def _rebuild_rows(self, doc: int) -> dict:
+        """Recompute every ``idx_*`` data row of *doc* (txn caller-owned)."""
+        backend = self.store.backend
+        survey, sval_rows, paths, node_path = self._scan_document(doc)
         self._purge_data_in_transaction(doc)
         backend.executemany(
             "INSERT INTO idx_sval VALUES (?, ?, ?, ?, ?, ?)", sval_rows
@@ -423,17 +566,247 @@ class IndexManager:
                 for node_id, pathid in node_path.items()
             ),
         )
-        return {
-            "node_count": len(rows),
-            "element_count": len(sval_rows),
-            "path_count": len(paths),
-            "max_depth": max_depth,
-            "tag_counts": tag_counts,
-            "depth_histogram": depth_histogram,
-            "distinct_counts": {
-                tag: len(values) for tag, values in tag_values.items()
-            },
-        }
+        METRICS.inc(
+            "index.row_writes",
+            len(sval_rows) + len(paths) + len(node_path),
+        )
+        return survey
+
+    # -- incremental maintenance -------------------------------------------
+
+    def _apply_delta_in_transaction(self, doc: int, report) -> bool:
+        """Repair *doc*'s index rows from an update's touched set.
+
+        Three steps, mirroring the tentpole contract: (a) drop
+        ``idx_sval``/``idx_pathmap`` rows for removed and reshredded
+        ids, (b) shred each new subtree via the encoding's
+        descendant-range scan against the append-only path dictionary,
+        (c) recompute aggregated string-values bottom-up along the
+        anchors' root paths only.
+
+        Returns ``False`` when the delta should not (fallback budget
+        exceeded) or cannot (bookkeeping hole) be applied piecewise;
+        the caller then runs the eager rebuild, which purges everything
+        this method may already have written — bailing out is safe at
+        any point.
+        """
+        from repro.core.reconstruct import fetch_subtree_rows
+
+        backend = self.store.backend
+        info = self.store.document_info(doc)
+        fraction = (
+            self.fallback_fraction
+            if self.fallback_fraction is not None
+            else INCR_FALLBACK_FRACTION
+        )
+        budget = max(1.0, info.node_count * fraction)
+        # Relabels are excluded: the idx_* tables carry no order
+        # columns, so renumbering leaves every index row valid.
+        removed = dict.fromkeys(report.removed_ids)
+        invalidated = len(removed)
+        if invalidated > budget:
+            return False
+
+        # Collect the subtrees to (re)shred, skipping roots a later op
+        # in the same transaction deleted and roots nested inside an
+        # earlier root's subtree.
+        encoding = self.store.encoding_for(doc)
+        order = encoding.sibling_order_column
+        subtrees: list[list[dict]] = []
+        covered: set[int] = set()
+        for root_id in dict.fromkeys(report.reshred_roots):
+            if root_id in covered or root_id in removed:
+                continue
+            root_row = self.store.fetch_node(doc, root_id)
+            if root_row is None:
+                continue
+            rows = [
+                root_row, *fetch_subtree_rows(self.store, doc, root_row)
+            ]
+            covered.update(r["id"] for r in rows)
+            subtrees.append(rows)
+            invalidated += len(rows)
+            if invalidated > budget:
+                return False
+
+        # (a) Drop the stale rows.
+        stale_ids = [*removed, *covered]
+        for table in ("idx_sval", "idx_pathmap"):
+            for start in range(0, len(stale_ids), _ID_BATCH):
+                batch = stale_ids[start:start + _ID_BATCH]
+                marks = ", ".join("?" for _ in batch)
+                backend.execute(
+                    f"DELETE FROM {table} "
+                    f"WHERE doc = ? AND id IN ({marks})",
+                    (doc, *batch),
+                )
+
+        # (b) Shred the new subtrees.
+        paths = self._load_paths(doc)
+        path_names = {pathid: path for path, pathid in paths.items()}
+        fresh_paths: list[tuple] = []
+        sval_rows: list[tuple] = []
+        pathmap_rows: list[tuple] = []
+        for rows in subtrees:
+            root_row = rows[0]
+            parent_path = self._indexed_path(
+                doc, root_row["parent"], path_names
+            )
+            if parent_path is None:
+                return False
+            nodes = {r["id"]: r for r in rows}
+            children: dict[int, list[dict]] = {}
+            for row in rows[1:]:
+                children.setdefault(row["parent"], []).append(row)
+            for siblings in children.values():
+                siblings.sort(key=lambda r: r[order])
+            preorder: list[int] = []
+            node_path: dict[int, int] = {}
+            stack = [(root_row["id"], parent_path)]
+            while stack:
+                node_id, above = stack.pop()
+                preorder.append(node_id)
+                row = nodes[node_id]
+                child_path = above
+                if row["kind"] == KIND_ELEMENT:
+                    # Subtree preorder is document preorder restricted
+                    # to the subtree, so first-encounter allocation
+                    # assigns the same fresh path ids an eager rebuild
+                    # would.
+                    child_path = f"{above}/{row['tag']}"
+                    pathid = paths.get(child_path)
+                    if pathid is None:
+                        pathid = len(paths) + 1
+                        paths[child_path] = pathid
+                        fresh_paths.append((doc, pathid, child_path))
+                    node_path[node_id] = pathid
+                for child in reversed(children.get(node_id, [])):
+                    stack.append((child["id"], child_path))
+            svals: dict[int, str] = {}
+            for node_id in reversed(preorder):
+                row = nodes[node_id]
+                if row["kind"] == KIND_TEXT:
+                    svals[node_id] = row["value"] or ""
+                elif row["kind"] == KIND_ELEMENT:
+                    svals[node_id] = "".join(
+                        svals[child["id"]]
+                        for child in children.get(node_id, [])
+                    )
+                else:
+                    svals[node_id] = ""
+            for node_id in preorder:
+                row = nodes[node_id]
+                if row["kind"] != KIND_ELEMENT:
+                    continue
+                sval = svals[node_id]
+                sval_rows.append(
+                    (doc, node_id, row["parent"], row["tag"], sval,
+                     xpath_number_value(sval))
+                )
+                pathmap_rows.append((doc, node_path[node_id], node_id))
+        backend.executemany(
+            "INSERT INTO idx_sval VALUES (?, ?, ?, ?, ?, ?)", sval_rows
+        )
+        backend.executemany(
+            "INSERT INTO idx_paths VALUES (?, ?, ?)", fresh_paths
+        )
+        backend.executemany(
+            "INSERT INTO idx_pathmap VALUES (?, ?, ?)", pathmap_rows
+        )
+
+        # (c) Repair aggregated string-values along the anchors' root
+        # paths.  Collect every chain node first, then recompute in
+        # decreasing-depth order so a shared ancestor is computed once,
+        # after all of its repaired descendants.
+        chain: dict[int, dict] = {}
+        for anchor in dict.fromkeys(report.sval_anchors):
+            node_id = anchor
+            while node_id and node_id not in chain:
+                row = self.store.fetch_node(doc, node_id)
+                if row is None:
+                    break
+                chain[node_id] = row
+                node_id = row["parent"]
+        repaired = 0
+        ordered = sorted(
+            chain.items(), key=lambda item: -item[1]["depth"]
+        )
+        for node_id, row in ordered:
+            if row["kind"] != KIND_ELEMENT:
+                continue
+            sval = self._compose_sval(doc, node_id)
+            if sval is None:
+                return False
+            backend.execute(
+                "UPDATE idx_sval SET sval = ?, nval = ? "
+                "WHERE doc = ? AND id = ?",
+                (sval, xpath_number_value(sval), doc, node_id),
+            )
+            repaired += 1
+
+        METRICS.inc(
+            "index.row_writes",
+            len(stale_ids) + len(sval_rows) + len(fresh_paths)
+            + len(pathmap_rows) + repaired,
+        )
+        return True
+
+    def _compose_sval(self, doc: int, element_id: int) -> Optional[str]:
+        """An element's string-value from its children's current index
+        rows (texts contribute their value, elements their stored
+        ``sval``).  ``None`` signals a bookkeeping hole — a child
+        element with no index row — which forces the eager fallback."""
+        backend = self.store.backend
+        children = self.store.fetch_children(doc, element_id)
+        element_ids = [
+            child["id"] for child in children
+            if child["kind"] == KIND_ELEMENT
+        ]
+        svals: dict[int, str] = {}
+        for start in range(0, len(element_ids), _ID_BATCH):
+            batch = element_ids[start:start + _ID_BATCH]
+            marks = ", ".join("?" for _ in batch)
+            result = backend.execute(
+                f"SELECT id, sval FROM idx_sval "
+                f"WHERE doc = ? AND id IN ({marks})",
+                (doc, *batch),
+            )
+            svals.update(dict(result.rows))
+        parts: list[str] = []
+        for child in children:
+            if child["kind"] == KIND_TEXT:
+                parts.append(child["value"] or "")
+            elif child["kind"] == KIND_ELEMENT:
+                if child["id"] not in svals:
+                    return None
+                parts.append(svals[child["id"]])
+        return "".join(parts)
+
+    def _indexed_path(
+        self, doc: int, node_id: int, path_names: dict[int, str]
+    ) -> Optional[str]:
+        """The stored rooted path of *node_id* (``""`` for the document
+        node), or ``None`` when its occurrence row is missing."""
+        if node_id == 0:
+            return ""
+        result = self.store.backend.execute(
+            "SELECT pathid FROM idx_pathmap WHERE doc = ? AND id = ?",
+            (doc, node_id),
+        )
+        if not result.rows:
+            return None
+        return path_names.get(result.rows[0][0])
+
+    def _load_paths(self, doc: int) -> dict[str, int]:
+        """The stored path dictionary, insertion-ordered by path id
+        (ids are allocated contiguously from 1, so ``len(paths) + 1``
+        is always the next free id)."""
+        result = self.store.backend.execute(
+            "SELECT pathid, path FROM idx_paths "
+            "WHERE doc = ? ORDER BY pathid",
+            (doc,),
+        )
+        return {path: pathid for pathid, path in result.rows}
 
     # -- statistics rows ---------------------------------------------------
 

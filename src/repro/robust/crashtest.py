@@ -834,9 +834,12 @@ def run_index_crashtest(
     crash point mid-create, reopens, and asserts the document audits
     clean, the node tables are untouched, and the recovered index is
     either **absent or byte-identical to the measured complete index**
-    — never partial.  A second phase does the same for ``drop`` from a
-    fully indexed baseline: recovery must land on exactly the complete
-    or the empty index state.
+    — never partial.  A second phase crashes a seeded **update** (with
+    incremental maintenance pinned on) from the fully indexed baseline:
+    recovery must land on exactly the pre-update or post-update
+    node+index state.  A third phase does the same for ``drop``:
+    recovery must land on exactly the complete or the empty index
+    state.
     """
     report = CrashTestReport()
     for seed, gap, backend_name, encoding in config.cells():
@@ -965,7 +968,69 @@ def _run_index_cell(
                        "real create diverged from the measured clone")
     medium.save_baseline()
 
-    # Phase 2: crash drops from the fully indexed baseline.
+    # Phase 2: crash an update from the fully indexed baseline.
+    # Incremental maintenance rides the update's own transaction, so
+    # recovery must land on exactly the pre-update or the post-update
+    # (node tables + index) state — never a torn mix of the two.
+    op_rng = random.Random(seed * 9791 + 7)
+    store, _ = medium.open()
+    store.indexes.force_incremental = True
+    update_op = plan_operation(op_rng, store, doc)
+    medium.close(store)
+
+    scratch, counter = medium.open_clone()
+    scratch.indexes.force_incremental = True
+    apply_operation(scratch, doc, update_op)
+    statements = counter.statements_executed
+    post_upd_doc = _state(scratch, doc)
+    post_upd_sig = _index_signature(scratch, doc)
+    medium.close(scratch)
+    report.operations += 1
+    if post_upd_sig is None:
+        return failure(0, "indexed update", "replay",
+                       "an indexed update dropped the index")
+
+    for crash_at in _index_crash_points(config, seed, 71, statements):
+        medium.restore_baseline()
+        store, injector = medium.open()
+        store.indexes.force_incremental = True
+        injector.arm(FaultPlan(crash_at_statement=crash_at))
+        crashed = False
+        try:
+            apply_operation(store, doc, update_op)
+        except SimulatedCrash:
+            crashed = True
+        report.crashes += 1
+        if not crashed:
+            return failure(
+                crash_at, "indexed update", "determinism",
+                f"crash point {crash_at} <= measured statement count "
+                f"{statements} but the update completed",
+            )
+        recovered, _ = medium.open()
+        detail = _audit_detail(recovered, doc)
+        if detail is not None:
+            medium.close(recovered)
+            return failure(
+                crash_at, "indexed update", "invariant", detail
+            )
+        state = _state(recovered, doc)
+        sig = _index_signature(recovered, doc)
+        medium.close(recovered)
+        report.recoveries += 1
+        if (state, sig) not in (
+            (pre_doc, pre_sig), (post_upd_doc, post_upd_sig)
+        ):
+            return failure(
+                crash_at, "indexed update", "atomicity",
+                "recovery is neither exactly the pre-update nor the "
+                "post-update node+index state",
+            )
+
+    # Back to the pristine indexed baseline for the drop phase.
+    medium.restore_baseline()
+
+    # Phase 3: crash drops from the fully indexed baseline.
     scratch, counter = medium.open_clone()
     scratch.indexes.drop(doc)
     statements = counter.statements_executed

@@ -138,6 +138,7 @@ class XmlStore:
         gap: int = 1,
         retry: Optional["RetryPolicy"] = None,
         cache: Optional[bool] = None,
+        index_incremental: Optional[bool] = None,
     ) -> None:
         """Create a store.
 
@@ -164,6 +165,12 @@ class XmlStore:
             ``None`` (the default) follows the ``REPRO_CACHE``
             environment variable (on unless set to ``off``); ``True``
             / ``False`` override it explicitly.
+        index_incremental:
+            Secondary-index maintenance strategy.  ``None`` (the
+            default) follows the ``REPRO_INDEX_INCR`` environment
+            variable (incremental unless set to ``off``); ``True`` /
+            ``False`` pin this store to incremental / eager rebuild
+            explicitly (the equivalence tests twin one of each).
         """
         if gap < 1:
             raise StorageError(f"gap must be >= 1, got {gap}")
@@ -200,6 +207,7 @@ class XmlStore:
         #: Per-document secondary indexes and catalog statistics
         #: (see :mod:`repro.index`); ``REPRO_INDEX`` gates their use.
         self.indexes = IndexManager(self)
+        self.indexes.force_incremental = index_incremental
 
     # -- schema ----------------------------------------------------------
 

@@ -1,0 +1,327 @@
+"""Incremental secondary-index maintenance.
+
+Four guards around the touched-set maintenance path:
+
+* **equivalence** — the same seeded update script applied to an
+  incremental store and an eager-rebuild twin must leave byte-identical
+  ``idx_*`` tables (including statistics bookkeeping), across all four
+  encodings and both backends, and across the automatic stats-refresh
+  threshold;
+* **scaling** — maintenance row writes must track the update's touched
+  rows, not the document size (the counter-based regression that pins
+  the tentpole's complexity claim);
+* **fallback** — deltas past the configurable invalidation budget fall
+  back to the eager rebuild and still converge on the twin's tables;
+* **satellites** — ``refresh_stats`` recomputes statistics without
+  rebuilding data rows or counting ``index.created``, zero-row no-op
+  updates skip maintenance entirely, and missing depth meta reads as
+  stale.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from tests.conftest import ALL_ENCODINGS, BACKENDS
+from repro.check.fuzz import apply_operation, plan_operation
+from repro.index import STATS_REFRESH_THRESHOLD, index_incremental_from_env
+from repro.obs import METRICS
+from repro.store import XmlStore
+from repro.workload import catalog_corpus
+from repro.workload.docgen import random_document
+
+IDX_TABLES = ("idx_sval", "idx_paths", "idx_pathmap", "idx_stats")
+
+
+def index_tables(store: XmlStore, doc: int) -> tuple:
+    return tuple(
+        tuple(sorted(store.backend.execute(
+            f"SELECT * FROM {table} WHERE doc = ?", (doc,)
+        ).rows))
+        for table in IDX_TABLES
+    )
+
+
+def twin_pair(backend: str, encoding: str):
+    """An incremental store and an eager-rebuild twin, indexes on."""
+    incr = XmlStore(
+        backend=backend, encoding=encoding, index_incremental=True
+    )
+    eager = XmlStore(
+        backend=backend, encoding=encoding, index_incremental=False
+    )
+    for store in (incr, eager):
+        store.indexes.force_mode = "on"
+    # Keep tiny fuzz documents on the incremental path: the default
+    # budget would route most ops through the fallback rebuild, which
+    # trivially matches the eager twin.
+    incr.indexes.fallback_fraction = 1.0
+    return incr, eager
+
+
+class TestIncrementalHatch:
+    def test_default_is_incremental(self, monkeypatch):
+        monkeypatch.delenv("REPRO_INDEX_INCR", raising=False)
+        assert index_incremental_from_env() is True
+
+    @pytest.mark.parametrize("value", ["off", "0", "false", "no"])
+    def test_off_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_INDEX_INCR", value)
+        assert index_incremental_from_env() is False
+
+    def test_store_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INDEX_INCR", "off")
+        store = XmlStore(index_incremental=True)
+        assert store.indexes.incremental() is True
+        store.close()
+        store = XmlStore()
+        assert store.indexes.incremental() is False
+        store.close()
+
+
+class TestIncrementalVsEager:
+    """The equivalence property: byte-identical tables after every op."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+    def test_seeded_script_leaves_identical_tables(
+        self, backend, encoding
+    ):
+        document = random_document(13, max_depth=4, max_children=3)
+        incr, eager = twin_pair(backend, encoding)
+        doc_i = incr.load(document)
+        doc_e = eager.load(document)
+        assert index_tables(incr, doc_i) == index_tables(eager, doc_e)
+        rng = random.Random(1301)
+        for op_index in range(1, 13):
+            op = plan_operation(rng, incr, doc_i, update_heavy=True)
+            apply_operation(incr, doc_i, op)
+            apply_operation(eager, doc_e, op)
+            assert index_tables(incr, doc_i) == index_tables(
+                eager, doc_e
+            ), f"tables diverged after op #{op_index}: {op['describe']}"
+        incr.close()
+        eager.close()
+
+    def test_equivalence_across_stats_refresh_threshold(self):
+        document = random_document(7, max_depth=4, max_children=3)
+        incr, eager = twin_pair("sqlite", "dewey")
+        doc_i = incr.load(document)
+        doc_e = eager.load(document)
+        rng = random.Random(701)
+        for _ in range(STATS_REFRESH_THRESHOLD + 4):
+            op = plan_operation(rng, incr, doc_i)
+            apply_operation(incr, doc_i, op)
+            apply_operation(eager, doc_e, op)
+        # Both twins refreshed statistics mid-script; the bookkeeping
+        # (stats_version, updates_since, survey rows) must agree too.
+        assert index_tables(incr, doc_i) == index_tables(eager, doc_e)
+        described = incr.indexes.describe(doc_i)
+        assert described["stats_version"] >= 2
+        incr.close()
+        eager.close()
+
+    def test_incremental_path_actually_taken(self):
+        document = random_document(13, max_depth=4, max_children=3)
+        incr, _eager = twin_pair("sqlite", "dewey")
+        doc = incr.load(document)
+        was_enabled = METRICS.enabled
+        METRICS.reset()
+        METRICS.enabled = True
+        try:
+            rng = random.Random(1301)
+            for _ in range(8):
+                op = plan_operation(rng, incr, doc, update_heavy=True)
+                apply_operation(incr, doc, op)
+            counters = METRICS.snapshot()["counters"]
+        finally:
+            METRICS.enabled = was_enabled
+            METRICS.reset()
+        assert counters["index.incremental"] >= 1
+        assert counters.get("index.fallback_rebuild", 0) == 0
+        incr.close()
+
+
+class TestMaintenanceScaling:
+    """Row writes track the touched set, not the document."""
+
+    def _writes_for_one_set_text(self, products: int) -> int:
+        store = XmlStore(
+            backend="sqlite", encoding="dewey", index_incremental=True
+        )
+        store.indexes.force_mode = "on"
+        doc = store.load(catalog_corpus(products=products))
+        catalog = store.fetch_children(doc, 0)[0]
+        product = store.fetch_children(doc, catalog["id"])[0]
+        name = store.fetch_children(doc, product["id"])[0]
+        was_enabled = METRICS.enabled
+        METRICS.reset()
+        METRICS.enabled = True
+        try:
+            store.updates.set_text(doc, name["id"], "renamed")
+            counters = METRICS.snapshot()["counters"]
+        finally:
+            METRICS.enabled = was_enabled
+            METRICS.reset()
+        store.close()
+        assert counters["index.incremental"] == 1
+        assert counters.get("index.fallback_rebuild", 0) == 0
+        return counters["index.row_writes"]
+
+    def test_row_writes_independent_of_document_size(self):
+        small = self._writes_for_one_set_text(products=8)
+        large = self._writes_for_one_set_text(products=160)
+        # Same op shape at the same depth: identical repair cost, and
+        # nowhere near the 160-product document's element count.
+        assert small == large
+        assert large < 40
+
+    def test_eager_rebuild_writes_scale_with_document(self):
+        store = XmlStore(
+            backend="sqlite", encoding="dewey", index_incremental=False
+        )
+        store.indexes.force_mode = "on"
+        doc = store.load(catalog_corpus(products=160))
+        catalog = store.fetch_children(doc, 0)[0]
+        product = store.fetch_children(doc, catalog["id"])[0]
+        name = store.fetch_children(doc, product["id"])[0]
+        was_enabled = METRICS.enabled
+        METRICS.reset()
+        METRICS.enabled = True
+        try:
+            store.updates.set_text(doc, name["id"], "renamed")
+            counters = METRICS.snapshot()["counters"]
+        finally:
+            METRICS.enabled = was_enabled
+            METRICS.reset()
+        store.close()
+        incremental = self._writes_for_one_set_text(products=160)
+        assert counters["index.row_writes"] > 10 * incremental
+
+
+class TestFallbackPolicy:
+    def test_large_delete_falls_back_and_still_converges(self):
+        incr, eager = twin_pair("sqlite", "global")
+        incr.indexes.fallback_fraction = None  # default budget
+        document = random_document(1, max_depth=4, max_children=3)
+        doc_i = incr.load(document)
+        doc_e = eager.load(document)
+        # Delete the bulkiest top-level subtree: far past the default
+        # invalidation budget on a small document.
+        root = incr.fetch_children(doc_i, 0)[0]
+        target = max(
+            (
+                child
+                for child in incr.fetch_children(doc_i, root["id"])
+                if child["kind"] == "elem"
+            ),
+            key=lambda child: len(incr.updates._subtree_ids(doc_i, child)),
+        )
+        was_enabled = METRICS.enabled
+        METRICS.reset()
+        METRICS.enabled = True
+        try:
+            incr.updates.delete(doc_i, target["id"])
+            counters = METRICS.snapshot()["counters"]
+        finally:
+            METRICS.enabled = was_enabled
+            METRICS.reset()
+        eager.updates.delete(doc_e, target["id"])
+        assert counters.get("index.fallback_rebuild", 0) >= 1
+        assert index_tables(incr, doc_i) == index_tables(eager, doc_e)
+        incr.close()
+        eager.close()
+
+
+class TestSatelliteFixes:
+    def _indexed_catalog(self, **kwargs):
+        store = XmlStore(backend="sqlite", encoding="dewey", **kwargs)
+        doc = store.load(catalog_corpus(products=6))
+        store.indexes.create(doc)
+        return store, doc
+
+    def test_refresh_stats_does_not_rebuild_rows(self):
+        store, doc = self._indexed_catalog()
+        before_version = store.indexes.describe(doc)["stats_version"]
+        rows_before = index_tables(store, doc)[:3]
+        was_enabled = METRICS.enabled
+        METRICS.reset()
+        METRICS.enabled = True
+        try:
+            report = store.indexes.refresh_stats(doc)
+            counters = METRICS.snapshot()["counters"]
+        finally:
+            METRICS.enabled = was_enabled
+            METRICS.reset()
+        assert counters["index.stats_refreshed"] == 1
+        assert counters.get("index.created", 0) == 0
+        assert counters.get("index.row_writes", 0) == 0
+        assert report["stats_version"] == before_version + 1
+        assert index_tables(store, doc)[:3] == rows_before
+        store.close()
+
+    def test_refresh_stats_clears_staleness(self):
+        store, doc = self._indexed_catalog()
+        catalog = store.fetch_children(doc, 0)[0]
+        product = store.fetch_children(doc, catalog["id"])[0]
+        store.updates.insert(
+            doc, product["id"], 0, "<a><b><c><d>deep</d></c></b></a>"
+        )
+        assert store.indexes.stats_stale(doc)
+        store.indexes.refresh_stats(doc)
+        assert not store.indexes.stats_stale(doc)
+        store.close()
+
+    def test_noop_update_skips_maintenance(self):
+        store, doc = self._indexed_catalog(index_incremental=True)
+        store.indexes.force_mode = "on"
+        catalog = store.fetch_children(doc, 0)[0]
+        before = store.indexes.describe(doc)["updates_since"]
+        was_enabled = METRICS.enabled
+        METRICS.reset()
+        METRICS.enabled = True
+        try:
+            # Removing an attribute that does not exist touches zero
+            # rows: no rebuild, no updates_since bump.
+            report = store.updates.set_attribute(
+                doc, catalog["id"], "nope", None
+            )
+            counters = METRICS.snapshot()["counters"]
+        finally:
+            METRICS.enabled = was_enabled
+            METRICS.reset()
+        assert report.rows_touched() == 0
+        assert counters.get("index.maintained", 0) == 0
+        assert counters.get("index.row_writes", 0) == 0
+        assert store.indexes.describe(doc)["updates_since"] == before
+        store.close()
+
+    def test_noop_update_skips_eager_rebuild_too(self):
+        store, doc = self._indexed_catalog(index_incremental=False)
+        store.indexes.force_mode = "on"
+        catalog = store.fetch_children(doc, 0)[0]
+        was_enabled = METRICS.enabled
+        METRICS.reset()
+        METRICS.enabled = True
+        try:
+            store.updates.set_attribute(doc, catalog["id"], "nope", None)
+            counters = METRICS.snapshot()["counters"]
+        finally:
+            METRICS.enabled = was_enabled
+            METRICS.reset()
+        assert counters.get("index.maintained", 0) == 0
+        assert counters.get("index.row_writes", 0) == 0
+        store.close()
+
+    def test_missing_depth_meta_reads_as_stale(self):
+        store, doc = self._indexed_catalog()
+        assert not store.indexes.stats_stale(doc)
+        store.backend.execute(
+            "DELETE FROM idx_stats "
+            "WHERE doc = ? AND kind = 'meta' AND skey = 'max_depth'",
+            (doc,),
+        )
+        assert store.indexes.stats_stale(doc)
+        store.close()
